@@ -1,0 +1,128 @@
+"""Shared fixtures for the benchmark harness.
+
+The figure benchmarks project from the full evaluation matrix at the
+``fast`` tier.  The first run trains every per-distribution safety suite
+(several minutes); results are cached under ``artifacts/`` keyed by the
+configuration hash, so subsequent runs are instant.
+
+Every benchmark also *prints* the rows/series the corresponding paper
+figure reports (run pytest with ``-s`` to see them) and writes the same
+text under ``artifacts/reports/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import FAST
+from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
+from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
+from repro.core.osap import collect_training_throughputs
+from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.training_runs import EvaluationMatrix, run_all_distributions
+from repro.novelty.ocsvm import OneClassSVM
+from repro.pensieve.ensemble import train_agent_ensemble, train_value_ensemble
+from repro.traces.dataset import make_dataset
+from repro.video.envivio import envivio_dash3_manifest
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The fast experiment tier (see repro.config)."""
+    return FAST
+
+
+@pytest.fixture(scope="session")
+def cache(config) -> ArtifactCache:
+    return ArtifactCache(config.describe())
+
+
+@pytest.fixture(scope="session")
+def matrix(config, cache) -> EvaluationMatrix:
+    """The (train, test, scheme) QoE matrix every figure projects from."""
+    return run_all_distributions(config, cache)
+
+
+@pytest.fixture(scope="session")
+def emit(cache):
+    """Print a report block and persist it under artifacts/reports/."""
+    report_dir = cache.root / "reports"
+    report_dir.mkdir(parents=True, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n==== {name} ====\n{text}\n")
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+class TrainedArtifacts:
+    """A small trained bundle for the latency and ablation benchmarks."""
+
+    def __init__(self, config) -> None:
+        self.manifest = envivio_dash3_manifest(repeats=config.video_repeats)
+        dataset = make_dataset(
+            "gamma_2_2",
+            num_traces=config.num_traces,
+            duration_s=config.trace_duration_s,
+            seed=config.dataset_seed,
+        )
+        self.split = dataset.split()
+        training = config.training.__class__(
+            **{**vars(config.training), "epochs": 60}
+        )
+        self.agents = train_agent_ensemble(
+            self.manifest,
+            self.split.train,
+            size=config.safety.ensemble_size,
+            config=training,
+            root_seed=config.suite_seed,
+        )
+        self.agent = self.agents[0]
+        self.value_functions = train_value_ensemble(
+            self.agent,
+            self.manifest,
+            self.split.train,
+            size=config.safety.ensemble_size,
+            gamma=training.gamma,
+            epochs=60,
+            filters=training.filters,
+            hidden=training.hidden,
+            reward_scale=training.reward_scale,
+            root_seed=config.suite_seed,
+        )
+        k = config.safety.ocsvm_k(True)
+        throughputs = collect_training_throughputs(
+            self.agent, self.manifest, self.split.train
+        )
+        self.samples = throughput_window_samples(
+            throughputs,
+            k=k,
+            throughput_window=config.safety.throughput_window,
+            max_samples=config.safety.max_ocsvm_samples,
+        )
+        self.detector = OneClassSVM(nu=config.safety.ocsvm_nu).fit(self.samples)
+        self.k = k
+        self.signals = {
+            "U_S": StateNoveltySignal(
+                self.detector,
+                self.manifest.bitrates_kbps,
+                k=k,
+                throughput_window=config.safety.throughput_window,
+            ),
+            "U_pi": PolicyEnsembleSignal(self.agents, trim=config.safety.trim),
+            "U_V": ValueEnsembleSignal(
+                self.value_functions, trim=config.safety.trim
+            ),
+        }
+        rng = np.random.default_rng(0)
+        self.probe_observations = rng.normal(0.0, 0.4, size=(64, 6, 8))
+
+
+@pytest.fixture(scope="session")
+def artifacts(config) -> TrainedArtifacts:
+    """Small trained artifacts shared by latency/ablation benchmarks."""
+    return TrainedArtifacts(config)

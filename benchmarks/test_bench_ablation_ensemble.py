@@ -1,0 +1,116 @@
+"""Ablations on the ensemble signals: size and outlier trimming.
+
+The paper fixes ensemble size 5 with the top-2 outliers trimmed.  These
+ablations quantify (a) how signal latency and OOD separation scale with
+ensemble size, and (b) what trimming does to the signal's contrast
+between in-distribution and out-of-distribution observations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abr.session import run_session
+from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
+from repro.traces.dataset import make_dataset
+from repro.util.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def observation_batches(artifacts, config):
+    """(in-distribution, OOD) observation streams under the deployed agent."""
+    in_dist = run_session(
+        artifacts.agent, artifacts.manifest, artifacts.split.test[0], seed=0
+    ).observations
+    ood_split = make_dataset(
+        "exponential",
+        num_traces=config.num_traces,
+        duration_s=config.trace_duration_s,
+        seed=config.dataset_seed,
+    ).split()
+    ood = run_session(
+        artifacts.agent, artifacts.manifest, ood_split.test[0], seed=0
+    ).observations
+    return in_dist, ood
+
+
+def mean_signal(signal, observations):
+    signal.reset()
+    return float(np.mean([signal.measure(obs) for obs in observations]))
+
+
+class TestEnsembleSize:
+    @pytest.mark.parametrize("size", [2, 3, 5])
+    def test_policy_signal_latency_vs_size(self, benchmark, artifacts, size):
+        signal = PolicyEnsembleSignal(artifacts.agents[:size], trim=0)
+        obs = artifacts.probe_observations[0]
+        benchmark(signal.measure, obs)
+
+    def test_size_separation_table(
+        self, benchmark, artifacts, observation_batches, emit
+    ):
+        in_dist, ood = observation_batches
+        rows = []
+
+        def evaluate_all():
+            for size in (2, 3, 5):
+                signal = ValueEnsembleSignal(
+                    artifacts.value_functions[:size], trim=0
+                )
+                rows.append(
+                    [
+                        size,
+                        round(mean_signal(signal, in_dist), 4),
+                        round(mean_signal(signal, ood), 4),
+                    ]
+                )
+
+        benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+        emit(
+            "ablation_ensemble_size",
+            render_table(["ensemble size", "U_V in-dist", "U_V OOD"], rows),
+        )
+
+
+class TestTrimming:
+    def test_trimming_table(self, benchmark, artifacts, observation_batches, emit):
+        in_dist, ood = observation_batches
+        rows = []
+
+        def evaluate_all():
+            for trim in (0, 2):
+                for name, signal in (
+                    ("U_pi", PolicyEnsembleSignal(artifacts.agents, trim=trim)),
+                    (
+                        "U_V",
+                        ValueEnsembleSignal(artifacts.value_functions, trim=trim),
+                    ),
+                ):
+                    rows.append(
+                        [
+                            name,
+                            trim,
+                            round(mean_signal(signal, in_dist), 4),
+                            round(mean_signal(signal, ood), 4),
+                        ]
+                    )
+
+        benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+        emit(
+            "ablation_trimming",
+            render_table(["signal", "trim", "mean in-dist", "mean OOD"], rows),
+        )
+
+    def test_trimming_reduces_signal_level(self, benchmark, artifacts):
+        # Trimming removes the two most extreme members, so the trimmed
+        # signal is never larger than the untrimmed one on average.
+        trimmed = ValueEnsembleSignal(artifacts.value_functions, trim=2)
+        untrimmed = ValueEnsembleSignal(artifacts.value_functions, trim=0)
+        observations = artifacts.probe_observations
+        trimmed_mean = float(
+            np.mean([trimmed.measure(o) for o in observations])
+        )
+        untrimmed_mean = float(
+            np.mean([untrimmed.measure(o) for o in observations])
+        )
+        assert trimmed_mean <= untrimmed_mean + 1e-9
+        benchmark(trimmed.measure, observations[0])

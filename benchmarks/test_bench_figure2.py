@@ -1,0 +1,34 @@
+"""Figure 2: Pensieve's problematic generalization, raw QoE.
+
+Trained on Belgium (2a) and on Gamma(2,2) (2b), evaluated on all six
+datasets against BB and Random.  Paper shape: with at most one exception
+per panel, OOD Pensieve is outperformed by BB, sometimes even by Random.
+"""
+
+from repro.experiments.figures import figure2
+from repro.util.tables import render_table
+
+
+def test_figure2_generalization(benchmark, config, matrix, emit):
+    data = benchmark(figure2, config, matrix=matrix)
+    blocks = []
+    for train, panel in data.items():
+        rows = [
+            [scheme] + [round(v, 1) for v in panel[scheme]]
+            for scheme in ("Pensieve", "BB", "Random")
+        ]
+        blocks.append(
+            f"trained on {train}:\n"
+            + render_table(["scheme"] + panel["datasets"], rows)
+        )
+    emit("figure2", "\n\n".join(blocks))
+    for train, panel in data.items():
+        losses_to_bb = sum(
+            1
+            for test, pensieve, bb in zip(
+                panel["datasets"], panel["Pensieve"], panel["BB"]
+            )
+            if test != train and pensieve < bb
+        )
+        # OOD, Pensieve loses to BB on most test distributions.
+        assert losses_to_bb >= 3, f"trained on {train}: only {losses_to_bb} losses"

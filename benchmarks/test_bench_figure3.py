@@ -1,0 +1,31 @@
+"""Figure 3: normalized Pensieve score across all 6x6 train/test pairs.
+
+Random = 0, BB = 1, per test dataset.  Paper shape: the diagonal sits at
+or above 1 (Pensieve at least matches BB where it was trained) while most
+off-diagonal entries fall below 1, some below 0.
+"""
+
+from repro.experiments.figures import figure3
+from repro.util.tables import render_table
+
+
+def test_figure3_normalized_matrix(benchmark, config, matrix, emit):
+    data = benchmark(figure3, config, matrix=matrix)
+    rows = [
+        [train]
+        + [round(data["scores"][train][test], 2) for test in data["datasets"]]
+        for train in data["datasets"]
+    ]
+    emit(
+        "figure3",
+        render_table(["train \\ test"] + data["datasets"], rows),
+    )
+    ood_scores = [
+        data["scores"][train][test]
+        for train in data["datasets"]
+        for test in data["datasets"]
+        if train != test
+    ]
+    below_bb = sum(1 for s in ood_scores if s < 1.0)
+    assert below_bb > len(ood_scores) / 2, "Pensieve should usually lose OOD"
+    assert any(s < 0.0 for s in ood_scores), "some pairs fall below Random"

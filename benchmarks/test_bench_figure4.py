@@ -1,0 +1,33 @@
+"""Figure 4: normalized max/min/mean/median of the safety-enhanced
+variants vs vanilla Pensieve, over the 30 OOD train/test pairs.
+
+Paper shape: all three safety schemes beat vanilla Pensieve on min, mean,
+and median; A-ensemble is the weakest of the three (the paper's headline
+negative result); ND is the safest (best worst case).
+"""
+
+from repro.experiments.figures import figure4
+from repro.util.tables import render_table
+
+
+def test_figure4_ood_summary(benchmark, config, matrix, emit):
+    data = benchmark(figure4, config, matrix=matrix)
+    rows = [
+        [scheme]
+        + [round(stats[key], 2) for key in ("max", "min", "mean", "median")]
+        for scheme, stats in data["summary"].items()
+    ]
+    emit(
+        "figure4",
+        render_table(["scheme", "max", "min", "mean", "median"], rows),
+    )
+    summary = data["summary"]
+    assert data["ood_pairs"] == 30
+    # The primary safety result: every scheme improves vanilla Pensieve's
+    # min, mean, and median over the 30 OOD pairs.  (The A-vs-V ordering
+    # within the schemes is training-scale-sensitive — see EXPERIMENTS.md
+    # — so it is reported but not asserted here.)
+    for scheme in ("ND", "A-ensemble", "V-ensemble"):
+        assert summary[scheme]["mean"] > summary["Pensieve"]["mean"]
+        assert summary[scheme]["median"] > summary["Pensieve"]["median"]
+        assert summary[scheme]["min"] > summary["Pensieve"]["min"]

@@ -1,0 +1,26 @@
+"""Figure 5: CDF of normalized performance over the 30 OOD pairs.
+
+Paper shape: the safety-enhanced curves sit to the right of (stochastically
+dominate) vanilla Pensieve through the low quantiles — the whole point of
+a safety net is to cut off the left tail.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure5
+from repro.util.tables import render_cdf
+
+
+def test_figure5_ood_cdf(benchmark, config, matrix, emit):
+    data = benchmark(figure5, config, matrix=matrix)
+    series = {
+        scheme: (cdf["values"], cdf["fractions"])
+        for scheme, cdf in data["cdfs"].items()
+    }
+    emit("figure5", render_cdf(series, points=7))
+    pensieve = np.asarray(data["cdfs"]["Pensieve"]["values"])
+    for scheme in ("ND", "A-ensemble", "V-ensemble"):
+        values = np.asarray(data["cdfs"][scheme]["values"])
+        # The left tail (worst quartile) is strictly improved.
+        quartile = len(values) // 4
+        assert values[:quartile].mean() > pensieve[:quartile].mean()

@@ -1,0 +1,52 @@
+"""Substrate benchmarks: the ABR simulator itself.
+
+Not a paper figure, but the cost model everything above rests on: one
+env.step is one chunk download; a full session is ~a quarter-second of
+CPU, which is what makes training whole ensembles on a laptop feasible.
+"""
+
+import numpy as np
+
+from repro.abr.env import ABREnv
+from repro.abr.session import run_session
+from repro.policies.buffer_based import BufferBasedPolicy
+from repro.traces.trace import Trace
+from repro.video.envivio import envivio_dash3_manifest
+
+MANIFEST = envivio_dash3_manifest(repeats=1)
+TRACE = Trace.from_bandwidths(
+    np.maximum(np.random.default_rng(0).gamma(2.0, 2.0, size=600), 0.05),
+    name="bench",
+)
+
+
+def test_env_step(benchmark):
+    env = ABREnv(MANIFEST, TRACE)
+    env.reset()
+    state = {"steps": 0}
+
+    def step():
+        if env._done:  # restart within the timed loop when the video ends
+            env.reset()
+        env.step(state["steps"] % MANIFEST.num_bitrates)
+        state["steps"] += 1
+
+    benchmark(step)
+    assert benchmark.stats["mean"] < 0.01
+
+
+def test_full_session(benchmark):
+    policy = BufferBasedPolicy(MANIFEST.bitrates_kbps)
+    result = benchmark(run_session, policy, MANIFEST, TRACE)
+    assert len(result) == MANIFEST.num_chunks - 1
+    assert benchmark.stats["mean"] < 2.0
+
+
+def test_trace_bandwidth_lookup(benchmark):
+    state = {"t": 0.0}
+
+    def lookup():
+        state["t"] += 3.7
+        return TRACE.bandwidth_at(state["t"])
+
+    benchmark(lookup)

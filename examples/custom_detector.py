@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Swap the novelty detector behind U_S: OC-SVM vs KDE vs Mahalanobis.
+
+The paper uses a one-class SVM, but U_S only needs *some* novelty
+detector behind the :class:`~repro.core.novelty_signal.StateNoveltySignal`
+interface.  This example fits all three detectors shipped with the
+library on the same throughput-window samples and compares their false
+alarms in-distribution and their detection out-of-distribution.
+
+Run:  python examples/custom_detector.py     (tens of seconds)
+"""
+
+import numpy as np
+
+from repro import (
+    BufferBasedPolicy,
+    KDEDetector,
+    MahalanobisDetector,
+    OneClassSVM,
+    envivio_dash3_manifest,
+    make_dataset,
+    run_session,
+)
+from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
+from repro.util.tables import render_table
+
+K = 5
+WINDOW = 10
+
+
+def session_throughputs(policy, manifest, traces):
+    series = []
+    for trace in traces:
+        result = run_session(policy, manifest, trace, seed=0)
+        series.append(np.array([c.throughput_mbps for c in result.chunks]))
+    return series
+
+
+def flag_rate(detector, manifest, policy, traces):
+    signal = StateNoveltySignal(detector, manifest.bitrates_kbps, k=K, throughput_window=WINDOW)
+    flags = []
+    for trace in traces:
+        signal.reset()
+        result = run_session(policy, manifest, trace, seed=0)
+        flags.extend(signal.measure(obs) for obs in result.observation_list)
+    return float(np.mean(flags))
+
+
+def main() -> None:
+    manifest = envivio_dash3_manifest(repeats=2)
+    probe = BufferBasedPolicy(manifest.bitrates_kbps)
+    train = make_dataset("norway", num_traces=8, duration_s=400, seed=1).split()
+    ood = make_dataset("belgium", num_traces=8, duration_s=400, seed=1).split()
+
+    samples = throughput_window_samples(
+        session_throughputs(probe, manifest, train.train),
+        k=K,
+        throughput_window=WINDOW,
+        max_samples=800,
+    )
+    print(f"training samples: {samples.shape[0]} x {samples.shape[1]}\n")
+
+    detectors = {
+        "OC-SVM (paper)": OneClassSVM(nu=0.05),
+        "KDE": KDEDetector(quantile=0.05),
+        "Mahalanobis": MahalanobisDetector(quantile=0.95),
+    }
+    rows = []
+    for name, detector in detectors.items():
+        detector.fit(samples)
+        false_alarms = flag_rate(detector, manifest, probe, train.test)
+        detections = flag_rate(detector, manifest, probe, ood.test)
+        rows.append([name, f"{false_alarms:.0%}", f"{detections:.0%}"])
+    print(
+        render_table(
+            ["detector", "flags in-distribution", "flags out-of-distribution"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: a good U_S backend flags little on norway test traces"
+        "\n(same distribution as training) and a lot on belgium traces"
+        "\n(a 4G network the detector never saw)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: give a learned ABR policy a safety net in ~40 lines.
+
+Trains a small Pensieve ensemble on one network distribution, wraps it
+with the paper's three online-safety-assurance schemes, then streams both
+an in-distribution session and an out-of-distribution session with every
+scheme.  Expected outcome: Pensieve wins in-distribution, collapses OOD,
+and the safety-enhanced variants stay close to the Buffer-Based default
+when it matters.
+
+Run:  python examples/quickstart.py
+Takes a couple of minutes on a laptop CPU (it really trains the agents).
+"""
+
+from repro import (
+    BufferBasedPolicy,
+    RandomPolicy,
+    SafetyConfig,
+    TrainingConfig,
+    build_safety_suite,
+    envivio_dash3_manifest,
+    make_dataset,
+    run_session,
+)
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    manifest = envivio_dash3_manifest(repeats=2)
+    bb = BufferBasedPolicy(manifest.bitrates_kbps)
+
+    print("Training on gamma_2_2 (i.i.d. Gamma(2,2) throughput) ...")
+    train_split = make_dataset("gamma_2_2", num_traces=8, duration_s=400, seed=1).split()
+    suite = build_safety_suite(
+        manifest,
+        train_split,
+        default_policy=bb,
+        is_synthetic=True,
+        training_config=TrainingConfig(
+            epochs=300,
+            gamma=0.9,
+            n_step=4,
+            entropy_weight_start=0.3,
+            entropy_weight_end=0.005,
+            actor_learning_rate=2e-3,
+            critic_learning_rate=4e-3,
+        ),
+        safety_config=SafetyConfig(ocsvm_nu=0.05, max_ocsvm_samples=600),
+    )
+    print(
+        f"calibrated: alpha(U_pi)={suite.calibration_a.alpha:.3g}, "
+        f"alpha(U_V)={suite.calibration_v.alpha:.3g}\n"
+    )
+
+    ood_split = make_dataset("exponential", num_traces=8, duration_s=400, seed=1).split()
+    policies = {
+        "Pensieve": suite.agent,
+        "BB": bb,
+        "Random": RandomPolicy(manifest.bitrates_kbps),
+        **suite.controllers(),
+    }
+    rows = []
+    for name, policy in policies.items():
+        in_dist = run_session(policy, manifest, train_split.test[0], seed=0)
+        ood = run_session(policy, manifest, ood_split.test[0], seed=0)
+        rows.append(
+            [
+                name,
+                round(in_dist.qoe, 1),
+                round(ood.qoe, 1),
+                f"{ood.default_fraction:.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ["scheme", "QoE in-distribution", "QoE out-of-distribution", "OOD defaulted"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: OOD, vanilla Pensieve should be far below BB (often below"
+        "\nRandom); the safety-enhanced variants detect the shift and hand"
+        "\ncontrol to BB."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Regenerate every figure in the paper's evaluation (Figures 1-5).
+
+Trains per-distribution safety suites (cached under ``artifacts/`` by
+configuration hash — the second run is instant), evaluates every scheme on
+every test distribution, prints each figure's data, runs the qualitative
+shape checks from DESIGN.md, and optionally rewrites EXPERIMENTS.md.
+
+Run:
+    python examples/reproduce_figures.py                 # fast tier
+    python examples/reproduce_figures.py --config paper  # EXPERIMENTS.md tier
+    python examples/reproduce_figures.py --config paper --write-report
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.config import get_config
+from repro.experiments import (
+    measure_runtimes,
+    render_report,
+    run_all_distributions,
+)
+from repro.experiments.artifacts import ArtifactCache
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--config",
+        default="fast",
+        choices=["fast", "paper"],
+        help="experiment tier (fast: minutes; paper: the EXPERIMENTS.md numbers)",
+    )
+    parser.add_argument(
+        "--write-report",
+        action="store_true",
+        help="rewrite the results section of EXPERIMENTS.md",
+    )
+    parser.add_argument(
+        "--with-runtimes",
+        action="store_true",
+        help="also measure the Section 3.1 running-time remark",
+    )
+    args = parser.parse_args()
+
+    config = get_config(args.config)
+    cache = ArtifactCache(config.describe())
+    print(f"configuration: {config.name} (cache key {cache.key})")
+    start = time.time()
+    matrix = run_all_distributions(config, cache)
+    print(f"evaluation matrix ready in {time.time() - start:.0f}s\n")
+    runtimes = None
+    if args.with_runtimes:
+        runtimes = cache.get_or_compute(
+            "runtimes", lambda: measure_runtimes(config)
+        )
+    report = render_report(config, matrix, runtimes=runtimes)
+    print(report)
+    if args.write_report:
+        path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+        marker = "<!-- results:auto -->"
+        text = path.read_text() if path.exists() else ""
+        head = text.split(marker)[0] if marker in text else text
+        path.write_text(head + marker + "\n\n" + report)
+        print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

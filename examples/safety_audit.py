@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Auditing the safety net: why did the system default, and when?
+
+Production operators will not trust a controller that silently swaps
+policies.  This example trains a small agent on Norway-like 3G traces,
+wraps it with a *monitored* ND safety controller, then streams
+progressively harsher versions of a test trace (using the trace
+transforms: cross traffic, outages, capacity loss) and prints, for each:
+
+* whether the controller defaulted, at which chunk, and for how much of
+  the session, and
+* for the harshest shift, the step-by-step hand-off explanation.
+
+Run:  python examples/safety_audit.py     (about a minute)
+"""
+
+import numpy as np
+
+from repro import BufferBasedPolicy, TrainingConfig, envivio_dash3_manifest, make_dataset
+from repro.abr.session import run_session
+from repro.core.monitor import MonitoredController, explain_default
+from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
+from repro.core.thresholding import ConsecutiveTrigger
+from repro.novelty import OneClassSVM
+from repro.pensieve import A2CTrainer
+from repro.traces.transforms import add_cross_traffic, inject_outages, scale
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    manifest = envivio_dash3_manifest(repeats=2)
+    split = make_dataset("norway", num_traces=8, duration_s=400, seed=1).split()
+    print("Training a small agent on norway traces ...")
+    trainer = A2CTrainer(
+        manifest,
+        split.train,
+        config=TrainingConfig(
+            epochs=200, gamma=0.9, n_step=4,
+            entropy_weight_start=0.3, entropy_weight_end=0.005,
+            actor_learning_rate=2e-3, critic_learning_rate=4e-3,
+        ),
+    )
+    agent = trainer.train()
+
+    throughputs = []
+    for trace in split.train:
+        session = run_session(agent, manifest, trace, seed=0)
+        throughputs.append(np.array([c.throughput_mbps for c in session.chunks]))
+    samples = throughput_window_samples(throughputs, k=5, throughput_window=10)
+    detector = OneClassSVM(nu=0.05).fit(samples)
+
+    base = split.test[0]
+    scenarios = {
+        "unchanged test trace": base,
+        "20% capacity loss": scale(base, 0.8),
+        "competing flow (1 Mbit/s)": add_cross_traffic(base, mean_mbps=1.0, seed=2),
+        "periodic outages": inject_outages(base, outage_duration_s=8.0, period_s=40.0, seed=2),
+        "70% capacity loss": scale(base, 0.3),
+    }
+    rows = []
+    last_controller = None
+    for name, trace in scenarios.items():
+        controller = MonitoredController(
+            learned=agent,
+            default=BufferBasedPolicy(manifest.bitrates_kbps),
+            signal=StateNoveltySignal(
+                detector, manifest.bitrates_kbps, k=5, throughput_window=10
+            ),
+            trigger=ConsecutiveTrigger(l=3),
+        )
+        result = run_session(controller, manifest, trace, seed=0)
+        handoff = controller.handoff_step
+        rows.append(
+            [
+                name,
+                round(result.qoe, 1),
+                "-" if handoff is None else handoff,
+                f"{result.default_fraction:.0%}",
+            ]
+        )
+        if handoff is not None:
+            last_controller = controller
+    print()
+    print(
+        render_table(
+            ["scenario", "QoE", "hand-off at chunk", "session under default"],
+            rows,
+        )
+    )
+    if last_controller is not None:
+        print("\nHand-off explanation for the last defaulting scenario:\n")
+        print(explain_default(last_controller, context_steps=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Adaptive-bitrate (ABR) video streaming simulation.
+
+A faithful chunk-level reimplementation of the simulator Pensieve [27] was
+trained on: a video client downloads chunks over a trace-driven link
+(80 ms RTT, as in the paper's MahiMahi setup), maintains a playback buffer,
+rebuffers when the buffer empties, and pauses downloads when the buffer is
+full.  Each call to :meth:`~repro.abr.env.ABREnv.step` downloads one chunk
+at the chosen ladder rung and returns Pensieve's observation matrix plus
+the per-chunk QoE reward.
+
+:mod:`repro.abr.session` runs a full policy-vs-trace session and collects
+the per-chunk records that the evaluation harness aggregates.
+"""
+
+from repro.abr.env import ABREnv
+from repro.abr.session import ChunkRecord, SessionResult, run_session
+from repro.abr.state import S_INFO, S_LEN, ObservationView, StateBuilder
+
+__all__ = [
+    "ABREnv",
+    "ChunkRecord",
+    "ObservationView",
+    "S_INFO",
+    "S_LEN",
+    "SessionResult",
+    "StateBuilder",
+    "run_session",
+]

@@ -1,0 +1,142 @@
+"""Run a full streaming session: one policy, one trace, one video.
+
+:func:`run_session` is the evaluation primitive everything above it builds
+on — the figure harness runs it over every (policy, test trace) pair and
+aggregates the session QoE values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abr.env import ABREnv
+from repro.errors import SimulationError
+from repro.mdp.interfaces import Policy
+from repro.traces.trace import Trace
+from repro.util.rng import rng_from_seed
+from repro.video.manifest import VideoManifest
+from repro.video.qoe import QoEMetric
+
+__all__ = ["ChunkRecord", "SessionResult", "run_session"]
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """Everything recorded about one chunk download."""
+
+    chunk_index: int
+    bitrate_index: int
+    bitrate_mbps: float
+    rebuffer_s: float
+    download_time_s: float
+    throughput_mbps: float
+    buffer_s: float
+    reward: float
+    defaulted: bool = False
+
+
+@dataclass
+class SessionResult:
+    """Aggregated outcome of a streaming session."""
+
+    trace_name: str
+    policy_name: str
+    chunks: list[ChunkRecord] = field(default_factory=list)
+    observation_list: list[np.ndarray] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def observations(self) -> np.ndarray:
+        """The observations the policy acted on, stacked ``(T, 6, 8)``."""
+        if not self.observation_list:
+            raise SimulationError("session recorded no observations")
+        return np.stack(self.observation_list)
+
+    @property
+    def qoe(self) -> float:
+        """Total session QoE (equals the sum of per-chunk rewards)."""
+        return float(sum(record.reward for record in self.chunks))
+
+    @property
+    def bitrates_mbps(self) -> np.ndarray:
+        """Selected bitrate per chunk (Mbit/s)."""
+        return np.array([r.bitrate_mbps for r in self.chunks])
+
+    @property
+    def rebuffer_total_s(self) -> float:
+        """Total stall time across the session."""
+        return float(sum(r.rebuffer_s for r in self.chunks))
+
+    @property
+    def bitrate_switches(self) -> int:
+        """Number of chunk-to-chunk rung changes."""
+        indices = [r.bitrate_index for r in self.chunks]
+        return int(sum(1 for a, b in zip(indices, indices[1:]) if a != b))
+
+    @property
+    def default_fraction(self) -> float:
+        """Fraction of decisions delegated to the default policy (safety
+        controllers only; 0 for plain policies)."""
+        if not self.chunks:
+            return 0.0
+        return sum(1 for r in self.chunks if r.defaulted) / len(self.chunks)
+
+
+def run_session(
+    policy: Policy,
+    manifest: VideoManifest,
+    trace: Trace,
+    qoe_metric: QoEMetric | None = None,
+    seed: int | np.random.Generator | None = 0,
+    policy_name: str | None = None,
+    start_offset_s: float = 0.0,
+) -> SessionResult:
+    """Stream the whole video through *trace* under *policy*.
+
+    The environment fetches the first chunk at the lowest rung (reference
+    behaviour); the policy then decides every remaining chunk.  Returns the
+    complete per-chunk record.
+    """
+    env = ABREnv(
+        manifest=manifest,
+        trace=trace,
+        qoe_metric=qoe_metric,
+        start_offset_s=start_offset_s,
+    )
+    rng = rng_from_seed(seed)
+    policy.reset()
+    observation = env.reset()
+    result = SessionResult(
+        trace_name=trace.name,
+        policy_name=policy_name or type(policy).__name__,
+    )
+    for _ in range(manifest.num_chunks - 1):
+        action = policy.act(observation, rng)
+        result.observation_list.append(np.asarray(observation, dtype=float).copy())
+        step = env.step(action)
+        defaulted = bool(step.info.get("defaulted", False))
+        if hasattr(policy, "last_decision_defaulted"):
+            defaulted = bool(policy.last_decision_defaulted)
+        result.chunks.append(
+            ChunkRecord(
+                chunk_index=step.info["chunk_index"],
+                bitrate_index=step.info["bitrate_index"],
+                bitrate_mbps=step.info["bitrate_mbps"],
+                rebuffer_s=step.info["rebuffer_s"],
+                download_time_s=step.info["download_time_s"],
+                throughput_mbps=step.info["throughput_mbps"],
+                buffer_s=step.info["buffer_s"],
+                reward=step.reward,
+                defaulted=defaulted,
+            )
+        )
+        observation = step.observation
+        if step.done:
+            break
+    if not result.chunks:
+        raise SimulationError("session produced no agent-controlled chunks")
+    return result

@@ -1,0 +1,128 @@
+"""Experiment configuration tiers.
+
+Training real Pensieve took the paper eight GPU-hours per agent; this
+reproduction exposes presets that trade fidelity for wall-clock time:
+
+* :data:`FAST` — small traces, short training: the tier used by the test
+  suite and the benchmark harness, minutes end-to-end.
+* :data:`PAPER` — the tier behind the numbers recorded in EXPERIMENTS.md:
+  longer training, more traces, the full 5x-concatenated video.
+
+Both tiers keep the paper's *safety* parameters (ensemble size 5, trim 2,
+l = 3, k = 5/30) — only the substrate scale changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.osap import SafetyConfig
+from repro.errors import ConfigError
+from repro.pensieve.training import TrainingConfig
+from repro.traces.dataset import DATASET_NAMES
+
+__all__ = ["ExperimentConfig", "FAST", "PAPER", "get_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that determines an experiment's artifacts."""
+
+    name: str
+    num_traces: int
+    trace_duration_s: float
+    video_repeats: int
+    training: TrainingConfig
+    safety: SafetyConfig = field(default_factory=SafetyConfig)
+    value_epochs: int = 200
+    datasets: tuple[str, ...] = DATASET_NAMES
+    dataset_seed: int = 1
+    suite_seed: int = 0
+    eval_seed: int = 0
+    random_eval_repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_traces < 3:
+            raise ConfigError(
+                f"need >= 3 traces for a train/val/test split, got {self.num_traces}"
+            )
+        if self.trace_duration_s <= 0:
+            raise ConfigError(
+                f"trace duration must be positive, got {self.trace_duration_s}"
+            )
+        if self.video_repeats < 1:
+            raise ConfigError(f"video_repeats must be >= 1, got {self.video_repeats}")
+        if self.value_epochs < 1:
+            raise ConfigError(f"value_epochs must be >= 1, got {self.value_epochs}")
+        if not self.datasets:
+            raise ConfigError("at least one dataset is required")
+        unknown = set(self.datasets) - set(DATASET_NAMES)
+        if unknown:
+            raise ConfigError(f"unknown datasets: {sorted(unknown)}")
+        if self.random_eval_repeats < 1:
+            raise ConfigError(
+                f"random_eval_repeats must be >= 1, got {self.random_eval_repeats}"
+            )
+
+    def describe(self) -> dict:
+        """A JSON-able fingerprint used to key the artifact cache."""
+        return {
+            "name": self.name,
+            "num_traces": self.num_traces,
+            "trace_duration_s": self.trace_duration_s,
+            "video_repeats": self.video_repeats,
+            "training": vars(self.training).copy(),
+            "safety": vars(self.safety).copy(),
+            "value_epochs": self.value_epochs,
+            "datasets": list(self.datasets),
+            "dataset_seed": self.dataset_seed,
+            "suite_seed": self.suite_seed,
+            "eval_seed": self.eval_seed,
+            "random_eval_repeats": self.random_eval_repeats,
+        }
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """A copy with selected fields overridden."""
+        return replace(self, **overrides)
+
+
+_SHARED_TRAINING = dict(
+    gamma=0.9,
+    n_step=4,
+    entropy_weight_start=0.3,
+    entropy_weight_end=0.005,
+    actor_learning_rate=2e-3,
+    critic_learning_rate=4e-3,
+)
+
+FAST = ExperimentConfig(
+    name="fast",
+    num_traces=8,
+    trace_duration_s=400.0,
+    video_repeats=3,
+    training=TrainingConfig(epochs=500, filters=8, hidden=48, **_SHARED_TRAINING),
+    safety=SafetyConfig(ocsvm_nu=0.05, max_ocsvm_samples=600),
+    value_epochs=150,
+    random_eval_repeats=2,
+)
+
+PAPER = ExperimentConfig(
+    name="paper",
+    num_traces=12,
+    trace_duration_s=700.0,
+    video_repeats=5,
+    training=TrainingConfig(epochs=800, filters=8, hidden=64, **_SHARED_TRAINING),
+    safety=SafetyConfig(ocsvm_nu=0.05, max_ocsvm_samples=1500),
+    value_epochs=300,
+)
+
+_CONFIGS = {"fast": FAST, "paper": PAPER}
+
+
+def get_config(name: str) -> ExperimentConfig:
+    """Look up a preset tier by name."""
+    if name not in _CONFIGS:
+        raise ConfigError(
+            f"unknown config {name!r}; expected one of {sorted(_CONFIGS)}"
+        )
+    return _CONFIGS[name]

@@ -1,0 +1,59 @@
+"""Online Safety Assurance (OSAP) — the paper's contribution.
+
+Detect, in real time, when a learning-augmented agent is operating outside
+its training distribution, and default to a safe policy when it is:
+
+* :mod:`repro.core.signals` — the uncertainty-signal interface.
+* :mod:`repro.core.novelty_signal` — ``U_S``: state uncertainty via
+  one-class-SVM novelty detection over windows of throughput statistics.
+* :mod:`repro.core.ensemble_signals` — ``U_pi`` (agent-ensemble KL
+  disagreement) and ``U_V`` (value-ensemble disagreement), with the
+  paper's top-2 outlier trimming.
+* :mod:`repro.core.thresholding` — the k-window variance and l-consecutive
+  defaulting rules.
+* :mod:`repro.core.controller` — :class:`~repro.core.controller.SafetyController`,
+  the policy wrapper that switches from the learned policy to the default.
+* :mod:`repro.core.calibration` — threshold calibration so all schemes
+  match the ND scheme's in-distribution performance (Section 2.5).
+* :mod:`repro.core.osap` — one-call construction of the paper's three
+  safety-enhanced Pensieve variants from trained artifacts.
+"""
+
+from repro.core.calibration import CalibrationResult, calibrate_variance_threshold
+from repro.core.controller import SafetyController
+from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
+from repro.core.monitor import (
+    DecisionRecord,
+    MonitoredController,
+    SignalRecorder,
+    explain_default,
+)
+from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
+from repro.core.osap import SafetyConfig, SafetySuite, build_safety_suite
+from repro.core.signals import UncertaintySignal
+from repro.core.thresholding import (
+    ConsecutiveTrigger,
+    DefaultTrigger,
+    VarianceTrigger,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "ConsecutiveTrigger",
+    "DecisionRecord",
+    "DefaultTrigger",
+    "MonitoredController",
+    "PolicyEnsembleSignal",
+    "SafetyConfig",
+    "SafetyController",
+    "SafetySuite",
+    "SignalRecorder",
+    "StateNoveltySignal",
+    "UncertaintySignal",
+    "ValueEnsembleSignal",
+    "VarianceTrigger",
+    "build_safety_suite",
+    "calibrate_variance_threshold",
+    "explain_default",
+    "throughput_window_samples",
+]

@@ -1,0 +1,96 @@
+"""The safety controller: a learned policy with a safety net.
+
+Wraps a learned policy and a default policy behind the standard policy
+interface.  Every decision step it feeds the observation to the
+uncertainty signal, the signal value to the trigger, and — once the
+trigger fires — hands control to the default policy.
+
+By default the hand-off is *sticky* for the rest of the session, matching
+the paper's "defaulting" language (the enhanced system "defaults to BB");
+``allow_revert=True`` switches back to the learned policy as soon as the
+trigger stops firing, for the extension experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.signals import UncertaintySignal
+from repro.core.thresholding import DefaultTrigger
+from repro.errors import SafetyError
+from repro.mdp.interfaces import Policy
+
+__all__ = ["SafetyController"]
+
+
+class SafetyController:
+    """A policy that is ``learned`` inside its comfort zone, ``default``
+    outside it."""
+
+    def __init__(
+        self,
+        learned: Policy,
+        default: Policy,
+        signal: UncertaintySignal,
+        trigger: DefaultTrigger,
+        allow_revert: bool = False,
+        name: str = "safe",
+    ) -> None:
+        if learned is default:
+            raise SafetyError("learned and default policies must be distinct")
+        self.learned = learned
+        self.default = default
+        self.signal = signal
+        self.trigger = trigger
+        self.allow_revert = allow_revert
+        self.name = name
+        self._defaulted = False
+        self.last_decision_defaulted = False
+        self.default_steps = 0
+        self.total_steps = 0
+
+    def reset(self) -> None:
+        """Reset the wrapped policies, the signal, and the trigger."""
+        self.learned.reset()
+        self.default.reset()
+        self.signal.reset()
+        self.trigger.reset()
+        self._defaulted = False
+        self.last_decision_defaulted = False
+        self.default_steps = 0
+        self.total_steps = 0
+
+    def _active_policy(self, observation: np.ndarray) -> Policy:
+        """Advance the signal/trigger one step and pick today's policy."""
+        fired = self.trigger.update(self.signal.measure(observation))
+        if self.allow_revert:
+            self._defaulted = fired
+        else:
+            self._defaulted = self._defaulted or fired
+        self.last_decision_defaulted = self._defaulted
+        self.total_steps += 1
+        if self._defaulted:
+            self.default_steps += 1
+            return self.default
+        return self.learned
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        """One decision: measure uncertainty, maybe default, then act."""
+        return self._active_policy(observation).act(observation, rng)
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """The active policy's action distribution.
+
+        Reads the controller's current mode without advancing the signal —
+        only :meth:`act` consumes a decision step, so rollout bookkeeping
+        that inspects probabilities does not double-count.
+        """
+        policy = self.default if self._defaulted else self.learned
+        return policy.action_probabilities(observation)
+
+    @property
+    def default_fraction(self) -> float:
+        """Fraction of this session's decisions made by the default policy."""
+        if self.total_steps == 0:
+            return 0.0
+        return self.default_steps / self.total_steps

@@ -1,0 +1,112 @@
+"""``U_pi`` and ``U_V``: output uncertainty via ensemble disagreement.
+
+Section 2.4 defines both as a sum of distances between ensemble-member
+outputs and the members' average — KL divergence for action distributions
+(``U_pi``), absolute difference for scalar values (``U_V``).  Section 3.1
+adds trimming: "the two outputs ... whose distance from the average is
+highest are discarded and U_pi and U_V are computed with respect to the
+three surviving outputs".
+
+Both signals are continuous; the k-window variance rule in
+:mod:`repro.core.thresholding` converts them into defaulting decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.signals import UncertaintySignal
+from repro.errors import SafetyError
+from repro.nn.losses import kl_divergence
+
+__all__ = ["PolicyEnsembleSignal", "ValueEnsembleSignal", "trim_by_distance"]
+
+
+def trim_by_distance(
+    outputs: np.ndarray, distances: np.ndarray, trim: int
+) -> np.ndarray:
+    """Drop the *trim* outputs farthest from the ensemble average.
+
+    Returns the surviving outputs (at least one always survives).
+    """
+    if trim < 0:
+        raise SafetyError(f"trim must be >= 0, got {trim}")
+    if outputs.shape[0] <= trim:
+        raise SafetyError(
+            f"cannot trim {trim} of {outputs.shape[0]} ensemble outputs"
+        )
+    if trim == 0:
+        return outputs
+    keep = np.argsort(distances)[: outputs.shape[0] - trim]
+    return outputs[np.sort(keep)]
+
+
+class PolicyEnsembleSignal(UncertaintySignal):
+    """``U_pi``: KL disagreement within an agent ensemble.
+
+    Given the action distributions output by the ensemble members for the
+    current observation, compute each member's KL divergence from the
+    members' mean distribution, discard the *trim* farthest members, and
+    return the sum of KL divergences of the survivors from the survivors'
+    mean.
+    """
+
+    binary = False
+
+    def __init__(self, agents: list, trim: int = 2) -> None:
+        if len(agents) < 2:
+            raise SafetyError(
+                f"need an ensemble of >= 2 agents, got {len(agents)}"
+            )
+        if not 0 <= trim < len(agents) - 1:
+            raise SafetyError(
+                f"trim must leave >= 2 members, got trim={trim} of {len(agents)}"
+            )
+        self.agents = list(agents)
+        self.trim = trim
+
+    def measure(self, observation: np.ndarray) -> float:
+        distributions = np.stack(
+            [agent.action_probabilities(observation) for agent in self.agents]
+        )
+        mean = distributions.mean(axis=0)
+        distances = kl_divergence(distributions, np.broadcast_to(mean, distributions.shape))
+        survivors = trim_by_distance(distributions, distances, self.trim)
+        survivor_mean = survivors.mean(axis=0)
+        return float(
+            kl_divergence(
+                survivors, np.broadcast_to(survivor_mean, survivors.shape)
+            ).sum()
+        )
+
+
+class ValueEnsembleSignal(UncertaintySignal):
+    """``U_V``: disagreement within a value-function ensemble.
+
+    The per-member distance is the absolute difference from the mean
+    value; after trimming, the signal is the sum of survivors' distances
+    from the survivors' mean.
+    """
+
+    binary = False
+
+    def __init__(self, value_functions: list, trim: int = 2) -> None:
+        if len(value_functions) < 2:
+            raise SafetyError(
+                f"need an ensemble of >= 2 value functions, got {len(value_functions)}"
+            )
+        if not 0 <= trim < len(value_functions) - 1:
+            raise SafetyError(
+                f"trim must leave >= 2 members, got trim={trim} of "
+                f"{len(value_functions)}"
+            )
+        self.value_functions = list(value_functions)
+        self.trim = trim
+
+    def measure(self, observation: np.ndarray) -> float:
+        values = np.array(
+            [vf.value(observation) for vf in self.value_functions]
+        )
+        distances = np.abs(values - values.mean())
+        survivors = trim_by_distance(values[:, None], distances, self.trim)[:, 0]
+        return float(np.abs(survivors - survivors.mean()).sum())

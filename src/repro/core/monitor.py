@@ -1,0 +1,144 @@
+"""Session telemetry: record what the safety machinery saw and did.
+
+A production safety net must be auditable — when the system defaults, the
+operator asks *why now?*.  :class:`SignalRecorder` wraps any uncertainty
+signal and logs its per-step values; :class:`MonitoredController` extends
+the safety controller with a full decision log; and
+:func:`explain_default` renders the moments around a hand-off as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controller import SafetyController
+from repro.core.signals import UncertaintySignal
+from repro.core.thresholding import DefaultTrigger
+from repro.errors import SafetyError
+from repro.mdp.interfaces import Policy
+from repro.util.tables import render_table
+
+__all__ = [
+    "DecisionRecord",
+    "SignalRecorder",
+    "MonitoredController",
+    "explain_default",
+]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One decision step as the safety controller saw it."""
+
+    step: int
+    signal_value: float
+    trigger_fired: bool
+    defaulted: bool
+    action: int
+
+
+class SignalRecorder(UncertaintySignal):
+    """A pass-through wrapper that logs every signal value."""
+
+    def __init__(self, inner: UncertaintySignal) -> None:
+        self.inner = inner
+        self.binary = inner.binary
+        self.values: list[float] = []
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.values.clear()
+
+    def measure(self, observation: np.ndarray) -> float:
+        value = self.inner.measure(observation)
+        self.values.append(float(value))
+        return value
+
+
+class MonitoredController(SafetyController):
+    """A :class:`SafetyController` that keeps a per-decision log."""
+
+    def __init__(
+        self,
+        learned: Policy,
+        default: Policy,
+        signal: UncertaintySignal,
+        trigger: DefaultTrigger,
+        allow_revert: bool = False,
+        name: str = "monitored",
+    ) -> None:
+        recorder = SignalRecorder(signal)
+        super().__init__(
+            learned=learned,
+            default=default,
+            signal=recorder,
+            trigger=trigger,
+            allow_revert=allow_revert,
+            name=name,
+        )
+        self.recorder = recorder
+        self.log: list[DecisionRecord] = []
+
+    def reset(self) -> None:
+        super().reset()
+        self.log = []
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        was_defaulted = self._defaulted
+        action = super().act(observation, rng)
+        self.log.append(
+            DecisionRecord(
+                step=self.total_steps - 1,
+                signal_value=self.recorder.values[-1],
+                trigger_fired=self._defaulted and not was_defaulted,
+                defaulted=self.last_decision_defaulted,
+                action=action,
+            )
+        )
+        return action
+
+    @property
+    def handoff_step(self) -> int | None:
+        """The decision index at which control first moved to the default
+        policy, or ``None`` if it never did."""
+        for record in self.log:
+            if record.defaulted:
+                return record.step
+        return None
+
+
+def explain_default(
+    controller: MonitoredController, context_steps: int = 5
+) -> str:
+    """Render the decisions around the hand-off as a monospace table.
+
+    Raises :class:`SafetyError` when the controller never defaulted
+    (there is nothing to explain).
+    """
+    handoff = controller.handoff_step
+    if handoff is None:
+        raise SafetyError("controller never defaulted in this session")
+    start = max(handoff - context_steps, 0)
+    end = min(handoff + context_steps + 1, len(controller.log))
+    rows = []
+    for record in controller.log[start:end]:
+        marker = "<< hand-off" if record.step == handoff else ""
+        rows.append(
+            [
+                record.step,
+                round(record.signal_value, 5),
+                "yes" if record.defaulted else "no",
+                record.action,
+                marker,
+            ]
+        )
+    header = (
+        f"defaulted at decision {handoff} "
+        f"(of {len(controller.log)}; "
+        f"{controller.default_fraction:.0%} of session under default)\n"
+    )
+    return header + render_table(
+        ["step", "signal", "defaulted", "action", ""], rows
+    )

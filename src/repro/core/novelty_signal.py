@@ -1,0 +1,134 @@
+"""``U_S``: state uncertainty as novelty detection (Section 2.4, 3.1).
+
+The paper's recipe: "at each time step t, the mean and standard deviation
+of the 10 most recent network throughputs are calculated, and a sample
+consisting of the k latest [mean, deviation] pairs is fed into the
+(trained) OC-SVM model" — k = 5 for the empirical distributions, k = 30
+for the synthetic ones.  The OC-SVM answers in/out-of-distribution per
+step; the l-consecutive rule in :mod:`repro.core.thresholding` decides
+when to default.
+
+:func:`throughput_window_samples` builds the same representation from
+training sessions, producing the OC-SVM's training set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.abr.state import ObservationView
+from repro.core.signals import UncertaintySignal
+from repro.errors import SafetyError
+from repro.novelty.base import NoveltyDetector
+from repro.util.stats import mean_std_window
+
+__all__ = ["StateNoveltySignal", "throughput_window_samples"]
+
+_DEFAULT_THROUGHPUT_WINDOW = 10
+
+
+def throughput_window_samples(
+    throughput_series: list[np.ndarray] | tuple[np.ndarray, ...],
+    k: int,
+    throughput_window: int = _DEFAULT_THROUGHPUT_WINDOW,
+    max_samples: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Build OC-SVM samples from per-session throughput sequences.
+
+    For every time step with a full history, compute the ``[mean, std]``
+    of the last *throughput_window* throughputs, then stack the *k* latest
+    pairs into one ``2k``-dimensional sample.  Sessions shorter than
+    ``k`` usable steps contribute nothing.
+
+    *max_samples* optionally subsamples the result (uniformly, with *rng*)
+    to bound OC-SVM training cost.
+    """
+    if k <= 0:
+        raise SafetyError(f"k must be positive, got {k}")
+    if throughput_window <= 0:
+        raise SafetyError(
+            f"throughput_window must be positive, got {throughput_window}"
+        )
+    samples: list[np.ndarray] = []
+    for series in throughput_series:
+        series = np.asarray(series, dtype=float).ravel()
+        # Only full windows: partial-history statistics at session start
+        # have a different signature (tiny std) and would either pollute
+        # the learned region or be sacrificed as training outliers,
+        # making every fresh session's first windows false alarms.
+        pairs = [
+            mean_std_window(series[: t + 1], throughput_window)
+            for t in range(throughput_window - 1, series.size)
+        ]
+        if not pairs:
+            continue
+        pairs_arr = np.asarray(pairs)
+        for end in range(k, len(pairs) + 1):
+            samples.append(pairs_arr[end - k : end].ravel())
+    if not samples:
+        raise SafetyError(
+            f"no training samples: sessions too short for k={k} windows"
+        )
+    stacked = np.stack(samples)
+    if max_samples is not None and stacked.shape[0] > max_samples:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        chosen = rng.choice(stacked.shape[0], size=max_samples, replace=False)
+        stacked = stacked[np.sort(chosen)]
+    return stacked
+
+
+class StateNoveltySignal(UncertaintySignal):
+    """Per-step OOD flag from a fitted novelty detector.
+
+    Emits 1.0 when the current window of throughput statistics is an
+    outlier with respect to the training distribution, else 0.0.  During
+    warm-up (before *k* windows have been observed) it emits 0.0 — the
+    paper's system likewise cannot flag before it has a full sample.
+    """
+
+    binary = True
+
+    def __init__(
+        self,
+        detector: NoveltyDetector,
+        bitrates_kbps: np.ndarray,
+        k: int,
+        throughput_window: int = _DEFAULT_THROUGHPUT_WINDOW,
+    ) -> None:
+        if k <= 0:
+            raise SafetyError(f"k must be positive, got {k}")
+        if throughput_window <= 0:
+            raise SafetyError(
+                f"throughput_window must be positive, got {throughput_window}"
+            )
+        self.detector = detector
+        self.bitrates_kbps = np.asarray(bitrates_kbps, dtype=float)
+        self.k = k
+        self.throughput_window = throughput_window
+        self._throughputs: deque[float] = deque(maxlen=max(throughput_window, 1))
+        self._pairs: deque[tuple[float, float]] = deque(maxlen=k)
+
+    def reset(self) -> None:
+        self._throughputs.clear()
+        self._pairs.clear()
+
+    def measure(self, observation: np.ndarray) -> float:
+        view = ObservationView(observation, self.bitrates_kbps)
+        history = view.throughput_history_mbps
+        latest = float(history[-1])
+        if latest > 0:
+            self._throughputs.append(latest)
+        # Warm-up: wait for a full throughput window before producing
+        # [mean, std] pairs, matching the training-sample construction.
+        if len(self._throughputs) < self.throughput_window:
+            return 0.0
+        self._pairs.append(
+            mean_std_window(np.asarray(self._throughputs), self.throughput_window)
+        )
+        if len(self._pairs) < self.k:
+            return 0.0
+        sample = np.asarray(self._pairs).ravel()
+        return 1.0 if self.detector.is_outlier(sample) else 0.0

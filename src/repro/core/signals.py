@@ -1,0 +1,34 @@
+"""The uncertainty-signal interface.
+
+A signal observes the same observation stream as the agent and emits one
+scalar per decision step.  The paper's three signals differ in what they
+look at — the environment state (``U_S``), the policy output (``U_pi``),
+or the value output (``U_V``) — but share this interface, which is what
+lets the controller, the calibration machinery, and the benchmarks treat
+them uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UncertaintySignal"]
+
+
+class UncertaintySignal:
+    """Per-step uncertainty measurement over an observation stream."""
+
+    #: Binary signals (like ``U_S``) emit {0, 1}; continuous signals emit
+    #: non-negative reals.  The thresholding layer picks its rule by this.
+    binary: bool = False
+
+    def reset(self) -> None:
+        """Clear per-session state (rolling windows, histories)."""
+
+    def measure(self, observation: np.ndarray) -> float:
+        """Uncertainty of the agent's next decision given *observation*.
+
+        Called exactly once per decision step, in order; implementations
+        may maintain rolling state across calls within a session.
+        """
+        raise NotImplementedError

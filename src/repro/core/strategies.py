@@ -1,0 +1,132 @@
+"""Alternative thresholding strategies (paper future work, Section 5).
+
+"Natural directions for future research include ... exploring the
+implications for the performance of different thresholding strategies."
+The paper's own rules live in :mod:`repro.core.thresholding` (k-window
+variance + l-consecutive); this module adds two classical alternatives
+behind the same :class:`~repro.core.thresholding.DefaultTrigger` interface:
+
+* :class:`EWMATrigger` — exponential smoothing of the raw signal level
+  against a bar; memory decays geometrically instead of dropping out of a
+  window, so brief spikes are forgiven but sustained elevation fires.
+* :class:`CusumTrigger` — the CUSUM change-point detector: accumulates
+  evidence that the signal's mean has risen above its in-distribution
+  level; provably detects persistent small shifts that per-step rules
+  miss, at the cost of a tunable drift allowance.
+* :class:`HysteresisTrigger` — distinct on/off bars, for revertible
+  controllers: fires above the high bar and only clears below the low
+  bar, preventing flapping near the threshold.
+
+The strategy-ablation benchmark compares all of them under the same
+signal and calibration budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.thresholding import DefaultTrigger
+from repro.errors import SafetyError
+
+__all__ = ["EWMATrigger", "CusumTrigger", "HysteresisTrigger"]
+
+
+class EWMATrigger(DefaultTrigger):
+    """Fire when the exponentially smoothed signal exceeds ``bar``."""
+
+    def __init__(self, bar: float, alpha: float = 0.3) -> None:
+        if bar < 0:
+            raise SafetyError(f"bar must be >= 0, got {bar}")
+        if not 0.0 < alpha <= 1.0:
+            raise SafetyError(f"alpha must be in (0, 1], got {alpha}")
+        self.bar = bar
+        self.alpha = alpha
+        self._level: float | None = None
+
+    def reset(self) -> None:
+        self._level = None
+
+    @property
+    def level(self) -> float:
+        """The current smoothed signal level."""
+        return self._level if self._level is not None else 0.0
+
+    def update(self, signal_value: float) -> bool:
+        if not np.isfinite(signal_value):
+            raise SafetyError(f"non-finite signal value {signal_value}")
+        if self._level is None:
+            self._level = float(signal_value)
+        else:
+            self._level = (
+                self.alpha * float(signal_value)
+                + (1.0 - self.alpha) * self._level
+            )
+        return self._level > self.bar
+
+
+class CusumTrigger(DefaultTrigger):
+    """One-sided CUSUM on the signal stream.
+
+    Maintains ``S_t = max(0, S_{t-1} + (x_t - drift))`` and fires when
+    ``S_t`` exceeds ``threshold``.  ``drift`` should be set a little above
+    the signal's in-distribution mean: in-distribution excursions then
+    bleed off, while a persistent OOD elevation accumulates linearly and
+    must eventually fire.
+    """
+
+    def __init__(self, threshold: float, drift: float) -> None:
+        if threshold <= 0:
+            raise SafetyError(f"threshold must be positive, got {threshold}")
+        if drift < 0:
+            raise SafetyError(f"drift must be >= 0, got {drift}")
+        self.threshold = threshold
+        self.drift = drift
+        self._statistic = 0.0
+
+    def reset(self) -> None:
+        self._statistic = 0.0
+
+    @property
+    def statistic(self) -> float:
+        """The accumulated CUSUM statistic."""
+        return self._statistic
+
+    def update(self, signal_value: float) -> bool:
+        if not np.isfinite(signal_value):
+            raise SafetyError(f"non-finite signal value {signal_value}")
+        self._statistic = max(
+            0.0, self._statistic + float(signal_value) - self.drift
+        )
+        return self._statistic > self.threshold
+
+
+class HysteresisTrigger(DefaultTrigger):
+    """Two-bar rule: fire above ``high``, clear only below ``low``.
+
+    Meaningful for controllers with ``allow_revert=True``: a single bar
+    makes the controller flap when the signal hovers near it; hysteresis
+    requires the signal to genuinely recover before control returns to
+    the learned policy.
+    """
+
+    def __init__(self, high: float, low: float) -> None:
+        if not 0.0 <= low <= high:
+            raise SafetyError(
+                f"need 0 <= low <= high, got (low={low}, high={high})"
+            )
+        self.high = high
+        self.low = low
+        self._active = False
+
+    def reset(self) -> None:
+        self._active = False
+
+    def update(self, signal_value: float) -> bool:
+        if not np.isfinite(signal_value):
+            raise SafetyError(f"non-finite signal value {signal_value}")
+        if self._active:
+            if signal_value < self.low:
+                self._active = False
+        elif signal_value > self.high:
+            self._active = True
+        return self._active

@@ -1,0 +1,103 @@
+"""Defaulting rules: turning a per-step uncertainty signal into a
+switch-to-default decision (Section 2.5 / 3.1).
+
+Two smoothing ideas guard against "premature transitions to the default
+policy because of sporadic or noisy data points":
+
+1. windows of the last *k* signal values — the binary ``U_S`` already
+   works on windowed samples internally; the continuous ``U_pi``/``U_V``
+   use the **variance** of the signal over the last *k* steps,
+2. only defaulting when the condition holds *l* consecutive times.
+
+:class:`ConsecutiveTrigger` implements (2) alone for binary signals;
+:class:`VarianceTrigger` composes (1) and (2) for continuous signals, with
+the variance bar ``alpha`` being the calibrated quantity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import SafetyError
+
+__all__ = ["DefaultTrigger", "ConsecutiveTrigger", "VarianceTrigger"]
+
+
+class DefaultTrigger:
+    """Base trigger: consumes the signal stream, answers "default now?"."""
+
+    def reset(self) -> None:
+        """Clear per-session state."""
+
+    def update(self, signal_value: float) -> bool:
+        """Fold one signal value in; return whether to default at this step."""
+        raise NotImplementedError
+
+
+class ConsecutiveTrigger(DefaultTrigger):
+    """Fire after *l* consecutive uncertain steps (binary signals).
+
+    The paper's ``U_S`` rule: "when samples are classified as OOD for
+    l = 3 consecutive time steps, the system defaults to BB".
+    """
+
+    def __init__(self, l: int = 3) -> None:
+        if l < 1:
+            raise SafetyError(f"l must be >= 1, got {l}")
+        self.l = l
+        self._streak = 0
+
+    def reset(self) -> None:
+        self._streak = 0
+
+    def update(self, signal_value: float) -> bool:
+        if signal_value > 0:
+            self._streak += 1
+        else:
+            self._streak = 0
+        return self._streak >= self.l
+
+
+class VarianceTrigger(DefaultTrigger):
+    """Fire when the k-window variance exceeds ``alpha``, *l* times in a row.
+
+    The paper's rule for ``U_pi``/``U_V``: "the system defaults to BB when
+    the variance of this value across the last k = 5 time steps exceeds a
+    certain threshold alpha for l consecutive times".  ``alpha`` is set by
+    calibration (:mod:`repro.core.calibration`).
+    """
+
+    def __init__(self, alpha: float, k: int = 5, l: int = 3) -> None:
+        if alpha < 0:
+            raise SafetyError(f"alpha must be >= 0, got {alpha}")
+        if k < 2:
+            raise SafetyError(f"k must be >= 2 to define a variance, got {k}")
+        if l < 1:
+            raise SafetyError(f"l must be >= 1, got {l}")
+        self.alpha = alpha
+        self.k = k
+        self.l = l
+        self._window: deque[float] = deque(maxlen=k)
+        self._streak = 0
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._streak = 0
+
+    def window_variance(self) -> float:
+        """Variance of the current window (0 until the window fills)."""
+        if len(self._window) < self.k:
+            return 0.0
+        return float(np.var(np.asarray(self._window)))
+
+    def update(self, signal_value: float) -> bool:
+        if not np.isfinite(signal_value):
+            raise SafetyError(f"non-finite signal value {signal_value}")
+        self._window.append(float(signal_value))
+        if self.window_variance() > self.alpha:
+            self._streak += 1
+        else:
+            self._streak = 0
+        return self._streak >= self.l

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch a single base class.  Subclasses
+exist per subsystem so that tests and applications can distinguish, e.g., a
+malformed trace file from a mis-configured safety controller.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class TraceError(ReproError):
+    """A network trace is malformed or cannot be used."""
+
+
+class VideoError(ReproError):
+    """A video manifest is malformed or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The ABR simulator was driven into an invalid state."""
+
+
+class ModelError(ReproError):
+    """A neural-network model is misconfigured or numerically invalid."""
+
+
+class TrainingError(ReproError):
+    """Reinforcement-learning training failed or diverged."""
+
+
+class NoveltyError(ReproError):
+    """A novelty detector was used before fitting or fit on bad data."""
+
+
+class CalibrationError(ReproError):
+    """Threshold calibration could not reach its target performance."""
+
+
+class SafetyError(ReproError):
+    """The safety controller was configured or driven incorrectly."""
+
+
+class ArtifactError(ReproError):
+    """A cached experiment artifact is missing or corrupt."""

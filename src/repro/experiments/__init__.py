@@ -1,0 +1,59 @@
+"""The experiment harness: regenerate every figure in the paper.
+
+* :mod:`repro.experiments.artifacts` — config-hashed result cache, so
+  figures re-run from cache without retraining.
+* :mod:`repro.experiments.training_runs` — the heavyweight step: for each
+  training distribution, build the safety suite and evaluate every scheme
+  on every test distribution.
+* :mod:`repro.experiments.normalization` — the Random=0 / BB=1 score scale
+  of Figures 3-5.
+* :mod:`repro.experiments.figures` — the data behind Figures 1-5.
+* :mod:`repro.experiments.runtimes` — the Section 3.1 running-time remark.
+* :mod:`repro.experiments.report` — renders EXPERIMENTS.md.
+"""
+
+from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+)
+from repro.experiments.normalization import normalize_matrix, normalized_score
+from repro.experiments.report import render_report, shape_checks
+from repro.experiments.robustness import (
+    RobustnessPoint,
+    capacity_loss_shift,
+    cross_traffic_shift,
+    graded_shift_curve,
+    outage_shift,
+)
+from repro.experiments.runtimes import measure_runtimes
+from repro.experiments.training_runs import (
+    EvaluationMatrix,
+    run_all_distributions,
+    run_training_distribution,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "EvaluationMatrix",
+    "RobustnessPoint",
+    "capacity_loss_shift",
+    "cross_traffic_shift",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "graded_shift_curve",
+    "measure_runtimes",
+    "normalize_matrix",
+    "normalized_score",
+    "outage_shift",
+    "render_report",
+    "run_all_distributions",
+    "run_training_distribution",
+    "shape_checks",
+]

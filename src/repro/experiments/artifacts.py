@@ -1,0 +1,67 @@
+"""Config-hashed caching of experiment results.
+
+Training six safety suites takes minutes; the figures only need the
+resulting QoE numbers.  The cache stores those numbers as plain JSON under
+``artifacts/<config-hash>/``, so re-rendering a figure, re-running a
+benchmark, or regenerating EXPERIMENTS.md never retrains unless the
+configuration changed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.util.serialization import load_json, save_json, stable_hash
+
+__all__ = ["ArtifactCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """``artifacts/`` next to the repository root (or under cwd elsewhere)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / "artifacts"
+    return Path.cwd() / "artifacts"
+
+
+class ArtifactCache:
+    """A tiny JSON key-value store keyed by (config fingerprint, name)."""
+
+    def __init__(
+        self,
+        fingerprint: Mapping[str, Any],
+        root: Path | str | None = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.key = stable_hash(fingerprint)
+        self.directory = self.root / self.key
+        self._fingerprint = dict(fingerprint)
+
+    def path(self, name: str) -> Path:
+        """Path of the JSON artifact called *name*."""
+        return self.directory / f"{name}.json"
+
+    def has(self, name: str) -> bool:
+        """Whether *name* is cached."""
+        return self.path(name).exists()
+
+    def load(self, name: str) -> Any:
+        """Load a cached artifact (raises :class:`ArtifactError` if absent)."""
+        return load_json(self.path(name))
+
+    def store(self, name: str, payload: Any) -> None:
+        """Persist *payload* under *name*, recording the fingerprint once."""
+        fingerprint_path = self.directory / "config.json"
+        if not fingerprint_path.exists():
+            save_json(fingerprint_path, self._fingerprint)
+        save_json(self.path(name), payload)
+
+    def get_or_compute(self, name: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        if self.has(name):
+            return self.load(name)
+        value = compute()
+        self.store(name, value)
+        return value

@@ -1,0 +1,97 @@
+"""Detection-quality metrics for uncertainty signals.
+
+QoE measures the end-to-end effect of a safety scheme; these metrics
+evaluate the *detector* itself, the way the novelty-detection literature
+the paper builds on would: per-session true/false positive rates and the
+detection delay (how many chunks pass between the start of an OOD session
+and the trigger firing).  Low delay matters — every chunk decided by an
+unreliable policy can cost seconds of rebuffering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.abr.session import run_session
+from repro.core.signals import UncertaintySignal
+from repro.core.thresholding import DefaultTrigger
+from repro.errors import ConfigError
+from repro.mdp.interfaces import Policy
+from repro.traces.trace import Trace
+from repro.video.manifest import VideoManifest
+
+__all__ = ["DetectionReport", "session_trigger_step", "signal_detection_report"]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Session-level detection quality of one (signal, trigger) pair."""
+
+    true_positive_rate: float
+    false_positive_rate: float
+    mean_detection_delay_chunks: float
+    sessions_in: int
+    sessions_ood: int
+
+
+def session_trigger_step(
+    signal: UncertaintySignal,
+    trigger: DefaultTrigger,
+    observations: np.ndarray,
+) -> int | None:
+    """First decision index at which the trigger fires, or ``None``.
+
+    Resets both the signal and the trigger before replaying the session's
+    observation stream.
+    """
+    signal.reset()
+    trigger.reset()
+    for step, observation in enumerate(observations):
+        if trigger.update(signal.measure(observation)):
+            return step
+    return None
+
+
+def signal_detection_report(
+    signal: UncertaintySignal,
+    trigger: DefaultTrigger,
+    policy: Policy,
+    manifest: VideoManifest,
+    in_distribution_traces: Sequence[Trace],
+    ood_traces: Sequence[Trace],
+    seed: int = 0,
+) -> DetectionReport:
+    """Replay sessions under *policy* and score the detector.
+
+    A session counts as *flagged* when the trigger fires at any decision.
+    TPR is the flagged fraction of OOD sessions; FPR the flagged fraction
+    of in-distribution sessions; the delay is averaged over flagged OOD
+    sessions only (unflagged sessions have no delay to report).
+    """
+    if not in_distribution_traces or not ood_traces:
+        raise ConfigError("need at least one trace on each side")
+    false_positives = 0
+    for trace in in_distribution_traces:
+        session = run_session(policy, manifest, trace, seed=seed)
+        if session_trigger_step(signal, trigger, session.observation_list) is not None:
+            false_positives += 1
+    true_positives = 0
+    delays = []
+    for trace in ood_traces:
+        session = run_session(policy, manifest, trace, seed=seed)
+        step = session_trigger_step(signal, trigger, session.observation_list)
+        if step is not None:
+            true_positives += 1
+            delays.append(step)
+    return DetectionReport(
+        true_positive_rate=true_positives / len(ood_traces),
+        false_positive_rate=false_positives / len(in_distribution_traces),
+        mean_detection_delay_chunks=(
+            float(np.mean(delays)) if delays else float("nan")
+        ),
+        sessions_in=len(in_distribution_traces),
+        sessions_ood=len(ood_traces),
+    )

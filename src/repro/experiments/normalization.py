@@ -1,0 +1,48 @@
+"""The paper's score normalization (Figures 3-5).
+
+"A performance value of 0 corresponds to Random's performance (on the
+relevant dataset), whereas a performance of 1 corresponds to the gap
+between BB's performance and Random's performance."  Normalization is
+therefore *per test dataset*: each test distribution has its own Random
+and BB anchors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.experiments.training_runs import EvaluationMatrix
+from repro.util.stats import normalize_scores
+
+__all__ = ["normalized_score", "normalize_matrix"]
+
+
+def normalized_score(
+    matrix: EvaluationMatrix, train: str, test: str, scheme: str
+) -> float:
+    """One scheme's normalized score for a (train, test) pair."""
+    random_qoe = matrix.qoe(train, test, "Random")
+    bb_qoe = matrix.qoe(train, test, "BB")
+    raw = matrix.qoe(train, test, scheme)
+    return float(normalize_scores([raw], random_qoe, bb_qoe)[0])
+
+
+def normalize_matrix(
+    matrix: EvaluationMatrix,
+    schemes: tuple[str, ...] = ("Pensieve", "ND", "A-ensemble", "V-ensemble"),
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Normalized scores for every (train, test, scheme) combination.
+
+    Returns ``result[train][test][scheme]``; BB is 1 and Random is 0 by
+    construction on every test dataset.
+    """
+    if not schemes:
+        raise ConfigError("at least one scheme required")
+    result: dict[str, dict[str, dict[str, float]]] = {}
+    for train in matrix.datasets:
+        result[train] = {}
+        for test in matrix.datasets:
+            result[train][test] = {
+                scheme: normalized_score(matrix, train, test, scheme)
+                for scheme in schemes
+            }
+    return result

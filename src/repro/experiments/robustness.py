@@ -1,0 +1,122 @@
+"""Graded-shift robustness curves.
+
+The paper's evaluation jumps between *whole distributions* (train on one
+dataset, test on another).  Deployments more often drift gradually, so
+this module measures the safety machinery against *graded* shifts built
+with the trace transforms: how much capacity loss (or cross traffic, or
+outage load) does it take before the controller starts defaulting — and
+does the defaulting decision track where the learned policy actually
+starts losing to the default?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.abr.session import run_session
+from repro.errors import ConfigError
+from repro.mdp.interfaces import Policy
+from repro.traces.trace import Trace
+from repro.traces.transforms import add_cross_traffic, inject_outages, scale
+from repro.video.manifest import VideoManifest
+
+__all__ = [
+    "RobustnessPoint",
+    "graded_shift_curve",
+    "capacity_loss_shift",
+    "cross_traffic_shift",
+    "outage_shift",
+]
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Measurements at one shift magnitude."""
+
+    magnitude: float
+    learned_qoe: float
+    controlled_qoe: float
+    default_qoe: float
+    default_fraction: float
+
+
+def capacity_loss_shift(trace: Trace, magnitude: float) -> Trace:
+    """Shift family: lose ``magnitude`` fraction of link capacity."""
+    if not 0.0 <= magnitude < 1.0:
+        raise ConfigError(f"capacity loss must be in [0, 1), got {magnitude}")
+    if magnitude == 0.0:
+        return trace
+    return scale(trace, 1.0 - magnitude)
+
+
+def cross_traffic_shift(trace: Trace, magnitude: float) -> Trace:
+    """Shift family: a competing flow of ``magnitude`` Mbit/s appears."""
+    if magnitude < 0:
+        raise ConfigError(f"cross traffic must be >= 0, got {magnitude}")
+    if magnitude == 0.0:
+        return trace
+    return add_cross_traffic(trace, mean_mbps=magnitude, seed=0)
+
+
+def outage_shift(trace: Trace, magnitude: float) -> Trace:
+    """Shift family: ``magnitude`` fraction of time spent in outages."""
+    if not 0.0 <= magnitude < 1.0:
+        raise ConfigError(f"outage fraction must be in [0, 1), got {magnitude}")
+    if magnitude == 0.0:
+        return trace
+    period = 40.0
+    return inject_outages(
+        trace,
+        outage_duration_s=magnitude * period,
+        period_s=period,
+        seed=0,
+    )
+
+
+def graded_shift_curve(
+    learned: Policy,
+    controller: Policy,
+    default: Policy,
+    manifest: VideoManifest,
+    base_traces: Sequence[Trace],
+    shift: Callable[[Trace, float], Trace],
+    magnitudes: Sequence[float],
+    seed: int = 0,
+) -> list[RobustnessPoint]:
+    """Measure all three policies across a family of graded shifts.
+
+    *controller* is expected to be a safety controller wrapping *learned*
+    with *default*; its per-session default fraction is averaged over the
+    traces at each magnitude.
+    """
+    if not base_traces:
+        raise ConfigError("no base traces supplied")
+    if not magnitudes:
+        raise ConfigError("no shift magnitudes supplied")
+    points = []
+    for magnitude in magnitudes:
+        shifted = [shift(trace, float(magnitude)) for trace in base_traces]
+        learned_qoe = np.mean(
+            [run_session(learned, manifest, t, seed=seed).qoe for t in shifted]
+        )
+        default_qoe = np.mean(
+            [run_session(default, manifest, t, seed=seed).qoe for t in shifted]
+        )
+        controlled = [
+            run_session(controller, manifest, t, seed=seed) for t in shifted
+        ]
+        points.append(
+            RobustnessPoint(
+                magnitude=float(magnitude),
+                learned_qoe=float(learned_qoe),
+                controlled_qoe=float(np.mean([r.qoe for r in controlled])),
+                default_qoe=float(default_qoe),
+                default_fraction=float(
+                    np.mean([r.default_fraction for r in controlled])
+                ),
+            )
+        )
+    return points

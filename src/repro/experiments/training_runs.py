@@ -1,0 +1,238 @@
+"""The heavyweight experiment step: train per-distribution suites and
+evaluate every scheme on every test distribution.
+
+For each training dataset the paper's offline phase runs once
+(:func:`repro.core.osap.build_safety_suite`), and the deployed schemes —
+vanilla Pensieve, BB, Random, ND, A-ensemble, V-ensemble — are then
+evaluated on the *test* split of all six datasets.  The result is the
+6x6x6 (train x test x scheme) QoE matrix that every figure in the paper is
+a projection of.
+
+Results are cached as JSON keyed by the experiment configuration; the
+models themselves are not persisted (they retrain deterministically from
+the config seed if a different projection is ever needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.abr.session import run_session
+from repro.config import ExperimentConfig
+from repro.core.osap import build_safety_suite
+from repro.errors import ArtifactError, ConfigError
+from repro.experiments.artifacts import ArtifactCache
+from repro.policies.buffer_based import BufferBasedPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.traces.dataset import Dataset, DatasetSplit, make_dataset
+from repro.video.envivio import envivio_dash3_manifest
+from repro.video.manifest import VideoManifest
+
+__all__ = [
+    "SCHEMES",
+    "BASELINES",
+    "EvaluationMatrix",
+    "run_training_distribution",
+    "run_all_distributions",
+]
+
+#: Schemes whose behaviour depends on the training distribution.
+SCHEMES = ("Pensieve", "ND", "A-ensemble", "V-ensemble")
+#: Training-free baselines, evaluated once per test distribution.
+BASELINES = ("BB", "Random")
+
+
+@dataclass
+class EvaluationMatrix:
+    """The (train, test, scheme) -> mean QoE table plus baselines.
+
+    ``entries[train][test][scheme]`` holds ``{"qoe", "default_fraction"}``;
+    ``baselines[test][scheme]`` holds ``{"qoe"}``.  ``metadata[train]``
+    records calibration outcomes for inspection.
+    """
+
+    datasets: tuple[str, ...]
+    entries: dict = field(default_factory=dict)
+    baselines: dict = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    def qoe(self, train: str, test: str, scheme: str) -> float:
+        """Mean QoE of *scheme* trained on *train*, tested on *test*."""
+        if scheme in BASELINES:
+            return float(self.baselines[test][scheme]["qoe"])
+        return float(self.entries[train][test][scheme]["qoe"])
+
+    def default_fraction(self, train: str, test: str, scheme: str) -> float:
+        """Mean fraction of decisions delegated to the default policy."""
+        if scheme in BASELINES:
+            return 0.0
+        return float(self.entries[train][test][scheme]["default_fraction"])
+
+    def ood_pairs(self) -> list[tuple[str, str]]:
+        """The train/test combinations with different distributions
+        (30 pairs for the paper's six datasets)."""
+        return [
+            (train, test)
+            for train in self.datasets
+            for test in self.datasets
+            if train != test
+        ]
+
+    def to_payload(self) -> dict:
+        """JSON-able representation."""
+        return {
+            "datasets": list(self.datasets),
+            "entries": self.entries,
+            "baselines": self.baselines,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EvaluationMatrix":
+        """Inverse of :meth:`to_payload`."""
+        try:
+            return cls(
+                datasets=tuple(payload["datasets"]),
+                entries=payload["entries"],
+                baselines=payload["baselines"],
+                metadata=payload.get("metadata", {}),
+            )
+        except KeyError as exc:
+            raise ArtifactError(f"malformed evaluation matrix: missing {exc}") from exc
+
+
+def _build_datasets(config: ExperimentConfig) -> dict[str, Dataset]:
+    return {
+        name: make_dataset(
+            name,
+            num_traces=config.num_traces,
+            duration_s=config.trace_duration_s,
+            seed=config.dataset_seed,
+        )
+        for name in config.datasets
+    }
+
+
+def _manifest(config: ExperimentConfig) -> VideoManifest:
+    return envivio_dash3_manifest(repeats=config.video_repeats)
+
+
+def _mean_qoe_and_default(
+    policy,
+    manifest: VideoManifest,
+    traces: Iterable,
+    seeds: Iterable[int],
+) -> tuple[float, float]:
+    qoes = []
+    fractions = []
+    for trace in traces:
+        for seed in seeds:
+            result = run_session(policy, manifest, trace, seed=seed)
+            qoes.append(result.qoe)
+            fractions.append(result.default_fraction)
+    return float(np.mean(qoes)), float(np.mean(fractions))
+
+
+def compute_baselines(
+    config: ExperimentConfig,
+    cache: ArtifactCache | None = None,
+) -> dict:
+    """BB and Random mean QoE on every test distribution (train-free)."""
+
+    def compute() -> dict:
+        manifest = _manifest(config)
+        datasets = _build_datasets(config)
+        bb = BufferBasedPolicy(manifest.bitrates_kbps)
+        random_policy = RandomPolicy(manifest.bitrates_kbps)
+        random_seeds = list(range(config.eval_seed, config.eval_seed + config.random_eval_repeats))
+        baselines: dict = {}
+        for name, dataset in datasets.items():
+            split = dataset.split()
+            bb_qoe, _ = _mean_qoe_and_default(
+                bb, manifest, split.test, [config.eval_seed]
+            )
+            random_qoe, _ = _mean_qoe_and_default(
+                random_policy, manifest, split.test, random_seeds
+            )
+            baselines[name] = {
+                "BB": {"qoe": bb_qoe},
+                "Random": {"qoe": random_qoe},
+            }
+        return baselines
+
+    if cache is None:
+        return compute()
+    return cache.get_or_compute("baselines", compute)
+
+
+def run_training_distribution(
+    config: ExperimentConfig,
+    train_name: str,
+    cache: ArtifactCache | None = None,
+) -> dict:
+    """Offline phase + full evaluation for one training distribution.
+
+    Returns ``{"evaluations": {test -> scheme -> stats}, "metadata": ...}``.
+    """
+    if train_name not in config.datasets:
+        raise ConfigError(
+            f"{train_name!r} is not in this configuration's datasets"
+        )
+
+    def compute() -> dict:
+        manifest = _manifest(config)
+        datasets = _build_datasets(config)
+        train_split: DatasetSplit = datasets[train_name].split()
+        bb = BufferBasedPolicy(manifest.bitrates_kbps)
+        suite = build_safety_suite(
+            manifest,
+            train_split,
+            default_policy=bb,
+            is_synthetic=datasets[train_name].is_synthetic,
+            training_config=config.training,
+            safety_config=config.safety,
+            value_epochs=config.value_epochs,
+            seed=config.suite_seed,
+        )
+        policies = {"Pensieve": suite.agent, **suite.controllers()}
+        evaluations: dict = {}
+        for test_name, dataset in datasets.items():
+            split = dataset.split()
+            evaluations[test_name] = {}
+            for scheme, policy in policies.items():
+                qoe, fraction = _mean_qoe_and_default(
+                    policy, manifest, split.test, [config.eval_seed]
+                )
+                evaluations[test_name][scheme] = {
+                    "qoe": qoe,
+                    "default_fraction": fraction,
+                }
+        metadata = {
+            "nd_qoe_in_distribution": suite.nd_qoe_in_distribution,
+            "alpha_a_ensemble": suite.calibration_a.alpha,
+            "alpha_v_ensemble": suite.calibration_v.alpha,
+            "calibration_gap_a": suite.calibration_a.gap,
+            "calibration_gap_v": suite.calibration_v.gap,
+        }
+        return {"evaluations": evaluations, "metadata": metadata}
+
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(f"train_{train_name}", compute)
+
+
+def run_all_distributions(
+    config: ExperimentConfig,
+    cache: ArtifactCache | None = None,
+) -> EvaluationMatrix:
+    """The full 6x6x6 evaluation matrix behind every figure."""
+    matrix = EvaluationMatrix(datasets=tuple(config.datasets))
+    matrix.baselines = compute_baselines(config, cache)
+    for train_name in config.datasets:
+        run = run_training_distribution(config, train_name, cache)
+        matrix.entries[train_name] = run["evaluations"]
+        matrix.metadata[train_name] = run["metadata"]
+    return matrix

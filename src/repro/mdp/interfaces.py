@@ -1,0 +1,82 @@
+"""Protocols shared by every sequential-decision component in the library.
+
+The paper's formalism (Section 2.1): at each discrete time step the agent
+observes a state, picks an action from a finite set ``A``, the environment
+transitions and emits a reward.  A *policy* maps the observation history to
+a distribution over actions; a *value function* maps a state to a prediction
+of the discounted return.
+
+Both the ABR simulator and the toy GridWorld implement
+:class:`Environment`; Pensieve, Buffer-Based, and Random implement
+:class:`Policy`; the critic networks implement :class:`ValueFunction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["StepResult", "Environment", "Policy", "ValueFunction"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one environment step.
+
+    Attributes:
+        observation: the next observation vector/tensor.
+        reward: scalar reward for the transition.
+        done: whether the episode terminated.
+        info: auxiliary diagnostics (never needed for decision making).
+    """
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    info: dict
+
+
+@runtime_checkable
+class Environment(Protocol):
+    """A sequential environment with a finite action set."""
+
+    @property
+    def num_actions(self) -> int:
+        """Size of the action set ``A``."""
+        ...
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+        ...
+
+    def step(self, action: int) -> StepResult:
+        """Apply *action* and advance one time step."""
+        ...
+
+
+@runtime_checkable
+class Policy(Protocol):
+    """A decision-making strategy: observation -> distribution over actions."""
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """Return a probability vector over the action set."""
+        ...
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        """Sample (or select) an action for *observation*."""
+        ...
+
+    def reset(self) -> None:
+        """Clear any per-episode internal state."""
+        ...
+
+
+@runtime_checkable
+class ValueFunction(Protocol):
+    """A state-value estimator ``V(s)``."""
+
+    def value(self, observation: np.ndarray) -> float:
+        """Predicted discounted return from *observation*."""
+        ...

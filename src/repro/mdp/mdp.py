@@ -1,0 +1,122 @@
+"""Explicit tabular MDPs with classical dynamic-programming solvers.
+
+The paper's formal model (Section 2.1) is an MDP ``(S, A, P, r)`` with the
+gamma-discounted objective.  This module gives that model a concrete,
+testable form: dense transition tensors, value iteration, and exact policy
+evaluation.  The ABR case study never enumerates its state space, but the
+tabular machinery is what lets the test suite check the *definitions* —
+e.g. that a learned value estimate approximates the true ``V^pi`` computed
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["TabularMDP", "value_iteration", "policy_evaluation"]
+
+
+@dataclass
+class TabularMDP:
+    """A finite MDP with dense transitions and rewards.
+
+    Attributes:
+        transitions: array of shape ``(S, A, S)``; ``transitions[s, a, s']``
+            is ``P(s' | s, a)``.  Each ``(s, a)`` row must sum to 1.
+        rewards: array of shape ``(S, A)``; ``rewards[s, a]`` is ``r(s, a)``.
+        gamma: discount factor in ``[0, 1)``.
+    """
+
+    transitions: np.ndarray
+    rewards: np.ndarray
+    gamma: float = 0.99
+    _num_states: int = field(init=False, repr=False)
+    _num_actions: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.transitions = np.asarray(self.transitions, dtype=float)
+        self.rewards = np.asarray(self.rewards, dtype=float)
+        if self.transitions.ndim != 3:
+            raise ConfigError(
+                f"transitions must be (S, A, S), got shape {self.transitions.shape}"
+            )
+        num_states, num_actions, num_next = self.transitions.shape
+        if num_next != num_states:
+            raise ConfigError(
+                "transitions last axis must equal the state count "
+                f"({num_next} != {num_states})"
+            )
+        if self.rewards.shape != (num_states, num_actions):
+            raise ConfigError(
+                f"rewards must be (S, A) = ({num_states}, {num_actions}), "
+                f"got {self.rewards.shape}"
+            )
+        if not 0.0 <= self.gamma < 1.0:
+            raise ConfigError(f"gamma must be in [0, 1), got {self.gamma}")
+        row_sums = self.transitions.sum(axis=2)
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            raise ConfigError("every transitions[s, a, :] must sum to 1")
+        if np.any(self.transitions < -1e-12):
+            raise ConfigError("transition probabilities must be non-negative")
+        self._num_states = num_states
+        self._num_actions = num_actions
+
+    @property
+    def num_states(self) -> int:
+        """Size of the state set ``S``."""
+        return self._num_states
+
+    @property
+    def num_actions(self) -> int:
+        """Size of the action set ``A``."""
+        return self._num_actions
+
+
+def value_iteration(
+    mdp: TabularMDP,
+    tolerance: float = 1e-10,
+    max_iterations: int = 100_000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve for the optimal value function and a greedy optimal policy.
+
+    Returns ``(values, policy)`` where *values* has shape ``(S,)`` and
+    *policy* is a deterministic action per state, shape ``(S,)``.
+    """
+    values = np.zeros(mdp.num_states)
+    for _ in range(max_iterations):
+        q_values = mdp.rewards + mdp.gamma * mdp.transitions @ values
+        new_values = q_values.max(axis=1)
+        if np.max(np.abs(new_values - values)) < tolerance:
+            values = new_values
+            break
+        values = new_values
+    q_values = mdp.rewards + mdp.gamma * mdp.transitions @ values
+    return values, q_values.argmax(axis=1)
+
+
+def policy_evaluation(mdp: TabularMDP, policy: np.ndarray) -> np.ndarray:
+    """Exact ``V^pi`` for a (possibly stochastic) policy.
+
+    *policy* is either a deterministic action per state (shape ``(S,)``,
+    integer) or a stochastic policy (shape ``(S, A)``, rows summing to 1).
+    Solves the linear system ``(I - gamma * P_pi) v = r_pi`` exactly.
+    """
+    policy = np.asarray(policy)
+    if policy.ndim == 1:
+        matrix = np.zeros((mdp.num_states, mdp.num_actions))
+        matrix[np.arange(mdp.num_states), policy.astype(int)] = 1.0
+        policy = matrix
+    if policy.shape != (mdp.num_states, mdp.num_actions):
+        raise ConfigError(
+            f"policy must be (S,) or (S, A), got shape {policy.shape}"
+        )
+    if not np.allclose(policy.sum(axis=1), 1.0, atol=1e-8):
+        raise ConfigError("stochastic policy rows must sum to 1")
+    transition_pi = np.einsum("sa,sat->st", policy, mdp.transitions)
+    reward_pi = (policy * mdp.rewards).sum(axis=1)
+    identity = np.eye(mdp.num_states)
+    return np.linalg.solve(identity - mdp.gamma * transition_pi, reward_pi)

@@ -1,0 +1,134 @@
+"""Tabular Q-learning for discrete-observation environments.
+
+The GridWorld OSAP experiments need a *learned* policy whose training
+distribution is well defined; tabular Q-learning is the smallest honest
+learner for that.  Observations are discretized through a caller-supplied
+state indexer (GridWorld positions map naturally), and the learned greedy
+policy implements the shared :class:`~repro.mdp.interfaces.Policy`
+protocol, so the safety controller can wrap it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.mdp.interfaces import Environment
+from repro.util.rng import rng_from_seed
+
+__all__ = ["QLearningAgent", "train_q_learning", "grid_state_indexer"]
+
+
+def grid_state_indexer(size: int) -> Callable[[np.ndarray], int]:
+    """Map GridWorld observations (normalized row/col) to cell indices.
+
+    Observation noise is handled by rounding to the nearest cell.
+    """
+    if size < 2:
+        raise TrainingError(f"grid size must be >= 2, got {size}")
+
+    def index(observation: np.ndarray) -> int:
+        scaled = np.clip(np.round(np.asarray(observation) * (size - 1)), 0, size - 1)
+        return int(scaled[0]) * size + int(scaled[1])
+
+    return index
+
+
+class QLearningAgent:
+    """A greedy policy over a learned tabular Q-function."""
+
+    def __init__(
+        self,
+        q_table: np.ndarray,
+        state_indexer: Callable[[np.ndarray], int],
+        temperature: float = 0.0,
+    ) -> None:
+        q_table = np.asarray(q_table, dtype=float)
+        if q_table.ndim != 2:
+            raise TrainingError(f"Q-table must be 2-D, got shape {q_table.shape}")
+        if temperature < 0:
+            raise TrainingError(f"temperature must be >= 0, got {temperature}")
+        self.q_table = q_table
+        self.state_indexer = state_indexer
+        self.temperature = temperature
+
+    @property
+    def num_actions(self) -> int:
+        return int(self.q_table.shape[1])
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """One-hot greedy distribution (softmax when temperature > 0)."""
+        values = self.q_table[self.state_indexer(observation)]
+        if self.temperature == 0.0:
+            probabilities = np.zeros(self.num_actions)
+            probabilities[int(np.argmax(values))] = 1.0
+            return probabilities
+        shifted = (values - values.max()) / self.temperature
+        exp = np.exp(shifted)
+        return exp / exp.sum()
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        """Greedy action (or a softmax sample when temperature > 0)."""
+        probabilities = self.action_probabilities(observation)
+        if self.temperature == 0.0:
+            return int(np.argmax(probabilities))
+        return int(rng.choice(self.num_actions, p=probabilities))
+
+    def reset(self) -> None:
+        """Stateless between episodes."""
+
+    def value(self, observation: np.ndarray) -> float:
+        """The greedy state value ``max_a Q(s, a)`` (for ``U_V``-style use)."""
+        return float(self.q_table[self.state_indexer(observation)].max())
+
+
+def train_q_learning(
+    environment: Environment,
+    state_indexer: Callable[[np.ndarray], int],
+    num_states: int,
+    episodes: int = 500,
+    learning_rate: float = 0.2,
+    gamma: float = 0.97,
+    epsilon_start: float = 1.0,
+    epsilon_end: float = 0.05,
+    max_steps: int = 500,
+    seed: int | np.random.Generator | None = 0,
+) -> QLearningAgent:
+    """Standard epsilon-greedy Q-learning; returns the greedy agent."""
+    if episodes < 1:
+        raise TrainingError(f"episodes must be >= 1, got {episodes}")
+    if not 0.0 < learning_rate <= 1.0:
+        raise TrainingError(f"learning_rate must be in (0, 1], got {learning_rate}")
+    if not 0.0 <= gamma < 1.0:
+        raise TrainingError(f"gamma must be in [0, 1), got {gamma}")
+    if not 0.0 <= epsilon_end <= epsilon_start <= 1.0:
+        raise TrainingError(
+            f"need 0 <= epsilon_end <= epsilon_start <= 1, got "
+            f"({epsilon_start}, {epsilon_end})"
+        )
+    rng = rng_from_seed(seed)
+    q_table = np.zeros((num_states, environment.num_actions))
+    for episode in range(episodes):
+        fraction = episode / max(episodes - 1, 1)
+        epsilon = epsilon_start + fraction * (epsilon_end - epsilon_start)
+        observation = environment.reset()
+        state = state_indexer(observation)
+        for _ in range(max_steps):
+            if rng.random() < epsilon:
+                action = int(rng.integers(environment.num_actions))
+            else:
+                action = int(np.argmax(q_table[state]))
+            result = environment.step(action)
+            next_state = state_indexer(result.observation)
+            target = result.reward
+            if not result.done:
+                target += gamma * q_table[next_state].max()
+            q_table[state, action] += learning_rate * (
+                target - q_table[state, action]
+            )
+            state = next_state
+            if result.done:
+                break
+    return QLearningAgent(q_table, state_indexer)

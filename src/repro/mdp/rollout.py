@@ -1,0 +1,115 @@
+"""Trajectory collection and return computation.
+
+A *trajectory* is the observation history ``h_t = s_0, a_0, ..., s_t`` of
+the paper, augmented with rewards; the A2C trainer, the value-function
+ensembles, and the evaluation harness all consume trajectories produced by
+:func:`rollout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mdp.interfaces import Environment, Policy
+
+__all__ = ["Transition", "Trajectory", "rollout", "discounted_returns"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One ``(s, a, r, s', done)`` tuple, with the action distribution used."""
+
+    observation: np.ndarray
+    action: int
+    reward: float
+    next_observation: np.ndarray
+    done: bool
+    action_probabilities: np.ndarray
+    info: dict = field(default_factory=dict)
+
+
+@dataclass
+class Trajectory:
+    """An episode (or fragment) of agent-environment interaction."""
+
+    transitions: list[Transition] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def observations(self) -> np.ndarray:
+        """All visited observations stacked into a ``(T, ...)`` array."""
+        return np.stack([t.observation for t in self.transitions])
+
+    @property
+    def actions(self) -> np.ndarray:
+        """Actions taken, shape ``(T,)``."""
+        return np.array([t.action for t in self.transitions], dtype=int)
+
+    @property
+    def rewards(self) -> np.ndarray:
+        """Rewards received, shape ``(T,)``."""
+        return np.array([t.reward for t in self.transitions], dtype=float)
+
+    @property
+    def total_reward(self) -> float:
+        """Undiscounted episode return."""
+        return float(self.rewards.sum())
+
+
+def rollout(
+    environment: Environment,
+    policy: Policy,
+    rng: np.random.Generator,
+    max_steps: int = 10_000,
+) -> Trajectory:
+    """Run *policy* in *environment* until termination or *max_steps*."""
+    if max_steps <= 0:
+        raise ValueError(f"max_steps must be positive, got {max_steps}")
+    policy.reset()
+    observation = environment.reset()
+    trajectory = Trajectory()
+    for _ in range(max_steps):
+        probabilities = policy.action_probabilities(observation)
+        action = policy.act(observation, rng)
+        result = environment.step(action)
+        trajectory.transitions.append(
+            Transition(
+                observation=observation,
+                action=action,
+                reward=result.reward,
+                next_observation=result.observation,
+                done=result.done,
+                action_probabilities=probabilities,
+                info=result.info,
+            )
+        )
+        observation = result.observation
+        if result.done:
+            break
+    return trajectory
+
+
+def discounted_returns(
+    rewards: np.ndarray,
+    gamma: float,
+    bootstrap_value: float = 0.0,
+) -> np.ndarray:
+    """Discounted returns ``G_t = r_t + gamma * G_{t+1}`` for each step.
+
+    *bootstrap_value* seeds the recursion past the fragment's end, i.e. the
+    critic's estimate ``V(s_T)`` when the fragment was truncated rather than
+    terminated.
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+    rewards = np.asarray(rewards, dtype=float)
+    returns = np.zeros_like(rewards)
+    running = float(bootstrap_value)
+    for index in range(rewards.size - 1, -1, -1):
+        running = rewards[index] + gamma * running
+        returns[index] = running
+    return returns

@@ -1,0 +1,45 @@
+"""Numerical gradient checking.
+
+Used by the test suite to verify every layer's analytic backward pass
+against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["numerical_gradient", "relative_error"]
+
+
+def numerical_gradient(
+    func: Callable[[], float],
+    array: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of the scalar ``func()`` w.r.t. *array*.
+
+    *func* must recompute the scalar from current array contents each call;
+    *array* is perturbed in place and restored.
+    """
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = func()
+        flat[index] = original - epsilon
+        minus = func()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def relative_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Max elementwise relative error, with an absolute floor for tiny values."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    denom = np.maximum(np.abs(a) + np.abs(b), 1e-8)
+    return float(np.max(np.abs(a - b) / denom))

@@ -1,0 +1,54 @@
+"""Weight initializers.
+
+The paper's ensembles differ *only* in network initialization ("the only
+difference in the training process is the initialization of the neural
+network variables"), so initializers take an explicit RNG: the same seed
+reproduces the same member, different seeds give independent members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "normal", "zeros"]
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to tanh/linear layers."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization, suited to ReLU layers."""
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def normal(
+    shape: tuple[int, ...], rng: np.random.Generator, scale: float = 0.01
+) -> np.ndarray:
+    """Plain scaled-normal initialization."""
+    return rng.normal(0.0, scale, size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (biases). The RNG argument keeps a uniform
+    initializer signature."""
+    del rng
+    return np.zeros(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in / fan-out for dense ``(in, out)`` and conv ``(out, in, k)``."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 3:
+        out_channels, in_channels, kernel = shape
+        return in_channels * kernel, out_channels * kernel
+    raise ValueError(f"unsupported weight shape {shape}")

@@ -1,0 +1,230 @@
+"""Layers with explicit forward/backward passes.
+
+Each layer caches whatever its backward pass needs during ``forward`` and
+accumulates parameter gradients into ``.grads`` during ``backward``.  Calling
+``zero_grads`` between optimizer steps resets the accumulators; gradients from
+multiple backward passes otherwise sum, which is exactly what the A2C trainer
+wants when it combines policy and entropy losses.
+
+Shapes are batch-first: :class:`Dense` takes ``(batch, features)``,
+:class:`Conv1D` takes ``(batch, channels, length)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.initializers import glorot_uniform, zeros
+
+__all__ = ["Layer", "Dense", "ReLU", "LeakyReLU", "Tanh", "Conv1D", "Flatten"]
+
+
+class Layer:
+    """Base class: a differentiable function with (possibly zero) parameters."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output, caching what backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Given d(loss)/d(output), accumulate parameter gradients and
+        return d(loss)/d(input)."""
+        raise NotImplementedError
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (possibly empty)."""
+        return []
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        """Gradient accumulators aligned with :attr:`params`."""
+        return []
+
+    def zero_grads(self) -> None:
+        """Reset gradient accumulators to zero."""
+        for grad in self.grads:
+            grad[...] = 0.0
+
+
+class Dense(Layer):
+    """Affine layer ``y = x @ W + b`` with ``W`` of shape ``(in, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        initializer=glorot_uniform,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ModelError(
+                f"Dense dimensions must be positive, got ({in_features}, {out_features})"
+            )
+        self.weight = initializer((in_features, out_features), rng)
+        self.bias = zeros((out_features,), rng)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.weight.shape[0]:
+            raise ModelError(
+                f"Dense expected (batch, {self.weight.shape[0]}), got {x.shape}"
+            )
+        self._x = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ModelError("backward called before forward")
+        self.grad_weight += self._x.T @ grad_out
+        self.grad_bias += grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ModelError("backward called before forward")
+        return grad_out * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky rectifier; keeps a small gradient on the negative side."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        if negative_slope < 0:
+            raise ModelError(f"negative_slope must be >= 0, got {negative_slope}")
+        self.negative_slope = negative_slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ModelError("backward called before forward")
+        return np.where(self._mask, grad_out, self.negative_slope * grad_out)
+
+
+class Tanh(Layer):
+    """Elementwise hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise ModelError("backward called before forward")
+        return grad_out * (1.0 - self._y**2)
+
+
+class Conv1D(Layer):
+    """Valid 1-D convolution over ``(batch, channels, length)`` inputs.
+
+    Pensieve applies 1-D convolutions over its throughput / download-time /
+    next-chunk-size history vectors; this is the same operation with stride 1
+    and no padding, so the output length is ``length - kernel_size + 1``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        initializer=glorot_uniform,
+    ) -> None:
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ModelError("Conv1D dimensions must be positive")
+        self.kernel_size = kernel_size
+        self.weight = initializer((out_channels, in_channels, kernel_size), rng)
+        self.bias = zeros((out_channels,), rng)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[1] != self.weight.shape[1]:
+            raise ModelError(
+                f"Conv1D expected (batch, {self.weight.shape[1]}, length), got {x.shape}"
+            )
+        if x.shape[2] < self.kernel_size:
+            raise ModelError(
+                f"input length {x.shape[2]} shorter than kernel {self.kernel_size}"
+            )
+        self._x = x
+        out_length = x.shape[2] - self.kernel_size + 1
+        # (batch, out_channels, out_length) via one einsum per kernel offset.
+        out = np.zeros((x.shape[0], self.weight.shape[0], out_length))
+        for offset in range(self.kernel_size):
+            segment = x[:, :, offset : offset + out_length]
+            out += np.einsum("bcl,oc->bol", segment, self.weight[:, :, offset])
+        return out + self.bias[None, :, None]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ModelError("backward called before forward")
+        x = self._x
+        out_length = grad_out.shape[2]
+        grad_x = np.zeros_like(x)
+        for offset in range(self.kernel_size):
+            segment = x[:, :, offset : offset + out_length]
+            self.grad_weight[:, :, offset] += np.einsum(
+                "bol,bcl->oc", grad_out, segment
+            )
+            grad_x[:, :, offset : offset + out_length] += np.einsum(
+                "bol,oc->bcl", grad_out, self.weight[:, :, offset]
+            )
+        self.grad_bias += grad_out.sum(axis=(0, 2))
+        return grad_x
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ModelError("backward called before forward")
+        return grad_out.reshape(self._shape)

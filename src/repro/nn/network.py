@@ -1,0 +1,107 @@
+"""Network containers and builders.
+
+:class:`Sequential` chains layers and exposes flat parameter/gradient lists
+for the optimizers; :func:`build_mlp` is the standard way value functions and
+policy heads are constructed throughout the library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import Dense, Layer, ReLU, Tanh
+from repro.util.serialization import load_arrays, save_arrays
+
+__all__ = ["Sequential", "build_mlp"]
+
+_ACTIVATIONS = {"relu": ReLU, "tanh": Tanh}
+
+
+class Sequential(Layer):
+    """A chain of layers applied in order."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ModelError("Sequential requires at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [param for layer in self.layers for param in layer.params]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [grad for layer in self.layers for grad in layer.grads]
+
+    def copy_params_from(self, other: "Sequential") -> None:
+        """Copy parameter values from a structurally identical network."""
+        source = other.params
+        target = self.params
+        if len(source) != len(target):
+            raise ModelError("parameter count mismatch between networks")
+        for dst, src in zip(target, source):
+            if dst.shape != src.shape:
+                raise ModelError(
+                    f"parameter shape mismatch: {dst.shape} vs {src.shape}"
+                )
+            dst[...] = src
+
+    def save(self, path: Path | str) -> None:
+        """Persist all parameters to an ``.npz`` file."""
+        save_arrays(path, {f"param_{i}": p for i, p in enumerate(self.params)})
+
+    def load(self, path: Path | str) -> None:
+        """Load parameters saved by :meth:`save` into this network."""
+        arrays = load_arrays(path)
+        params = self.params
+        if len(arrays) != len(params):
+            raise ModelError(
+                f"checkpoint has {len(arrays)} arrays, network has {len(params)}"
+            )
+        for index, param in enumerate(params):
+            stored = arrays[f"param_{index}"]
+            if stored.shape != param.shape:
+                raise ModelError(
+                    f"parameter {index} shape mismatch: "
+                    f"checkpoint {stored.shape} vs network {param.shape}"
+                )
+            param[...] = stored
+
+
+def build_mlp(
+    in_features: int,
+    hidden_sizes: list[int],
+    out_features: int,
+    rng: np.random.Generator,
+    activation: str = "relu",
+) -> Sequential:
+    """Build a multilayer perceptron with the given hidden widths.
+
+    The output layer is linear; callers apply softmax (policies) or use the
+    raw scalar (value functions) themselves.
+    """
+    if activation not in _ACTIVATIONS:
+        raise ModelError(
+            f"unknown activation {activation!r}; expected one of {sorted(_ACTIVATIONS)}"
+        )
+    layers: list[Layer] = []
+    width = in_features
+    for hidden in hidden_sizes:
+        layers.append(Dense(width, hidden, rng))
+        layers.append(_ACTIVATIONS[activation]())
+        width = hidden
+    layers.append(Dense(width, out_features, rng))
+    return Sequential(layers)

@@ -1,0 +1,136 @@
+"""A GRU layer with explicit backpropagation through time.
+
+Sequence models are the natural next step for throughput prediction
+(Fugu's follow-ups and CS2P's HMM both exploit temporal structure beyond
+a fixed window).  :class:`GRU` processes ``(batch, time, features)``
+inputs and returns the final hidden state; the backward pass unrolls
+through time, accumulating parameter gradients exactly like the rest of
+:mod:`repro.nn` so the optimizers and gradient checker work unchanged.
+
+Gate equations (reset ``r``, update ``z``, candidate ``c``)::
+
+    r_t = sigmoid(x_t W_xr + h_{t-1} W_hr + b_r)
+    z_t = sigmoid(x_t W_xz + h_{t-1} W_hz + b_z)
+    c_t = tanh(x_t W_xc + (r_t * h_{t-1}) W_hc + b_c)
+    h_t = (1 - z_t) * h_{t-1} + z_t * c_t
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.initializers import glorot_uniform
+from repro.nn.layers import Layer
+
+__all__ = ["GRU"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+class GRU(Layer):
+    """A single-layer GRU returning the last hidden state."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        initializer=glorot_uniform,
+    ) -> None:
+        if input_size < 1 or hidden_size < 1:
+            raise ModelError(
+                f"GRU sizes must be positive, got ({input_size}, {hidden_size})"
+            )
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Gate weights stacked as [reset, update, candidate].
+        self.w_x = initializer((input_size, 3 * hidden_size), rng)
+        self.w_h = initializer((hidden_size, 3 * hidden_size), rng)
+        self.bias = np.zeros(3 * hidden_size)
+        self.grad_w_x = np.zeros_like(self.w_x)
+        self.grad_w_h = np.zeros_like(self.w_h)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache: dict | None = None
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.w_x, self.w_h, self.bias]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_w_x, self.grad_w_h, self.grad_bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ModelError(
+                f"GRU expected (batch, time, {self.input_size}), got {x.shape}"
+            )
+        batch, steps, _ = x.shape
+        h = np.zeros((batch, self.hidden_size))
+        hs = [h]
+        gates = []
+        n = self.hidden_size
+        for t in range(steps):
+            pre = x[:, t, :] @ self.w_x + h @ self.w_h + self.bias
+            r = _sigmoid(pre[:, :n])
+            z = _sigmoid(pre[:, n : 2 * n])
+            # Candidate uses the reset-gated hidden state.
+            pre_c = (
+                x[:, t, :] @ self.w_x[:, 2 * n :]
+                + (r * h) @ self.w_h[:, 2 * n :]
+                + self.bias[2 * n :]
+            )
+            c = np.tanh(pre_c)
+            h = (1.0 - z) * h + z * c
+            gates.append((r, z, c))
+            hs.append(h)
+        self._cache = {"x": x, "hs": hs, "gates": gates}
+        return h
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before forward")
+        x = self._cache["x"]
+        hs = self._cache["hs"]
+        gates = self._cache["gates"]
+        batch, steps, _ = x.shape
+        n = self.hidden_size
+        grad_h = np.asarray(grad_out, dtype=float)
+        grad_x = np.zeros_like(x)
+        for t in range(steps - 1, -1, -1):
+            r, z, c = gates[t]
+            h_prev = hs[t]
+            # h_t = (1 - z) h_prev + z c
+            grad_z = grad_h * (c - h_prev)
+            grad_c = grad_h * z
+            grad_h_prev = grad_h * (1.0 - z)
+            # c = tanh(pre_c)
+            grad_pre_c = grad_c * (1.0 - c**2)
+            self.grad_w_x[:, 2 * n :] += x[:, t, :].T @ grad_pre_c
+            self.grad_w_h[:, 2 * n :] += (r * h_prev).T @ grad_pre_c
+            self.grad_bias[2 * n :] += grad_pre_c.sum(axis=0)
+            grad_rh = grad_pre_c @ self.w_h[:, 2 * n :].T
+            grad_r = grad_rh * h_prev
+            grad_h_prev += grad_rh * r
+            grad_x[:, t, :] += grad_pre_c @ self.w_x[:, 2 * n :].T
+            # r and z gates: sigmoid(pre)
+            grad_pre_r = grad_r * r * (1.0 - r)
+            grad_pre_z = grad_z * z * (1.0 - z)
+            self.grad_w_x[:, :n] += x[:, t, :].T @ grad_pre_r
+            self.grad_w_x[:, n : 2 * n] += x[:, t, :].T @ grad_pre_z
+            self.grad_w_h[:, :n] += h_prev.T @ grad_pre_r
+            self.grad_w_h[:, n : 2 * n] += h_prev.T @ grad_pre_z
+            self.grad_bias[:n] += grad_pre_r.sum(axis=0)
+            self.grad_bias[n : 2 * n] += grad_pre_z.sum(axis=0)
+            grad_x[:, t, :] += (
+                grad_pre_r @ self.w_x[:, :n].T + grad_pre_z @ self.w_x[:, n : 2 * n].T
+            )
+            grad_h_prev += (
+                grad_pre_r @ self.w_h[:, :n].T + grad_pre_z @ self.w_h[:, n : 2 * n].T
+            )
+            grad_h = grad_h_prev
+        return grad_x

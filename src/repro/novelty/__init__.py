@@ -1,0 +1,29 @@
+"""Novelty detection (out-of-distribution detection).
+
+The paper's ``U_S`` signal treats OSAP's state-uncertainty question as
+classic novelty detection and uses a one-class SVM [44].  scikit-learn is
+not available offline, so :mod:`repro.novelty.ocsvm` implements the
+Schölkopf ν-OC-SVM from scratch (RBF kernel, SMO solver on the dual).
+
+:mod:`repro.novelty.kde` and :mod:`repro.novelty.mahalanobis` provide two
+simpler detectors behind the same interface, used by the detector-ablation
+benchmark (would the paper's conclusions change with a different ND
+method?).
+"""
+
+from repro.novelty.base import NoveltyDetector
+from repro.novelty.kde import KDEDetector
+from repro.novelty.kernels import linear_kernel, rbf_kernel
+from repro.novelty.knn import KNNDetector
+from repro.novelty.mahalanobis import MahalanobisDetector
+from repro.novelty.ocsvm import OneClassSVM
+
+__all__ = [
+    "KDEDetector",
+    "KNNDetector",
+    "MahalanobisDetector",
+    "NoveltyDetector",
+    "OneClassSVM",
+    "linear_kernel",
+    "rbf_kernel",
+]

@@ -1,0 +1,66 @@
+"""The common novelty-detector interface.
+
+A detector learns the support of the training distribution from unlabeled
+samples.  ``predict`` follows the OC-SVM convention the paper describes:
+"+1 in a small region capturing most of the data points, and -1 elsewhere".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NoveltyError
+
+__all__ = ["NoveltyDetector"]
+
+
+class NoveltyDetector:
+    """Base class: fit on in-distribution samples, score/flag new ones."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def fit(self, samples: np.ndarray) -> "NoveltyDetector":
+        """Learn the training distribution's support from ``(n, d)`` samples."""
+        samples = self._validate(samples, fitting=True)
+        self._fit(samples)
+        self._fitted = True
+        return self
+
+    def scores(self, samples: np.ndarray) -> np.ndarray:
+        """Decision scores, one per row; >= 0 means in-distribution."""
+        if not self._fitted:
+            raise NoveltyError(f"{type(self).__name__} used before fit()")
+        return self._scores(self._validate(samples, fitting=False))
+
+    def predict(self, samples: np.ndarray) -> np.ndarray:
+        """+1 for in-distribution rows, -1 for outliers."""
+        return np.where(self.scores(samples) >= 0.0, 1, -1)
+
+    def is_outlier(self, sample: np.ndarray) -> bool:
+        """Convenience single-sample check."""
+        return bool(self.predict(np.atleast_2d(sample))[0] == -1)
+
+    def _fit(self, samples: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _scores(self, samples: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _validate(self, samples: np.ndarray, fitting: bool) -> np.ndarray:
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim == 1:
+            samples = samples[None, :]
+        if samples.ndim != 2:
+            raise NoveltyError(f"samples must be 2-D (n, d), got {samples.shape}")
+        if samples.shape[0] == 0:
+            raise NoveltyError("no samples provided")
+        if not np.all(np.isfinite(samples)):
+            raise NoveltyError("samples contain non-finite values")
+        if fitting:
+            self._dim = samples.shape[1]
+        elif samples.shape[1] != self._dim:
+            raise NoveltyError(
+                f"expected {self._dim}-dimensional samples, got {samples.shape[1]}"
+            )
+        return samples

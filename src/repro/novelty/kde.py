@@ -1,0 +1,62 @@
+"""Kernel-density-estimate novelty detector.
+
+A Gaussian KDE over the training samples; a test point is an outlier when
+its estimated log-density falls below the ``quantile``-th percentile of the
+training points' own log-densities.  Used as a drop-in alternative to the
+OC-SVM in the detector-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NoveltyError
+from repro.novelty.base import NoveltyDetector
+
+__all__ = ["KDEDetector"]
+
+
+class KDEDetector(NoveltyDetector):
+    """Gaussian KDE with Scott's-rule bandwidth and a quantile threshold."""
+
+    def __init__(self, quantile: float = 0.05, bandwidth: float | None = None) -> None:
+        super().__init__()
+        if not 0.0 < quantile < 1.0:
+            raise NoveltyError(f"quantile must be in (0, 1), got {quantile}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise NoveltyError(f"bandwidth must be positive, got {bandwidth}")
+        self.quantile = quantile
+        self.bandwidth = bandwidth
+
+    def _fit(self, samples: np.ndarray) -> None:
+        n, d = samples.shape
+        self._train = samples.copy()
+        if self.bandwidth is not None:
+            h = self.bandwidth
+        else:
+            # Scott's rule, with a positive floor for near-constant data.
+            spread = float(samples.std())
+            h = max(spread, 1e-3) * n ** (-1.0 / (d + 4))
+        self._h = h
+        self._log_norm = -d * np.log(h) - 0.5 * d * np.log(2.0 * np.pi)
+        train_density = self._log_density(samples, exclude_self=True)
+        self._threshold = float(np.quantile(train_density, self.quantile))
+
+    def _scores(self, samples: np.ndarray) -> np.ndarray:
+        return self._log_density(samples, exclude_self=False) - self._threshold
+
+    def _log_density(self, samples: np.ndarray, exclude_self: bool) -> np.ndarray:
+        """Leave-one-out log-density on training data avoids the self-match
+        spike that would make every training point look typical."""
+        diffs = samples[:, None, :] - self._train[None, :, :]
+        sq = (diffs**2).sum(axis=2) / (self._h**2)
+        log_kernels = -0.5 * sq + self._log_norm
+        if exclude_self:
+            np.fill_diagonal(log_kernels, -np.inf)
+            count = max(self._train.shape[0] - 1, 1)
+        else:
+            count = self._train.shape[0]
+        max_log = log_kernels.max(axis=1, keepdims=True)
+        max_log = np.where(np.isfinite(max_log), max_log, 0.0)
+        sums = np.exp(log_kernels - max_log).sum(axis=1)
+        return (max_log[:, 0] + np.log(np.maximum(sums, 1e-300))) - np.log(count)

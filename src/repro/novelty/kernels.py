@@ -1,0 +1,52 @@
+"""Kernel functions for the one-class SVM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NoveltyError
+
+__all__ = ["rbf_kernel", "linear_kernel", "median_heuristic_gamma"]
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """Gaussian RBF kernel matrix ``K[i, j] = exp(-gamma * |a_i - b_j|^2)``."""
+    if gamma <= 0:
+        raise NoveltyError(f"gamma must be positive, got {gamma}")
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    if a.shape[1] != b.shape[1]:
+        raise NoveltyError(
+            f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}"
+        )
+    sq_dists = (
+        (a**2).sum(axis=1)[:, None]
+        + (b**2).sum(axis=1)[None, :]
+        - 2.0 * a @ b.T
+    )
+    return np.exp(-gamma * np.maximum(sq_dists, 0.0))
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain inner-product kernel."""
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    if a.shape[1] != b.shape[1]:
+        raise NoveltyError(
+            f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}"
+        )
+    return a @ b.T
+
+
+def median_heuristic_gamma(samples: np.ndarray) -> float:
+    """The 'scale' heuristic: ``gamma = 1 / (d * var(X))``.
+
+    Matches the common library default; falls back to ``1/d`` for constant
+    data where the variance vanishes.
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    dimensions = samples.shape[1]
+    variance = float(samples.var())
+    if variance <= 1e-12:
+        return 1.0 / dimensions
+    return 1.0 / (dimensions * variance)

@@ -1,0 +1,48 @@
+"""Mahalanobis-distance novelty detector.
+
+Fits a Gaussian (mean + regularized covariance) to the training samples
+and flags points whose squared Mahalanobis distance exceeds the
+``quantile``-th percentile of the training distances.  The cheapest
+reasonable detector; included for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NoveltyError
+from repro.novelty.base import NoveltyDetector
+
+__all__ = ["MahalanobisDetector"]
+
+
+class MahalanobisDetector(NoveltyDetector):
+    """Gaussian envelope with an empirical-quantile threshold."""
+
+    def __init__(self, quantile: float = 0.95, regularization: float = 1e-6) -> None:
+        super().__init__()
+        if not 0.0 < quantile < 1.0:
+            raise NoveltyError(f"quantile must be in (0, 1), got {quantile}")
+        if regularization <= 0:
+            raise NoveltyError(
+                f"regularization must be positive, got {regularization}"
+            )
+        self.quantile = quantile
+        self.regularization = regularization
+
+    def _fit(self, samples: np.ndarray) -> None:
+        self._mean = samples.mean(axis=0)
+        centered = samples - self._mean
+        covariance = centered.T @ centered / max(samples.shape[0] - 1, 1)
+        covariance += self.regularization * np.eye(samples.shape[1])
+        self._precision = np.linalg.inv(covariance)
+        train_distances = self._squared_distance(samples)
+        self._threshold = float(np.quantile(train_distances, self.quantile))
+
+    def _scores(self, samples: np.ndarray) -> np.ndarray:
+        # Larger distance = more anomalous, so flip the sign: >= 0 is inside.
+        return self._threshold - self._squared_distance(samples)
+
+    def _squared_distance(self, samples: np.ndarray) -> np.ndarray:
+        centered = samples - self._mean
+        return np.einsum("nd,de,ne->n", centered, self._precision, centered)

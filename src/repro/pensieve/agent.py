@@ -1,0 +1,78 @@
+"""Trained Pensieve agents and external value functions as policies.
+
+:class:`PensieveAgent` wraps an :class:`~repro.pensieve.model.ActorNetwork`
+(and optionally its critic) behind the shared policy protocol, so the
+evaluation harness treats it exactly like BB or Random.  Evaluation is
+greedy by default (argmax of the action distribution); training samples.
+
+:class:`PensieveValueFunction` wraps a critic trained externally to a
+policy — the object the paper's ``U_V`` ensembles are made of ("even if an
+agent does not explicitly estimate state values, a value function for that
+agent can still be trained externally").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.pensieve.model import ActorNetwork, CriticNetwork
+from repro.policies.base import ABRPolicy
+
+__all__ = ["PensieveAgent", "PensieveValueFunction"]
+
+
+class PensieveAgent(ABRPolicy):
+    """A trained actor (plus optional critic) as an ABR policy."""
+
+    def __init__(
+        self,
+        bitrates_kbps: np.ndarray | list[float],
+        actor: ActorNetwork,
+        critic: CriticNetwork | None = None,
+        greedy: bool = True,
+        name: str = "pensieve",
+    ) -> None:
+        super().__init__(bitrates_kbps)
+        if actor.head.weight.shape[1] != self.num_actions:
+            raise ModelError(
+                f"actor outputs {actor.head.weight.shape[1]} actions, "
+                f"ladder has {self.num_actions}"
+            )
+        self.actor = actor
+        self.critic = critic
+        self.greedy = greedy
+        self.name = name
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """The actor's softmax distribution for one observation."""
+        return self.actor.probabilities(observation)[0]
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        probabilities = self.action_probabilities(observation)
+        if self.greedy:
+            return int(np.argmax(probabilities))
+        return int(rng.choice(self.num_actions, p=probabilities))
+
+    def value(self, observation: np.ndarray) -> float:
+        """The built-in critic's value estimate (actor-critic agents have
+        value estimation "built in", as the paper notes of Pensieve)."""
+        if self.critic is None:
+            raise ModelError("this agent was built without a critic")
+        return float(self.critic.values(observation)[0])
+
+
+class PensieveValueFunction:
+    """An externally trained value function for a fixed policy."""
+
+    def __init__(self, critic: CriticNetwork, name: str = "value") -> None:
+        self.critic = critic
+        self.name = name
+
+    def value(self, observation: np.ndarray) -> float:
+        """Predicted discounted return from *observation*."""
+        return float(self.critic.values(observation)[0])
+
+    def values(self, observations: np.ndarray) -> np.ndarray:
+        """Batched value prediction."""
+        return self.critic.values(observations)

@@ -1,0 +1,144 @@
+"""Ensembles for the paper's output-uncertainty signals.
+
+Section 2.4:
+
+* ``U_pi`` uses "an ensemble of i different agents trained in the same
+  training environment, where the only difference in the training process
+  is the initialization of the neural network variables".
+* ``U_V`` uses i value functions "trained on the training distribution";
+  they are trained *with respect to a single agent's policy* by observing
+  the states and rewards that policy produces.
+
+Both trainers here derive member seeds from one root seed, so an ensemble
+is a deterministic function of ``(traces, config, root_seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.session import run_session
+from repro.errors import TrainingError
+from repro.mdp.rollout import discounted_returns
+from repro.nn.optim import RMSProp
+from repro.pensieve.agent import PensieveAgent, PensieveValueFunction
+from repro.pensieve.model import CriticNetwork
+from repro.pensieve.training import A2CTrainer, TrainingConfig
+from repro.traces.trace import Trace
+from repro.util.rng import rng_from_seed, spawn_seeds
+from repro.video.manifest import VideoManifest
+from repro.video.qoe import QoEMetric
+
+__all__ = ["train_agent_ensemble", "train_value_ensemble"]
+
+
+def train_agent_ensemble(
+    manifest: VideoManifest,
+    training_traces: list[Trace] | tuple[Trace, ...],
+    size: int = 5,
+    config: TrainingConfig | None = None,
+    qoe_metric: QoEMetric | None = None,
+    root_seed: int = 0,
+) -> list[PensieveAgent]:
+    """Train *size* agents that differ only in initialization seed."""
+    if size < 1:
+        raise TrainingError(f"ensemble size must be >= 1, got {size}")
+    config = config if config is not None else TrainingConfig()
+    agents = []
+    for seed in spawn_seeds(root_seed, size):
+        trainer = A2CTrainer(
+            manifest,
+            training_traces,
+            config=config.with_seed(seed),
+            qoe_metric=qoe_metric,
+        )
+        agents.append(trainer.train())
+    return agents
+
+
+def collect_value_targets(
+    agent: PensieveAgent,
+    manifest: VideoManifest,
+    traces: list[Trace] | tuple[Trace, ...],
+    gamma: float,
+    qoe_metric: QoEMetric | None = None,
+    reward_scale: float = 1.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Roll the agent over *traces*; return ``(observations, returns)``.
+
+    These are the regression targets for the externally trained value
+    functions: the discounted returns actually derived from following the
+    agent's policy on its training data.  Actions are *sampled* from the
+    policy rather than taken greedily — the paper trains value functions
+    "by observing the history of states, actions, and rewards resulting
+    from the agent-environment interaction while training", i.e. on the
+    exploratory distribution, which is what gives the ensemble state
+    diversity to disagree about out-of-distribution.
+    """
+    if not traces:
+        raise TrainingError("no traces to collect value targets from")
+    sampling_agent = PensieveAgent(
+        agent.bitrates_kbps, actor=agent.actor, critic=agent.critic, greedy=False
+    )
+    observations: list[np.ndarray] = []
+    returns: list[np.ndarray] = []
+    rng = rng_from_seed(seed)
+    for trace in traces:
+        result = run_session(
+            sampling_agent, manifest, trace, qoe_metric=qoe_metric, seed=rng
+        )
+        rewards = np.array([record.reward for record in result.chunks])
+        returns.append(discounted_returns(rewards * reward_scale, gamma))
+        observations.append(result.observations)
+    return np.concatenate(observations), np.concatenate(returns)
+
+
+def train_value_ensemble(
+    agent: PensieveAgent,
+    manifest: VideoManifest,
+    training_traces: list[Trace] | tuple[Trace, ...],
+    size: int = 5,
+    gamma: float = 0.99,
+    epochs: int = 200,
+    learning_rate: float = 2e-3,
+    filters: int = 8,
+    hidden: int = 48,
+    reward_scale: float = 1.0,
+    qoe_metric: QoEMetric | None = None,
+    root_seed: int = 0,
+) -> list[PensieveValueFunction]:
+    """Train *size* value functions for one agent's policy.
+
+    Each member regresses the same ``(observation, discounted return)``
+    dataset with a differently initialized critic network, exactly the
+    paper's recipe for ``U_V``.
+    """
+    if size < 1:
+        raise TrainingError(f"ensemble size must be >= 1, got {size}")
+    if epochs < 1:
+        raise TrainingError(f"epochs must be >= 1, got {epochs}")
+    observations, targets = collect_value_targets(
+        agent,
+        manifest,
+        training_traces,
+        gamma=gamma,
+        qoe_metric=qoe_metric,
+        reward_scale=reward_scale,
+        seed=root_seed,
+    )
+    members = []
+    for seed in spawn_seeds(root_seed + 1, size):
+        rng = rng_from_seed(seed)
+        critic = CriticNetwork(
+            manifest.num_bitrates, rng, filters=filters, hidden=hidden
+        )
+        optimizer = RMSProp(critic.params, learning_rate=learning_rate)
+        for _ in range(epochs):
+            values = critic.values(observations)
+            diff = values - targets
+            critic.zero_grads()
+            critic.backward(2.0 * diff / diff.size)
+            optimizer.step(critic.grads)
+        members.append(PensieveValueFunction(critic, name=f"value-{seed}"))
+    return members

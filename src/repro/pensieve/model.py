@@ -1,0 +1,214 @@
+"""Pensieve's actor and critic networks.
+
+Architecture (faithful to [27] at configurable width): the ``(6, 8)``
+observation matrix is split into its semantic parts, each processed by its
+own branch —
+
+* scalars (last bitrate, buffer level, chunks remaining): one dense unit
+  layer each,
+* history vectors (throughput, download time): 1-D convolution over the 8
+  past chunks,
+* next-chunk sizes: 1-D convolution over the ladder,
+
+— then concatenated and merged through a dense hidden layer.  The actor
+puts a softmax over ladder rungs on top; the critic a single linear unit.
+
+Gradients flow through every branch via the :mod:`repro.nn` layers; the
+trunk exposes flat parameter/gradient lists so the optimizers can treat the
+whole network uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.state import S_INFO, S_LEN
+from repro.errors import ModelError
+from repro.nn.layers import Conv1D, Dense, Flatten, ReLU
+from repro.nn.losses import softmax
+from repro.nn.network import Sequential
+
+__all__ = ["PensieveTrunk", "ActorNetwork", "CriticNetwork"]
+
+_CONV_KERNEL = 4
+
+
+class PensieveTrunk:
+    """Shared feature extractor: branch-per-row, concatenate, merge."""
+
+    def __init__(
+        self,
+        num_bitrates: int,
+        rng: np.random.Generator,
+        filters: int = 16,
+        hidden: int = 64,
+    ) -> None:
+        if num_bitrates < 2:
+            raise ModelError(f"need >= 2 bitrates, got {num_bitrates}")
+        if filters < 1 or hidden < 1:
+            raise ModelError(
+                f"filters and hidden must be positive, got ({filters}, {hidden})"
+            )
+        if num_bitrates < _CONV_KERNEL:
+            raise ModelError(
+                f"ladder of {num_bitrates} rungs shorter than conv kernel "
+                f"{_CONV_KERNEL}"
+            )
+        self.num_bitrates = num_bitrates
+        self.filters = filters
+        self.hidden = hidden
+        self._scalar_bitrate = Sequential([Dense(1, filters, rng), ReLU()])
+        self._scalar_buffer = Sequential([Dense(1, filters, rng), ReLU()])
+        self._scalar_remaining = Sequential([Dense(1, filters, rng), ReLU()])
+        self._conv_throughput = Sequential(
+            [Conv1D(1, filters, _CONV_KERNEL, rng), ReLU(), Flatten()]
+        )
+        self._conv_delay = Sequential(
+            [Conv1D(1, filters, _CONV_KERNEL, rng), ReLU(), Flatten()]
+        )
+        self._conv_sizes = Sequential(
+            [Conv1D(1, filters, _CONV_KERNEL, rng), ReLU(), Flatten()]
+        )
+        history_features = filters * (S_LEN - _CONV_KERNEL + 1)
+        size_features = filters * (num_bitrates - _CONV_KERNEL + 1)
+        merged = 3 * filters + 2 * history_features + size_features
+        self._merge = Sequential([Dense(merged, hidden, rng), ReLU()])
+        self._branches = [
+            self._scalar_bitrate,
+            self._scalar_buffer,
+            self._scalar_remaining,
+            self._conv_throughput,
+            self._conv_delay,
+            self._conv_sizes,
+        ]
+        self._split_points: list[int] | None = None
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        """All trainable parameters, branches first, merge layer last."""
+        params = [p for branch in self._branches for p in branch.params]
+        return params + self._merge.params
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        """Gradient accumulators aligned with :attr:`params`."""
+        grads = [g for branch in self._branches for g in branch.grads]
+        return grads + self._merge.grads
+
+    def zero_grads(self) -> None:
+        """Reset all gradient accumulators."""
+        for branch in self._branches:
+            branch.zero_grads()
+        self._merge.zero_grads()
+
+    def forward(self, observations: np.ndarray) -> np.ndarray:
+        """Map a ``(batch, 6, 8)`` observation batch to ``(batch, hidden)``."""
+        obs = np.asarray(observations, dtype=float)
+        if obs.ndim == 2:
+            obs = obs[None, :, :]
+        if obs.ndim != 3 or obs.shape[1:] != (S_INFO, S_LEN):
+            raise ModelError(
+                f"expected (batch, {S_INFO}, {S_LEN}) observations, got {obs.shape}"
+            )
+        batch = obs.shape[0]
+        outputs = [
+            self._scalar_bitrate.forward(obs[:, 0, -1:].reshape(batch, 1)),
+            self._scalar_buffer.forward(obs[:, 1, -1:].reshape(batch, 1)),
+            self._scalar_remaining.forward(obs[:, 5, -1:].reshape(batch, 1)),
+            self._conv_throughput.forward(obs[:, 2, :].reshape(batch, 1, S_LEN)),
+            self._conv_delay.forward(obs[:, 3, :].reshape(batch, 1, S_LEN)),
+            self._conv_sizes.forward(
+                obs[:, 4, : self.num_bitrates].reshape(batch, 1, self.num_bitrates)
+            ),
+        ]
+        widths = [out.shape[1] for out in outputs]
+        self._split_points = list(np.cumsum(widths)[:-1])
+        return self._merge.forward(np.concatenate(outputs, axis=1))
+
+    def backward(self, grad_features: np.ndarray) -> None:
+        """Backpropagate through the merge layer and every branch.
+
+        Input gradients are not needed (observations are data), so nothing
+        is returned; parameter gradients are accumulated in place.
+        """
+        if self._split_points is None:
+            raise ModelError("backward called before forward")
+        grad_concat = self._merge.backward(grad_features)
+        pieces = np.split(grad_concat, self._split_points, axis=1)
+        for branch, piece in zip(self._branches, pieces):
+            branch.backward(piece)
+
+
+class ActorNetwork:
+    """Policy network: trunk features -> softmax over ladder rungs."""
+
+    def __init__(
+        self,
+        num_bitrates: int,
+        rng: np.random.Generator,
+        filters: int = 16,
+        hidden: int = 64,
+    ) -> None:
+        self.trunk = PensieveTrunk(num_bitrates, rng, filters=filters, hidden=hidden)
+        self.head = Dense(hidden, num_bitrates, rng)
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return self.trunk.params + self.head.params
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return self.trunk.grads + self.head.grads
+
+    def zero_grads(self) -> None:
+        """Reset the gradient accumulators of trunk and head."""
+        self.trunk.zero_grads()
+        self.head.zero_grads()
+
+    def logits(self, observations: np.ndarray) -> np.ndarray:
+        """Unnormalized action scores, shape ``(batch, num_bitrates)``."""
+        return self.head.forward(self.trunk.forward(observations))
+
+    def probabilities(self, observations: np.ndarray) -> np.ndarray:
+        """Action distribution per observation."""
+        return softmax(self.logits(observations))
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backpropagate a gradient on the logits through head and trunk."""
+        self.trunk.backward(self.head.backward(grad_logits))
+
+
+class CriticNetwork:
+    """Value network: trunk features -> scalar state value."""
+
+    def __init__(
+        self,
+        num_bitrates: int,
+        rng: np.random.Generator,
+        filters: int = 16,
+        hidden: int = 64,
+    ) -> None:
+        self.trunk = PensieveTrunk(num_bitrates, rng, filters=filters, hidden=hidden)
+        self.head = Dense(hidden, 1, rng)
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return self.trunk.params + self.head.params
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return self.trunk.grads + self.head.grads
+
+    def zero_grads(self) -> None:
+        """Reset the gradient accumulators of trunk and head."""
+        self.trunk.zero_grads()
+        self.head.zero_grads()
+
+    def values(self, observations: np.ndarray) -> np.ndarray:
+        """State values, shape ``(batch,)``."""
+        return self.head.forward(self.trunk.forward(observations))[:, 0]
+
+    def backward(self, grad_values: np.ndarray) -> None:
+        """Backpropagate a gradient on the scalar values."""
+        grad = np.asarray(grad_values, dtype=float).reshape(-1, 1)
+        self.trunk.backward(self.head.backward(grad))

@@ -1,0 +1,279 @@
+"""Advantage actor-critic (A2C) training for Pensieve.
+
+The original Pensieve trains with A3C [29]: asynchronous workers collecting
+episodes and a central learner applying policy-gradient updates with an
+entropy bonus, plus a critic trained on empirical returns.  Parallel actors
+only speed up wall-clock training; the gradient is the same, so this
+single-process A2C is algorithmically equivalent:
+
+* one episode = streaming the whole video over one training trace,
+* actor loss  = -sum_t A_t * log pi(a_t | s_t) - beta * entropy,
+  with advantage ``A_t = G_t - V(s_t)`` and ``beta`` annealed over epochs
+  (Pensieve anneals its entropy weight the same way),
+* critic loss = mean squared error of ``V(s_t)`` against the empirical
+  discounted return ``G_t``.
+
+Both networks are updated with RMSProp, as in the reference code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.abr.env import ABREnv
+from repro.errors import TrainingError
+from repro.mdp.rollout import discounted_returns
+from repro.nn.losses import entropy as probs_entropy
+from repro.nn.losses import softmax
+from repro.nn.optim import RMSProp
+from repro.pensieve.agent import PensieveAgent
+from repro.pensieve.model import ActorNetwork, CriticNetwork
+from repro.traces.trace import Trace
+from repro.util.rng import rng_from_seed
+from repro.video.manifest import VideoManifest
+from repro.video.qoe import QoEMetric
+
+__all__ = ["TrainingConfig", "TrainingSummary", "A2CTrainer"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters of one A2C training run.
+
+    The defaults are the "fast" tier (seconds per agent on a CPU); the
+    experiment harness scales them up for the paper-quality tier.
+    """
+
+    epochs: int = 120
+    episodes_per_epoch: int = 1
+    gamma: float = 0.95
+    n_step: int = 8
+    actor_learning_rate: float = 1e-3
+    critic_learning_rate: float = 2e-3
+    entropy_weight_start: float = 0.5
+    entropy_weight_end: float = 0.02
+    filters: int = 8
+    hidden: int = 48
+    reward_scale: float = 0.25
+    advantage_clip: float = 10.0
+    normalize_advantages: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.episodes_per_epoch < 1:
+            raise TrainingError("epochs and episodes_per_epoch must be >= 1")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise TrainingError(f"gamma must be in [0, 1], got {self.gamma}")
+        if self.n_step < 1:
+            raise TrainingError(f"n_step must be >= 1, got {self.n_step}")
+        if self.actor_learning_rate <= 0 or self.critic_learning_rate <= 0:
+            raise TrainingError("learning rates must be positive")
+        if self.entropy_weight_start < self.entropy_weight_end:
+            raise TrainingError("entropy weight must anneal downward")
+        if self.entropy_weight_end < 0:
+            raise TrainingError("entropy weight must be non-negative")
+        if self.reward_scale <= 0:
+            raise TrainingError(f"reward_scale must be positive, got {self.reward_scale}")
+        if self.advantage_clip <= 0:
+            raise TrainingError(f"advantage_clip must be positive, got {self.advantage_clip}")
+
+    def with_seed(self, seed: int) -> "TrainingConfig":
+        """The same configuration with a different initialization seed —
+        how ensemble members are derived (the paper: "the only difference
+        ... is the initialization of the neural network variables")."""
+        return replace(self, seed=seed)
+
+
+@dataclass
+class TrainingSummary:
+    """Per-epoch diagnostics of a training run."""
+
+    episode_returns: list[float] = field(default_factory=list)
+    mean_entropies: list[float] = field(default_factory=list)
+    critic_losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_return(self) -> float:
+        """Mean un-scaled episode return over the last 10% of epochs."""
+        if not self.episode_returns:
+            raise TrainingError("no epochs recorded")
+        tail = max(len(self.episode_returns) // 10, 1)
+        return float(np.mean(self.episode_returns[-tail:]))
+
+
+class A2CTrainer:
+    """Trains one Pensieve agent on a set of training traces."""
+
+    def __init__(
+        self,
+        manifest: VideoManifest,
+        training_traces: list[Trace] | tuple[Trace, ...],
+        config: TrainingConfig | None = None,
+        qoe_metric: QoEMetric | None = None,
+    ) -> None:
+        if not training_traces:
+            raise TrainingError("no training traces supplied")
+        self.manifest = manifest
+        self.traces = tuple(training_traces)
+        self.config = config if config is not None else TrainingConfig()
+        self.qoe_metric = qoe_metric
+        self._rng = rng_from_seed(self.config.seed)
+        self.actor = ActorNetwork(
+            manifest.num_bitrates,
+            self._rng,
+            filters=self.config.filters,
+            hidden=self.config.hidden,
+        )
+        self.critic = CriticNetwork(
+            manifest.num_bitrates,
+            self._rng,
+            filters=self.config.filters,
+            hidden=self.config.hidden,
+        )
+        self._actor_opt = RMSProp(
+            self.actor.params, learning_rate=self.config.actor_learning_rate
+        )
+        self._critic_opt = RMSProp(
+            self.critic.params, learning_rate=self.config.critic_learning_rate
+        )
+        self.summary = TrainingSummary()
+
+    def train(self) -> PensieveAgent:
+        """Run the configured number of epochs and return the greedy agent."""
+        config = self.config
+        for epoch in range(config.epochs):
+            fraction = epoch / max(config.epochs - 1, 1)
+            beta = (
+                config.entropy_weight_start
+                + fraction
+                * (config.entropy_weight_end - config.entropy_weight_start)
+            )
+            episodes, raw_return = self._collect_batch()
+            critic_loss = self._update(episodes, beta)
+            self.summary.episode_returns.append(raw_return)
+            self.summary.critic_losses.append(critic_loss)
+        return self.agent()
+
+    def agent(self, greedy: bool = True) -> PensieveAgent:
+        """The current policy as an evaluation-ready agent."""
+        return PensieveAgent(
+            self.manifest.bitrates_kbps,
+            actor=self.actor,
+            critic=self.critic,
+            greedy=greedy,
+        )
+
+    def _collect_batch(
+        self,
+    ) -> tuple[list[tuple[np.ndarray, np.ndarray, np.ndarray]], float]:
+        """Roll out sampled-action episodes.
+
+        Returns a list of ``(observations, actions, scaled_rewards)`` per
+        episode plus the mean raw (QoE-scale) episode return for logging.
+        """
+        config = self.config
+        episodes: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        raw_returns: list[float] = []
+        for _ in range(config.episodes_per_epoch):
+            trace = self.traces[int(self._rng.integers(len(self.traces)))]
+            env = ABREnv(self.manifest, trace, qoe_metric=self.qoe_metric)
+            observation = env.reset()
+            observations: list[np.ndarray] = []
+            actions: list[int] = []
+            rewards: list[float] = []
+            done = False
+            while not done:
+                probabilities = self.actor.probabilities(observation)[0]
+                action = int(self._rng.choice(probabilities.size, p=probabilities))
+                step = env.step(action)
+                observations.append(observation)
+                actions.append(action)
+                rewards.append(step.reward * config.reward_scale)
+                observation = step.observation
+                done = step.done
+            episodes.append(
+                (
+                    np.stack(observations),
+                    np.array(actions, dtype=int),
+                    np.array(rewards),
+                )
+            )
+            raw_returns.append(float(np.sum(rewards)) / config.reward_scale)
+        return episodes, float(np.mean(raw_returns))
+
+    def _n_step_targets(
+        self, rewards: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Bootstrapped n-step return targets within one episode.
+
+        ``G_t = r_t + ... + gamma^{n-1} r_{t+n-1} + gamma^n V(s_{t+n})``,
+        truncating (no bootstrap) where the episode ends first.  Compared
+        to pure Monte-Carlo returns this slashes gradient variance, which
+        is what lets these small agents converge in hundreds rather than
+        tens of thousands of episodes.
+        """
+        config = self.config
+        horizon = len(rewards)
+        targets = np.empty(horizon)
+        for start in range(horizon):
+            end = min(start + config.n_step, horizon)
+            total = 0.0
+            for offset in range(end - start - 1, -1, -1):
+                total = rewards[start + offset] + config.gamma * total
+            if end < horizon:
+                total += config.gamma ** (end - start) * values[end]
+            targets[start] = total
+        return targets
+
+    def _update(
+        self,
+        episodes: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        entropy_weight: float,
+    ) -> float:
+        """One actor and one critic gradient step on the collected batch."""
+        observations = np.concatenate([obs for obs, _, _ in episodes])
+        actions = np.concatenate([act for _, act, _ in episodes])
+        values = self.critic.values(observations)
+        targets = []
+        offset = 0
+        for obs, _, rewards in episodes:
+            episode_values = values[offset : offset + len(rewards)]
+            targets.append(self._n_step_targets(rewards, episode_values))
+            offset += len(rewards)
+        targets = np.concatenate(targets)
+        batch = observations.shape[0]
+        advantages = targets - values
+        if self.config.normalize_advantages:
+            advantages = (advantages - advantages.mean()) / (
+                advantages.std() + 1e-8
+            )
+        advantages = np.clip(
+            advantages, -self.config.advantage_clip, self.config.advantage_clip
+        )
+        # Actor: gradient of -A * log pi(a|s) - beta * H(pi) w.r.t. logits.
+        logits = self.actor.logits(observations)
+        probabilities = softmax(logits)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(batch), actions] = 1.0
+        policy_grad = advantages[:, None] * (probabilities - one_hot)
+        entropies = probs_entropy(probabilities)
+        entropy_grad = probabilities * (
+            np.log(probabilities + 1e-12) + entropies[:, None]
+        )
+        # Loss L = -sum A*log pi - beta*H; dL/dlogits is the sum below.
+        grad_logits = (policy_grad + entropy_weight * entropy_grad) / batch
+        self.actor.zero_grads()
+        self.actor.backward(grad_logits)
+        self._actor_opt.step(self.actor.grads)
+        # Critic: MSE against the bootstrapped targets.
+        diff = values - targets
+        critic_loss = float(np.mean(diff**2))
+        if not np.isfinite(critic_loss):
+            raise TrainingError("critic loss diverged to a non-finite value")
+        self.critic.zero_grads()
+        self.critic.backward(2.0 * diff / batch)
+        self._critic_opt.step(self.critic.grads)
+        self.summary.mean_entropies.append(float(entropies.mean()))
+        return critic_loss

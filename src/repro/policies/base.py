@@ -1,0 +1,70 @@
+"""Base classes for ABR policies.
+
+All ABR policies read the shared Pensieve observation matrix (via
+:class:`~repro.abr.state.ObservationView`) and implement the
+:class:`~repro.mdp.interfaces.Policy` protocol, so heuristics, the learned
+agent, and safety-wrapped agents are interchangeable everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.state import ObservationView
+from repro.errors import ConfigError
+
+__all__ = ["ABRPolicy", "DeterministicPolicy"]
+
+
+class ABRPolicy:
+    """A policy over a fixed bitrate ladder."""
+
+    def __init__(self, bitrates_kbps: np.ndarray | list[float]) -> None:
+        bitrates = np.asarray(bitrates_kbps, dtype=float)
+        if bitrates.ndim != 1 or bitrates.size < 2:
+            raise ConfigError("policy needs a ladder with at least two rungs")
+        if np.any(np.diff(bitrates) <= 0):
+            raise ConfigError("bitrate ladder must be strictly increasing")
+        self.bitrates_kbps = bitrates
+
+    @property
+    def num_actions(self) -> int:
+        """Size of the action set (one per ladder rung)."""
+        return int(self.bitrates_kbps.size)
+
+    def view(self, observation: np.ndarray) -> ObservationView:
+        """Interpret *observation* against this policy's ladder."""
+        return ObservationView(observation, self.bitrates_kbps)
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """Probability vector over ladder rungs for *observation*."""
+        raise NotImplementedError
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        """Sample from :meth:`action_probabilities`."""
+        probabilities = self.action_probabilities(observation)
+        return int(rng.choice(self.num_actions, p=probabilities))
+
+    def reset(self) -> None:
+        """Clear per-episode state; heuristics are stateless by default."""
+
+
+class DeterministicPolicy(ABRPolicy):
+    """Convenience base for policies that pick a single rung per state.
+
+    Subclasses implement :meth:`select`; the action distribution is the
+    corresponding one-hot vector.
+    """
+
+    def select(self, observation: np.ndarray) -> int:
+        """The single ladder rung chosen for *observation*."""
+        raise NotImplementedError
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        probabilities = np.zeros(self.num_actions)
+        probabilities[self.select(observation)] = 1.0
+        return probabilities
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        del rng
+        return self.select(observation)

@@ -1,0 +1,71 @@
+"""BOLA: Lyapunov-based buffer-only rate adaptation.
+
+BOLA (Spanakis et al., INFOCOM '16; the algorithm behind dash.js's
+default) selects, per chunk, the rung maximizing
+
+    (V * utility(q) + V * gamma_p - buffer_chunks) / size(q)
+
+where utility is logarithmic in bitrate, ``V`` scales how aggressively
+the buffer is spent, and the buffer is measured in chunks.  Like
+Buffer-Based it ignores throughput entirely, which makes it another
+candidate *default* policy for the safety controller (a buffer-only rule
+cannot be fooled by unfamiliar throughput dynamics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.policies.base import DeterministicPolicy
+
+__all__ = ["BolaPolicy"]
+
+
+class BolaPolicy(DeterministicPolicy):
+    """BOLA-BASIC with log utilities over the ladder."""
+
+    def __init__(
+        self,
+        bitrates_kbps: np.ndarray | list[float],
+        chunk_duration_s: float = 4.0,
+        buffer_target_s: float = 25.0,
+        gamma_p: float = 5.0,
+    ) -> None:
+        super().__init__(bitrates_kbps)
+        if chunk_duration_s <= 0:
+            raise ConfigError(
+                f"chunk duration must be positive, got {chunk_duration_s}"
+            )
+        if buffer_target_s <= chunk_duration_s:
+            raise ConfigError(
+                "buffer target must exceed one chunk duration "
+                f"({buffer_target_s} <= {chunk_duration_s})"
+            )
+        if gamma_p <= 0:
+            raise ConfigError(f"gamma_p must be positive, got {gamma_p}")
+        self.chunk_duration_s = chunk_duration_s
+        self.buffer_target_s = buffer_target_s
+        self.gamma_p = gamma_p
+        # Utility of rung q relative to the lowest rung.
+        self._utilities = np.log(self.bitrates_kbps / self.bitrates_kbps[0])
+        # V chosen so the highest rung becomes optimal as the buffer
+        # approaches the target (the standard BOLA calibration).
+        max_buffer_chunks = buffer_target_s / chunk_duration_s
+        self._v = (max_buffer_chunks - 1.0) / (
+            self._utilities[-1] + self.gamma_p
+        )
+
+    def select(self, observation: np.ndarray) -> int:
+        """Pick the rung maximizing BOLA's drift-plus-penalty score."""
+        buffer_chunks = self.view(observation).buffer_s / self.chunk_duration_s
+        # Relative chunk sizes are proportional to bitrate.
+        sizes = self.bitrates_kbps / self.bitrates_kbps[0]
+        scores = (
+            self._v * (self._utilities + self.gamma_p) - buffer_chunks
+        ) / sizes
+        # Real BOLA may pause when every score is negative (buffer above
+        # target); the chunk-level client must still download something,
+        # and the argmax — the least-negative drift per byte — is then
+        # the high rung, which matches dash.js behaviour at a full buffer.
+        return int(np.argmax(scores))

@@ -1,0 +1,33 @@
+"""A policy that pins a single ladder rung.
+
+Used by tests (it makes session outcomes analytically predictable) and as
+the degenerate end of ablation sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.policies.base import DeterministicPolicy
+
+__all__ = ["ConstantPolicy"]
+
+
+class ConstantPolicy(DeterministicPolicy):
+    """Always selects the same bitrate index."""
+
+    def __init__(
+        self, bitrates_kbps: np.ndarray | list[float], bitrate_index: int = 0
+    ) -> None:
+        super().__init__(bitrates_kbps)
+        if not 0 <= bitrate_index < self.num_actions:
+            raise ConfigError(
+                f"bitrate_index {bitrate_index} out of range [0, {self.num_actions})"
+            )
+        self.bitrate_index = bitrate_index
+
+    def select(self, observation: np.ndarray) -> int:
+        """Always the configured rung."""
+        del observation
+        return self.bitrate_index

@@ -1,0 +1,138 @@
+"""RobustMPC [63]: model-predictive bitrate control.
+
+Plans over a short horizon by enumerating rung sequences, simulating buffer
+evolution under a conservative throughput prediction, and scoring each
+sequence with the QoE metric's summands.  "Robust" refers to discounting
+the throughput estimate by the recently observed prediction error.
+
+Included as an extension: the paper names "other default policies" as a
+future-work direction, and MPC is the natural stronger default to compare
+against BB.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.policies.base import DeterministicPolicy
+from repro.policies.rate_based import RateBasedPolicy
+from repro.video.qoe import LinearQoE, QoEMetric
+
+__all__ = ["RobustMPCPolicy", "exhaustive_mpc_plan"]
+
+
+def exhaustive_mpc_plan(
+    bitrates_kbps: np.ndarray,
+    chunk_duration_s: float,
+    horizon: int,
+    qoe_metric: QoEMetric,
+    buffer_s: float,
+    last_index: int,
+    throughput_mbps: float,
+) -> tuple[int, float]:
+    """Enumerate rung sequences over *horizon* chunks and score each with
+    the QoE metric's summands under a constant-throughput prediction.
+
+    Returns the first action of the best sequence and its predicted
+    score.  Shared by :class:`RobustMPCPolicy` and the predictor-driven
+    :class:`repro.policies.predictive.PredictiveMPCPolicy`.
+    """
+    if throughput_mbps <= 0:
+        raise ConfigError(
+            f"throughput prediction must be positive, got {throughput_mbps}"
+        )
+    bitrates_mbps = np.asarray(bitrates_kbps, dtype=float) / 1000.0
+    num_actions = bitrates_mbps.size
+    best_score = -np.inf
+    best_action = 0
+    for sequence in product(range(num_actions), repeat=horizon):
+        score = 0.0
+        buffer = buffer_s
+        previous = last_index
+        for index in sequence:
+            download_s = (
+                bitrates_mbps[index] * chunk_duration_s / throughput_mbps
+            )
+            rebuffer = max(download_s - buffer, 0.0)
+            buffer = max(buffer - download_s, 0.0) + chunk_duration_s
+            score += qoe_metric.chunk_reward(
+                bitrate_mbps=float(bitrates_mbps[index]),
+                rebuffer_s=rebuffer,
+                previous_bitrate_mbps=float(bitrates_mbps[previous]),
+            )
+            previous = index
+        if score > best_score:
+            best_score = score
+            best_action = sequence[0]
+    return best_action, best_score
+
+
+class RobustMPCPolicy(DeterministicPolicy):
+    """Exhaustive-search MPC with robust (error-discounted) prediction."""
+
+    def __init__(
+        self,
+        bitrates_kbps: np.ndarray | list[float],
+        chunk_duration_s: float = 4.0,
+        horizon: int = 3,
+        qoe_metric: QoEMetric | None = None,
+    ) -> None:
+        super().__init__(bitrates_kbps)
+        if chunk_duration_s <= 0:
+            raise ConfigError(
+                f"chunk duration must be positive, got {chunk_duration_s}"
+            )
+        if horizon < 1:
+            raise ConfigError(f"horizon must be >= 1, got {horizon}")
+        self.chunk_duration_s = chunk_duration_s
+        self.horizon = horizon
+        self.qoe_metric = qoe_metric if qoe_metric is not None else LinearQoE()
+        self._throughput_rule = RateBasedPolicy(bitrates_kbps, safety_factor=1.0)
+        self._last_prediction_mbps: float | None = None
+        self._max_error = 0.0
+
+    def reset(self) -> None:
+        """Forget the running prediction-error estimate between sessions."""
+        self._last_prediction_mbps = None
+        self._max_error = 0.0
+
+    def select(self, observation: np.ndarray) -> int:
+        """Plan over the horizon with the robust throughput estimate."""
+        view = self.view(observation)
+        estimate = self._throughput_rule.predict_throughput_mbps(observation)
+        if estimate <= 0:
+            return 0
+        self._update_error(view.throughput_history_mbps)
+        robust_estimate = estimate / (1.0 + self._max_error)
+        best_action, _ = self._plan(
+            buffer_s=view.buffer_s,
+            last_index=view.last_bitrate_index,
+            throughput_mbps=robust_estimate,
+        )
+        self._last_prediction_mbps = robust_estimate
+        return best_action
+
+    def _update_error(self, throughput_history: np.ndarray) -> None:
+        """Track the max relative prediction error over the session so far."""
+        actual = throughput_history[throughput_history > 0]
+        if self._last_prediction_mbps is None or actual.size == 0:
+            return
+        latest = float(actual[-1])
+        error = abs(self._last_prediction_mbps - latest) / max(latest, 1e-9)
+        self._max_error = max(self._max_error * 0.9, error)
+
+    def _plan(
+        self, buffer_s: float, last_index: int, throughput_mbps: float
+    ) -> tuple[int, float]:
+        return exhaustive_mpc_plan(
+            self.bitrates_kbps,
+            self.chunk_duration_s,
+            self.horizon,
+            self.qoe_metric,
+            buffer_s=buffer_s,
+            last_index=last_index,
+            throughput_mbps=throughput_mbps,
+        )

@@ -1,0 +1,87 @@
+"""Predictor-driven MPC: the Fugu-style learned ABR controller.
+
+Fugu [61] = classical MPC control + a learned transfer-time predictor.
+:class:`PredictiveMPCPolicy` is that shape on this library's substrate:
+any :class:`~repro.predictors.base.ThroughputPredictor` (most
+interestingly the trained :class:`~repro.predictors.neural.NeuralPredictor`)
+feeds the exhaustive MPC planner.
+
+With a *learned* predictor this is a second learning-augmented ABR system
+— trained on a distribution, unreliable off it — and therefore a second
+test subject for online safety assurance, which is the paper's named
+future-work direction ("considering other DL-based ABR systems
+(e.g., [61])").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.policies.base import DeterministicPolicy
+from repro.policies.mpc import exhaustive_mpc_plan
+from repro.predictors.base import ThroughputPredictor
+from repro.video.qoe import LinearQoE, QoEMetric
+
+__all__ = ["PredictiveMPCPolicy"]
+
+
+class PredictiveMPCPolicy(DeterministicPolicy):
+    """MPC planning on top of a pluggable throughput predictor."""
+
+    def __init__(
+        self,
+        bitrates_kbps: np.ndarray | list[float],
+        predictor: ThroughputPredictor,
+        chunk_duration_s: float = 4.0,
+        horizon: int = 3,
+        safety_factor: float = 0.9,
+        qoe_metric: QoEMetric | None = None,
+    ) -> None:
+        super().__init__(bitrates_kbps)
+        if chunk_duration_s <= 0:
+            raise ConfigError(
+                f"chunk duration must be positive, got {chunk_duration_s}"
+            )
+        if horizon < 1:
+            raise ConfigError(f"horizon must be >= 1, got {horizon}")
+        if not 0.0 < safety_factor <= 1.0:
+            raise ConfigError(
+                f"safety factor must be in (0, 1], got {safety_factor}"
+            )
+        self.predictor = predictor
+        self.chunk_duration_s = chunk_duration_s
+        self.horizon = horizon
+        self.safety_factor = safety_factor
+        self.qoe_metric = qoe_metric if qoe_metric is not None else LinearQoE()
+        self._last_seen_sample: float | None = None
+
+    def reset(self) -> None:
+        """Reset the predictor's per-session state."""
+        self.predictor.reset()
+        self._last_seen_sample = None
+
+    def select(self, observation: np.ndarray) -> int:
+        """Feed the predictor, then plan with its (discounted) forecast."""
+        view = self.view(observation)
+        history = view.throughput_history_mbps
+        latest = float(history[-1])
+        # One observation = one new chunk download; feed the predictor
+        # the fresh sample (guarding against repeated select() calls on
+        # the same observation).
+        if latest > 0 and latest != self._last_seen_sample:
+            self.predictor.update(latest)
+            self._last_seen_sample = latest
+        prediction = self.predictor.predict() * self.safety_factor
+        if prediction <= 0:
+            return 0
+        action, _ = exhaustive_mpc_plan(
+            self.bitrates_kbps,
+            self.chunk_duration_s,
+            self.horizon,
+            self.qoe_metric,
+            buffer_s=view.buffer_s,
+            last_index=view.last_bitrate_index,
+            throughput_mbps=prediction,
+        )
+        return action

@@ -1,0 +1,22 @@
+"""The paper's naive "Random" baseline.
+
+"A naive baseline that always selects the next bitrate uniformly at
+random" — it anchors the normalized score scale at 0 in Figures 3-5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import ABRPolicy
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(ABRPolicy):
+    """Uniformly random rung selection."""
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """The uniform distribution over the ladder."""
+        del observation
+        return np.full(self.num_actions, 1.0 / self.num_actions)

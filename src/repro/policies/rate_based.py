@@ -1,0 +1,54 @@
+"""Rate-Based (throughput rule) baseline.
+
+The classic fixed rule: estimate future throughput as the harmonic mean of
+recent chunk throughputs, then pick the highest rung whose nominal rate
+fits under a safety factor of the estimate.  Included as an extra baseline
+for the extension benchmarks (the paper's related systems, e.g. [49, 61],
+are throughput predictors at heart).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.policies.base import DeterministicPolicy
+
+__all__ = ["RateBasedPolicy"]
+
+
+class RateBasedPolicy(DeterministicPolicy):
+    """Harmonic-mean throughput rule with a configurable safety factor."""
+
+    def __init__(
+        self,
+        bitrates_kbps: np.ndarray | list[float],
+        safety_factor: float = 0.9,
+        history_chunks: int = 5,
+    ) -> None:
+        super().__init__(bitrates_kbps)
+        if not 0.0 < safety_factor <= 1.0:
+            raise ConfigError(
+                f"safety factor must be in (0, 1], got {safety_factor}"
+            )
+        if history_chunks <= 0:
+            raise ConfigError(
+                f"history_chunks must be positive, got {history_chunks}"
+            )
+        self.safety_factor = safety_factor
+        self.history_chunks = history_chunks
+
+    def predict_throughput_mbps(self, observation: np.ndarray) -> float:
+        """Harmonic mean of the recent non-zero throughput samples."""
+        history = self.view(observation).throughput_history_mbps
+        samples = history[history > 0][-self.history_chunks :]
+        if samples.size == 0:
+            return 0.0
+        return float(samples.size / np.sum(1.0 / samples))
+
+    def select(self, observation: np.ndarray) -> int:
+        """Highest rung under the discounted throughput estimate."""
+        estimate_kbps = self.predict_throughput_mbps(observation) * 1000.0
+        budget = self.safety_factor * estimate_kbps
+        eligible = np.flatnonzero(self.bitrates_kbps <= budget)
+        return int(eligible[-1]) if eligible.size else 0

@@ -1,0 +1,41 @@
+"""The throughput-predictor interface.
+
+A predictor consumes the measured per-chunk throughput stream one sample
+at a time and, at any point, predicts the throughput of the next chunk
+download.  Implementations must tolerate being asked to predict before
+any sample has arrived (return a conservative positive default).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["ThroughputPredictor"]
+
+_DEFAULT_PREDICTION_MBPS = 0.5
+
+
+class ThroughputPredictor:
+    """Base predictor: an online stream model of link throughput."""
+
+    #: Prediction returned before any sample has been observed.
+    cold_start_mbps: float = _DEFAULT_PREDICTION_MBPS
+
+    def reset(self) -> None:
+        """Clear per-session state."""
+        raise NotImplementedError
+
+    def update(self, throughput_mbps: float) -> None:
+        """Fold one measured per-chunk throughput into the model."""
+        raise NotImplementedError
+
+    def predict(self) -> float:
+        """Predicted throughput (Mbit/s) of the next chunk download."""
+        raise NotImplementedError
+
+    def _check_sample(self, throughput_mbps: float) -> float:
+        if throughput_mbps <= 0:
+            raise ConfigError(
+                f"throughput samples must be positive, got {throughput_mbps}"
+            )
+        return float(throughput_mbps)

@@ -1,0 +1,150 @@
+"""Classical throughput predictors.
+
+The standard estimators ABR systems have shipped with for a decade:
+last-sample, windowed arithmetic and harmonic means (the harmonic mean is
+what MPC [63] uses — it is the right average for "time to move N bytes"),
+exponentially weighted moving average, and Holt's double-exponential
+smoothing (level + trend).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.predictors.base import ThroughputPredictor
+
+__all__ = [
+    "LastSamplePredictor",
+    "MovingAveragePredictor",
+    "HarmonicMeanPredictor",
+    "EWMAPredictor",
+    "HoltPredictor",
+]
+
+
+class LastSamplePredictor(ThroughputPredictor):
+    """Predict that the next chunk sees exactly the last throughput."""
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+
+    def reset(self) -> None:
+        self._last = None
+
+    def update(self, throughput_mbps: float) -> None:
+        self._last = self._check_sample(throughput_mbps)
+
+    def predict(self) -> float:
+        return self._last if self._last is not None else self.cold_start_mbps
+
+
+class MovingAveragePredictor(ThroughputPredictor):
+    """Arithmetic mean of the last *window* samples."""
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._samples: deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def update(self, throughput_mbps: float) -> None:
+        self._samples.append(self._check_sample(throughput_mbps))
+
+    def predict(self) -> float:
+        if not self._samples:
+            return self.cold_start_mbps
+        return float(np.mean(self._samples))
+
+
+class HarmonicMeanPredictor(ThroughputPredictor):
+    """Harmonic mean of the last *window* samples (MPC's estimator)."""
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._samples: deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def update(self, throughput_mbps: float) -> None:
+        self._samples.append(self._check_sample(throughput_mbps))
+
+    def predict(self) -> float:
+        if not self._samples:
+            return self.cold_start_mbps
+        inverse_sum = sum(1.0 / s for s in self._samples)
+        return len(self._samples) / inverse_sum
+
+
+class EWMAPredictor(ThroughputPredictor):
+    """Exponentially weighted moving average with smoothing *alpha*."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._level: float | None = None
+
+    def reset(self) -> None:
+        self._level = None
+
+    def update(self, throughput_mbps: float) -> None:
+        sample = self._check_sample(throughput_mbps)
+        if self._level is None:
+            self._level = sample
+        else:
+            self._level = self.alpha * sample + (1.0 - self.alpha) * self._level
+
+    def predict(self) -> float:
+        return self._level if self._level is not None else self.cold_start_mbps
+
+
+class HoltPredictor(ThroughputPredictor):
+    """Holt's double-exponential smoothing: tracks level *and* trend.
+
+    Useful on the correlated cellular traces where throughput ramps up or
+    down over tens of seconds; the prediction is floored at a small
+    positive value since a falling trend must not extrapolate below zero.
+    """
+
+    def __init__(self, alpha: float = 0.4, beta: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise ConfigError(
+                f"alpha and beta must be in (0, 1], got ({alpha}, {beta})"
+            )
+        self.alpha = alpha
+        self.beta = beta
+        self._level: float | None = None
+        self._trend = 0.0
+
+    def reset(self) -> None:
+        self._level = None
+        self._trend = 0.0
+
+    def update(self, throughput_mbps: float) -> None:
+        sample = self._check_sample(throughput_mbps)
+        if self._level is None:
+            self._level = sample
+            self._trend = 0.0
+            return
+        previous_level = self._level
+        self._level = (
+            self.alpha * sample + (1.0 - self.alpha) * (self._level + self._trend)
+        )
+        self._trend = (
+            self.beta * (self._level - previous_level)
+            + (1.0 - self.beta) * self._trend
+        )
+
+    def predict(self) -> float:
+        if self._level is None:
+            return self.cold_start_mbps
+        return max(self._level + self._trend, 0.01)

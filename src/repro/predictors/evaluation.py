@@ -1,0 +1,65 @@
+"""Backtesting throughput predictors on traces.
+
+Feeds a predictor each trace's samples in order, collecting one-step-ahead
+predictions, and reports the standard accuracy metrics (MAE, RMSE, and
+mean absolute percentage error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.predictors.base import ThroughputPredictor
+
+__all__ = ["PredictionScore", "backtest_predictor"]
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """One-step-ahead accuracy of a predictor over a set of series."""
+
+    mae: float
+    rmse: float
+    mape: float
+    count: int
+
+
+def backtest_predictor(
+    predictor: ThroughputPredictor,
+    throughput_series: list[np.ndarray],
+    warmup: int = 1,
+) -> PredictionScore:
+    """Score one-step-ahead predictions across *throughput_series*.
+
+    The first *warmup* samples of each series only update the predictor;
+    predictions are scored from there on.
+    """
+    if warmup < 1:
+        raise ConfigError(f"warmup must be >= 1, got {warmup}")
+    errors = []
+    relative_errors = []
+    squared_errors = []
+    for series in throughput_series:
+        series = np.asarray(series, dtype=float).ravel()
+        if series.size <= warmup:
+            continue
+        predictor.reset()
+        for sample in series[:warmup]:
+            predictor.update(float(sample))
+        for actual in series[warmup:]:
+            predicted = predictor.predict()
+            errors.append(abs(predicted - actual))
+            squared_errors.append((predicted - actual) ** 2)
+            relative_errors.append(abs(predicted - actual) / max(actual, 1e-9))
+            predictor.update(float(actual))
+    if not errors:
+        raise ConfigError("no series long enough to score")
+    return PredictionScore(
+        mae=float(np.mean(errors)),
+        rmse=float(np.sqrt(np.mean(squared_errors))),
+        mape=float(np.mean(relative_errors)),
+        count=len(errors),
+    )

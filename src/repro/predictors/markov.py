@@ -1,0 +1,92 @@
+"""A CS2P-style discretized Markov-chain throughput predictor.
+
+CS2P [49] observed that session throughput is well modelled by a hidden
+Markov chain over discrete throughput states.  This predictor implements
+the non-hidden variant: throughput is quantized into logarithmic bins,
+a transition matrix is estimated from training traces (with Laplace
+smoothing), and the prediction is the expected next-state throughput
+given the current bin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, TrainingError
+from repro.predictors.base import ThroughputPredictor
+
+__all__ = ["MarkovPredictor"]
+
+
+class MarkovPredictor(ThroughputPredictor):
+    """Log-binned Markov-chain predictor, trained offline on traces."""
+
+    def __init__(
+        self,
+        num_bins: int = 16,
+        min_mbps: float = 0.05,
+        max_mbps: float = 100.0,
+        smoothing: float = 0.5,
+    ) -> None:
+        if num_bins < 2:
+            raise ConfigError(f"need >= 2 bins, got {num_bins}")
+        if min_mbps <= 0 or max_mbps <= min_mbps:
+            raise ConfigError(
+                f"need 0 < min < max, got ({min_mbps}, {max_mbps})"
+            )
+        if smoothing <= 0:
+            raise ConfigError(f"smoothing must be positive, got {smoothing}")
+        self.num_bins = num_bins
+        self.min_mbps = min_mbps
+        self.max_mbps = max_mbps
+        self.smoothing = smoothing
+        self._edges = np.logspace(
+            np.log10(min_mbps), np.log10(max_mbps), num_bins + 1
+        )
+        # Bin representative: geometric mean of its edges.
+        self._centers = np.sqrt(self._edges[:-1] * self._edges[1:])
+        self._transitions: np.ndarray | None = None
+        self._current_bin: int | None = None
+
+    def fit(self, throughput_series: list[np.ndarray]) -> "MarkovPredictor":
+        """Estimate the transition matrix from per-session series."""
+        if not throughput_series:
+            raise TrainingError("no training series supplied")
+        counts = np.full((self.num_bins, self.num_bins), self.smoothing)
+        total_transitions = 0
+        for series in throughput_series:
+            bins = self._bin(np.asarray(series, dtype=float))
+            for src, dst in zip(bins[:-1], bins[1:]):
+                counts[src, dst] += 1.0
+                total_transitions += 1
+        if total_transitions == 0:
+            raise TrainingError("training series contain no transitions")
+        self._transitions = counts / counts.sum(axis=1, keepdims=True)
+        return self
+
+    def _bin(self, values: np.ndarray) -> np.ndarray:
+        clipped = np.clip(values, self.min_mbps, self.max_mbps)
+        indices = np.searchsorted(self._edges, clipped, side="right") - 1
+        return np.clip(indices, 0, self.num_bins - 1)
+
+    def reset(self) -> None:
+        self._current_bin = None
+
+    def update(self, throughput_mbps: float) -> None:
+        sample = self._check_sample(throughput_mbps)
+        self._current_bin = int(self._bin(np.asarray([sample]))[0])
+
+    def predict(self) -> float:
+        if self._transitions is None:
+            raise TrainingError("MarkovPredictor used before fit()")
+        if self._current_bin is None:
+            return self.cold_start_mbps
+        row = self._transitions[self._current_bin]
+        return float(row @ self._centers)
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """The fitted row-stochastic transition matrix (copy)."""
+        if self._transitions is None:
+            raise TrainingError("MarkovPredictor used before fit()")
+        return self._transitions.copy()

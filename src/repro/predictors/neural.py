@@ -1,0 +1,115 @@
+"""A neural throughput predictor — the Fugu-style learned component.
+
+Fugu [61] pairs classical MPC control with a DNN that predicts how long
+the next chunk's transfer will take.  This module provides the analogous
+learned component on the :mod:`repro.nn` substrate: an MLP mapping the
+log of the last *history* per-chunk throughputs to the log of the next
+one, trained by Adam on sliding windows from training traces.
+
+Like Pensieve, this predictor is a creature of its training distribution,
+which is exactly what makes the resulting MPC+DNN controller a second
+test subject for online safety assurance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.network import Sequential, build_mlp
+from repro.nn.optim import Adam
+from repro.predictors.base import ThroughputPredictor
+from repro.util.rng import rng_from_seed
+
+__all__ = ["NeuralPredictor", "train_neural_predictor"]
+
+_LOG_FLOOR_MBPS = 1e-3
+
+
+class NeuralPredictor(ThroughputPredictor):
+    """MLP over a log-throughput history window."""
+
+    def __init__(self, network: Sequential, history: int) -> None:
+        if history < 1:
+            raise TrainingError(f"history must be >= 1, got {history}")
+        self.network = network
+        self.history = history
+        self._window: deque[float] = deque(maxlen=history)
+
+    def reset(self) -> None:
+        self._window.clear()
+
+    def update(self, throughput_mbps: float) -> None:
+        self._window.append(self._check_sample(throughput_mbps))
+
+    def predict(self) -> float:
+        if len(self._window) < self.history:
+            # Cold start: fall back to the window mean (or the default).
+            if not self._window:
+                return self.cold_start_mbps
+            return float(np.mean(self._window))
+        features = np.log(
+            np.maximum(np.asarray(self._window), _LOG_FLOOR_MBPS)
+        ).reshape(1, -1)
+        log_prediction = float(self.network.forward(features)[0, 0])
+        # Clamp to a sane range: the predictor must never demand a
+        # negative or absurd rate from the controller.
+        return float(np.clip(np.exp(log_prediction), 0.01, 200.0))
+
+
+def _windows(
+    series: np.ndarray, history: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding (history window, next sample) pairs in log space."""
+    log_series = np.log(np.maximum(series, _LOG_FLOOR_MBPS))
+    inputs = []
+    targets = []
+    for end in range(history, log_series.size):
+        inputs.append(log_series[end - history : end])
+        targets.append(log_series[end])
+    return np.asarray(inputs), np.asarray(targets)
+
+
+def train_neural_predictor(
+    throughput_series: list[np.ndarray],
+    history: int = 8,
+    hidden_sizes: tuple[int, ...] = (32, 32),
+    epochs: int = 300,
+    learning_rate: float = 3e-3,
+    seed: int = 0,
+) -> NeuralPredictor:
+    """Train a :class:`NeuralPredictor` on per-session throughput series.
+
+    Full-batch Adam on the squared log-error.  Sessions shorter than
+    ``history + 1`` samples contribute nothing; at least one usable
+    window is required.
+    """
+    if epochs < 1:
+        raise TrainingError(f"epochs must be >= 1, got {epochs}")
+    all_inputs = []
+    all_targets = []
+    for series in throughput_series:
+        series = np.asarray(series, dtype=float).ravel()
+        if series.size <= history:
+            continue
+        inputs, targets = _windows(series, history)
+        all_inputs.append(inputs)
+        all_targets.append(targets)
+    if not all_inputs:
+        raise TrainingError(
+            f"no training windows: all series shorter than history={history}"
+        )
+    inputs = np.concatenate(all_inputs)
+    targets = np.concatenate(all_targets)
+    rng = rng_from_seed(seed)
+    network = build_mlp(history, list(hidden_sizes), 1, rng, activation="relu")
+    optimizer = Adam(network.params, learning_rate=learning_rate)
+    for _ in range(epochs):
+        predictions = network.forward(inputs)[:, 0]
+        diff = predictions - targets
+        network.zero_grads()
+        network.backward((2.0 * diff / diff.size).reshape(-1, 1))
+        optimizer.step(network.grads)
+    return NeuralPredictor(network, history=history)

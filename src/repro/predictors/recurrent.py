@@ -1,0 +1,99 @@
+"""A recurrent (GRU) throughput predictor.
+
+Where the window MLP of :mod:`repro.predictors.neural` sees a fixed
+8-sample context, the GRU integrates the whole session so far — the kind
+of model CS2P's per-session state and Fugu's follow-ups argue for on
+cellular traces, whose throughput has minutes-scale regimes.
+
+Trained like the MLP predictor: squared error on the log of the next
+per-chunk throughput, full-batch Adam over sliding windows (the window
+only bounds BPTT length; at inference the recurrent state still spans the
+window's worth of most recent samples).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.layers import Dense
+from repro.nn.optim import Adam
+from repro.nn.recurrent import GRU
+from repro.predictors.base import ThroughputPredictor
+from repro.util.rng import rng_from_seed
+
+__all__ = ["RecurrentPredictor", "train_recurrent_predictor"]
+
+_LOG_FLOOR_MBPS = 1e-3
+
+
+class RecurrentPredictor(ThroughputPredictor):
+    """GRU over the log-throughput stream, linear head to the next value."""
+
+    def __init__(self, gru: GRU, head: Dense, context: int) -> None:
+        if context < 1:
+            raise TrainingError(f"context must be >= 1, got {context}")
+        self.gru = gru
+        self.head = head
+        self.context = context
+        self._window: deque[float] = deque(maxlen=context)
+
+    def reset(self) -> None:
+        self._window.clear()
+
+    def update(self, throughput_mbps: float) -> None:
+        self._window.append(self._check_sample(throughput_mbps))
+
+    def predict(self) -> float:
+        if not self._window:
+            return self.cold_start_mbps
+        log_series = np.log(
+            np.maximum(np.asarray(self._window), _LOG_FLOOR_MBPS)
+        ).reshape(1, -1, 1)
+        hidden = self.gru.forward(log_series)
+        log_prediction = float(self.head.forward(hidden)[0, 0])
+        return float(np.clip(np.exp(log_prediction), 0.01, 200.0))
+
+
+def train_recurrent_predictor(
+    throughput_series: list[np.ndarray],
+    context: int = 12,
+    hidden_size: int = 16,
+    epochs: int = 150,
+    learning_rate: float = 5e-3,
+    seed: int = 0,
+) -> RecurrentPredictor:
+    """Train a :class:`RecurrentPredictor` on per-session series."""
+    if epochs < 1:
+        raise TrainingError(f"epochs must be >= 1, got {epochs}")
+    windows = []
+    targets = []
+    for series in throughput_series:
+        log_series = np.log(
+            np.maximum(np.asarray(series, dtype=float).ravel(), _LOG_FLOOR_MBPS)
+        )
+        for end in range(context, log_series.size):
+            windows.append(log_series[end - context : end])
+            targets.append(log_series[end])
+    if not windows:
+        raise TrainingError(
+            f"no training windows: all series shorter than context={context}"
+        )
+    inputs = np.asarray(windows)[:, :, None]
+    target_arr = np.asarray(targets)
+    rng = rng_from_seed(seed)
+    gru = GRU(1, hidden_size, rng)
+    head = Dense(hidden_size, 1, rng)
+    optimizer = Adam(gru.params + head.params, learning_rate=learning_rate)
+    for _ in range(epochs):
+        hidden = gru.forward(inputs)
+        predictions = head.forward(hidden)[:, 0]
+        diff = predictions - target_arr
+        gru.zero_grads()
+        head.zero_grads()
+        grad_hidden = head.backward((2.0 * diff / diff.size)[:, None])
+        gru.backward(grad_hidden)
+        optimizer.step(gru.grads + head.grads)
+    return RecurrentPredictor(gru, head, context=context)

@@ -1,0 +1,100 @@
+"""Mahimahi packet-delivery trace format.
+
+The paper's experimental framework emulates network conditions with
+MahiMahi [30].  A Mahimahi trace file contains one integer per line: the
+millisecond timestamp at which one MTU-sized (1500-byte) packet may be
+delivered.  This module converts between that format and the bandwidth
+time-series representation used by the simulator, so traces generated here
+can drive a real Mahimahi shell and recorded Mahimahi traces can drive the
+simulator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.trace import Trace
+
+__all__ = ["write_mahimahi", "read_mahimahi", "MTU_BYTES"]
+
+MTU_BYTES = 1500
+_BITS_PER_PACKET = MTU_BYTES * 8
+
+
+def write_mahimahi(trace: Trace, path: Path | str) -> int:
+    """Write *trace* as a Mahimahi packet-delivery file.
+
+    For each one-millisecond slot the fractional number of deliverable
+    packets is accumulated; a line is emitted whenever the accumulator
+    crosses one packet, which reproduces the bandwidth within one packet
+    per slot.  Returns the number of packet-delivery lines written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    total_ms = int(np.ceil(trace.duration * 1000.0))
+    if total_ms <= 0:
+        raise TraceError("trace duration too short to serialize")
+    lines: list[str] = []
+    accumulated_packets = 0.0
+    for ms in range(total_ms):
+        bandwidth_mbps = trace.bandwidth_at(trace.times[0] + ms / 1000.0)
+        accumulated_packets += bandwidth_mbps * 1e6 / 1000.0 / _BITS_PER_PACKET
+        while accumulated_packets >= 1.0:
+            lines.append(str(ms + 1))
+            accumulated_packets -= 1.0
+    if not lines:
+        raise TraceError(
+            f"trace {trace.name!r} is too slow/short to deliver a single packet"
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def read_mahimahi(
+    path: Path | str,
+    bin_s: float = 1.0,
+    name: str | None = None,
+) -> Trace:
+    """Read a Mahimahi packet-delivery file into a bandwidth trace.
+
+    Packet deliveries are binned into *bin_s*-second windows and converted
+    to Mbit/s.  Empty bins get a tiny positive bandwidth, mirroring how the
+    reference Pensieve loader treats silent periods.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"mahimahi trace not found: {path}")
+    if bin_s <= 0:
+        raise TraceError(f"bin size must be positive, got {bin_s}")
+    timestamps_ms = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            value = int(line)
+        except ValueError as exc:
+            raise TraceError(
+                f"{path}:{line_number}: expected integer millisecond, got {line!r}"
+            ) from exc
+        if value < 0:
+            raise TraceError(f"{path}:{line_number}: negative timestamp {value}")
+        timestamps_ms.append(value)
+    if not timestamps_ms:
+        raise TraceError(f"mahimahi trace {path} contains no packet deliveries")
+    timestamps_ms = np.asarray(timestamps_ms)
+    if np.any(np.diff(timestamps_ms) < 0):
+        raise TraceError(f"mahimahi trace {path} timestamps must be non-decreasing")
+    duration_s = timestamps_ms[-1] / 1000.0
+    bins = max(int(np.ceil(duration_s / bin_s)), 2)
+    counts, _ = np.histogram(
+        timestamps_ms / 1000.0, bins=bins, range=(0.0, bins * bin_s)
+    )
+    bandwidths = counts * _BITS_PER_PACKET / bin_s / 1e6
+    bandwidths = np.maximum(bandwidths, 0.01)
+    return Trace.from_bandwidths(
+        bandwidths, interval_s=bin_s, name=name or path.stem
+    )

@@ -1,0 +1,118 @@
+"""The :class:`Trace` type: a piecewise-constant bandwidth time series.
+
+A trace is the same abstraction Pensieve's simulator consumes: timestamps
+(seconds) paired with the link bandwidth (Mbit/s) that holds from each
+timestamp until the next.  The ABR simulator walks a trace, wrapping around
+at the end, exactly like the reference ``load_trace``/``env`` code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["Trace"]
+
+_MIN_BANDWIDTH_MBPS = 0.01
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable bandwidth trace.
+
+    Attributes:
+        times: strictly increasing timestamps in seconds, starting at >= 0.
+        bandwidths_mbps: link bandwidth in Mbit/s holding from ``times[i]``
+            to ``times[i+1]`` (and wrapping around after the last sample).
+        name: human-readable identifier (file name or generator label).
+    """
+
+    times: np.ndarray
+    bandwidths_mbps: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        bandwidths = np.asarray(self.bandwidths_mbps, dtype=float)
+        if times.ndim != 1 or bandwidths.ndim != 1:
+            raise TraceError("times and bandwidths must be 1-D arrays")
+        if times.size != bandwidths.size:
+            raise TraceError(
+                f"length mismatch: {times.size} times vs {bandwidths.size} bandwidths"
+            )
+        if times.size < 2:
+            raise TraceError("a trace needs at least two samples")
+        if not np.all(np.isfinite(times)) or not np.all(np.isfinite(bandwidths)):
+            raise TraceError("times and bandwidths must be finite")
+        if times[0] < 0:
+            raise TraceError(f"timestamps must be non-negative, start is {times[0]}")
+        if np.any(np.diff(times) <= 0):
+            raise TraceError("timestamps must be strictly increasing")
+        if np.any(bandwidths <= 0):
+            raise TraceError("bandwidths must be positive")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "bandwidths_mbps", bandwidths)
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def duration(self) -> float:
+        """Seconds covered by the trace (last timestamp minus first)."""
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def mean_bandwidth(self) -> float:
+        """Time-weighted mean bandwidth in Mbit/s."""
+        intervals = np.diff(self.times)
+        return float(
+            (self.bandwidths_mbps[:-1] * intervals).sum() / intervals.sum()
+        )
+
+    @property
+    def std_bandwidth(self) -> float:
+        """Unweighted standard deviation of bandwidth samples in Mbit/s."""
+        return float(self.bandwidths_mbps.std())
+
+    def bandwidth_at(self, time_s: float) -> float:
+        """Bandwidth holding at *time_s*, wrapping past the trace end."""
+        if self.duration <= 0:
+            raise TraceError("trace has zero duration")
+        offset = (time_s - self.times[0]) % self.duration + self.times[0]
+        index = int(np.searchsorted(self.times, offset, side="right") - 1)
+        return float(self.bandwidths_mbps[index])
+
+    def scaled(self, factor: float, name: str | None = None) -> "Trace":
+        """A copy with all bandwidths multiplied by *factor*."""
+        if factor <= 0:
+            raise TraceError(f"scale factor must be positive, got {factor}")
+        return Trace(
+            times=self.times.copy(),
+            bandwidths_mbps=self.bandwidths_mbps * factor,
+            name=name or f"{self.name}*{factor:g}",
+        )
+
+    def clipped(self, min_mbps: float = _MIN_BANDWIDTH_MBPS) -> "Trace":
+        """A copy with bandwidths floored at *min_mbps* (avoids stalls from
+        zero-rate samples in pathological generated traces)."""
+        return Trace(
+            times=self.times.copy(),
+            bandwidths_mbps=np.maximum(self.bandwidths_mbps, min_mbps),
+            name=self.name,
+        )
+
+    @staticmethod
+    def from_bandwidths(
+        bandwidths_mbps: np.ndarray | list[float],
+        interval_s: float = 1.0,
+        name: str = "trace",
+    ) -> "Trace":
+        """Build a trace from bandwidth samples at a fixed interval."""
+        if interval_s <= 0:
+            raise TraceError(f"interval must be positive, got {interval_s}")
+        bandwidths = np.asarray(bandwidths_mbps, dtype=float)
+        times = np.arange(bandwidths.size, dtype=float) * interval_s
+        return Trace(times=times, bandwidths_mbps=bandwidths, name=name)

@@ -1,0 +1,31 @@
+"""Shared utilities: deterministic RNG handling, statistics, serialization.
+
+These helpers are deliberately dependency-light (numpy only) and are used by
+every other subpackage.
+"""
+
+from repro.util.bootstrap import ConfidenceInterval, bootstrap_ci
+from repro.util.rng import child_rng, rng_from_seed, spawn_seeds
+from repro.util.significance import PairedComparison, paired_comparison
+from repro.util.stats import (
+    RunningStats,
+    empirical_cdf,
+    mean_std_window,
+    normalize_scores,
+    summarize,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "PairedComparison",
+    "RunningStats",
+    "bootstrap_ci",
+    "child_rng",
+    "empirical_cdf",
+    "mean_std_window",
+    "normalize_scores",
+    "paired_comparison",
+    "rng_from_seed",
+    "spawn_seeds",
+    "summarize",
+]

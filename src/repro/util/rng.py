@@ -1,0 +1,55 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library receives an explicit
+:class:`numpy.random.Generator` (or an integer seed from which one is built).
+Nothing in the library touches the global numpy RNG, which keeps experiments
+reproducible and lets tests pin every source of randomness.
+
+The helpers here implement a simple *seed tree*: a root seed is split into
+independent child seeds with :func:`spawn_seeds`, so, e.g., each agent in an
+ensemble trains with its own stream while the whole ensemble remains a pure
+function of one root seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rng_from_seed", "spawn_seeds", "child_rng"]
+
+
+def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts an ``int`` seed, an existing generator (returned unchanged), or
+    ``None`` (fresh OS entropy).  Library code should call this once at its
+    public boundary and pass generators internally.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(root_seed: int, count: int) -> list[int]:
+    """Derive *count* independent integer seeds from *root_seed*.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, which guarantees the
+    child streams are statistically independent of each other and of the
+    root stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    children = np.random.SeedSequence(root_seed).spawn(count)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def child_rng(rng: np.random.Generator, index: int = 0) -> np.random.Generator:
+    """Split an independent child generator off *rng*.
+
+    Unlike calling ``rng.integers`` to make an ad-hoc seed, spawning keeps
+    the child stream independent of later draws from the parent.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    seq = rng.bit_generator.seed_seq.spawn(index + 1)[index]
+    return np.random.default_rng(seq)

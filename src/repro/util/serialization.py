@@ -1,0 +1,83 @@
+"""JSON / npz persistence helpers for experiment artifacts and models.
+
+Artifacts are stored as plain JSON (for metadata and small results) plus
+``.npz`` files (for arrays such as network weights), so that everything on
+disk is inspectable without this library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ArtifactError
+
+__all__ = [
+    "stable_hash",
+    "to_jsonable",
+    "save_json",
+    "load_json",
+    "save_arrays",
+    "load_arrays",
+]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays into JSON-friendly types."""
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    return value
+
+
+def stable_hash(payload: Mapping[str, Any]) -> str:
+    """Deterministic short hash of a JSON-serializable mapping.
+
+    Used to key the artifact cache by experiment configuration: the same
+    configuration always maps to the same cache directory.
+    """
+    text = json.dumps(to_jsonable(dict(payload)), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def save_json(path: Path | str, payload: Any) -> None:
+    """Write *payload* as pretty-printed JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
+
+
+def load_json(path: Path | str) -> Any:
+    """Load JSON from *path*, raising :class:`ArtifactError` when absent."""
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"artifact not found: {path}")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"corrupt artifact {path}: {exc}") from exc
+
+
+def save_arrays(path: Path | str, arrays: Mapping[str, np.ndarray]) -> None:
+    """Persist a named collection of arrays as an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{key: np.asarray(val) for key, val in arrays.items()})
+
+
+def load_arrays(path: Path | str) -> dict[str, np.ndarray]:
+    """Load an ``.npz`` file saved by :func:`save_arrays`."""
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"artifact not found: {path}")
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}

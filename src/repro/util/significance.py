@@ -1,0 +1,83 @@
+"""Paired significance tests for scheme comparisons.
+
+The paper compares schemes by point statistics over 30 paired
+(train, test) combinations.  With a simulated substrate we can also ask
+whether the differences are statistically meaningful: the schemes are
+evaluated on *the same* 30 pairs, so paired tests apply.  Wraps scipy's
+Wilcoxon signed-rank test (no normality assumption, right for heavy-tailed
+QoE differences) and the simple sign test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["PairedComparison", "paired_comparison"]
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of comparing scheme A against scheme B on paired samples."""
+
+    mean_difference: float
+    median_difference: float
+    wins: int
+    losses: int
+    ties: int
+    wilcoxon_p: float
+    sign_test_p: float
+
+    @property
+    def n(self) -> int:
+        return self.wins + self.losses + self.ties
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the Wilcoxon test rejects "no difference" at *alpha*."""
+        return self.wilcoxon_p < alpha
+
+
+def paired_comparison(
+    scores_a: np.ndarray | list[float],
+    scores_b: np.ndarray | list[float],
+) -> PairedComparison:
+    """Compare two schemes' scores on the same evaluation pairs.
+
+    Positive differences mean A beat B.  Raises :class:`ValueError` on
+    mismatched lengths or fewer than five pairs (the tests are
+    meaningless below that).
+    """
+    a = np.asarray(scores_a, dtype=float).ravel()
+    b = np.asarray(scores_b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"paired samples differ in shape: {a.shape} vs {b.shape}")
+    if a.size < 5:
+        raise ValueError(f"need >= 5 pairs for a paired test, got {a.size}")
+    differences = a - b
+    wins = int(np.sum(differences > 0))
+    losses = int(np.sum(differences < 0))
+    ties = int(np.sum(differences == 0))
+    if np.allclose(differences, 0.0):
+        wilcoxon_p = 1.0
+    else:
+        wilcoxon_p = float(
+            stats.wilcoxon(differences, zero_method="wilcox").pvalue
+        )
+    decided = wins + losses
+    if decided == 0:
+        sign_p = 1.0
+    else:
+        sign_p = float(
+            stats.binomtest(wins, decided, p=0.5, alternative="two-sided").pvalue
+        )
+    return PairedComparison(
+        mean_difference=float(differences.mean()),
+        median_difference=float(np.median(differences)),
+        wins=wins,
+        losses=losses,
+        ties=ties,
+        wilcoxon_p=wilcoxon_p,
+        sign_test_p=sign_p,
+    )

@@ -1,0 +1,21 @@
+"""Video model: bitrate ladders, chunk-size manifests, and QoE metrics.
+
+The paper streams the EnvivioDash3 reference video (48 chunks of ~4 s at six
+encodings, concatenated five times to prolong the session) and scores
+sessions with the conventional linear QoE metric of [27, 63].  The real
+MPD/chunk files are not available offline, so :mod:`repro.video.envivio`
+synthesises a deterministic chunk-size table with realistic variable-bitrate
+noise at Pensieve's bitrate ladder.
+"""
+
+from repro.video.envivio import envivio_dash3_manifest
+from repro.video.manifest import VideoManifest
+from repro.video.qoe import LinearQoE, LogQoE, QoEMetric
+
+__all__ = [
+    "LinearQoE",
+    "LogQoE",
+    "QoEMetric",
+    "VideoManifest",
+    "envivio_dash3_manifest",
+]

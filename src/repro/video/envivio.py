@@ -1,0 +1,69 @@
+"""A synthesized EnvivioDash3-like manifest.
+
+The paper streams the "EnvivioDash3" video from the DASH-246 JavaScript
+reference client: 48 chunks of ~4 seconds, encoded at six resolutions, and
+concatenated five times (240 chunks, 16 minutes).  The actual chunk files
+are not available offline, so this module synthesises a chunk-size table
+with the properties that matter to an ABR algorithm:
+
+* nominal size ``bitrate * chunk_duration / 8`` per chunk,
+* per-chunk variable-bitrate (VBR) fluctuation around the nominal size,
+  correlated across rungs (a complex scene is big at *every* bitrate), and
+* deterministic content: a fixed internal seed makes every call return the
+  same video, like a real file on disk would.
+
+The bitrate ladder is Pensieve's: {300, 750, 1200, 1850, 2850, 4300}
+kbit/s, corresponding to the paper's {240, 360, 480, 720, 1080, 1440}p
+resolutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VideoError
+from repro.video.manifest import VideoManifest
+
+__all__ = ["PENSIEVE_BITRATES_KBPS", "envivio_dash3_manifest"]
+
+#: Pensieve's VIDEO_BIT_RATE ladder (kbit/s).
+PENSIEVE_BITRATES_KBPS = (300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0)
+
+_BASE_CHUNKS = 48
+_CHUNK_DURATION_S = 4.0
+_CONTENT_SEED = 0x0E17_1D10  # fixed: the video is a constant, not a parameter
+_VBR_STD = 0.15
+_VBR_MIN_FACTOR = 0.55
+_VBR_MAX_FACTOR = 1.6
+
+
+def envivio_dash3_manifest(
+    repeats: int = 5,
+    vbr_std: float = _VBR_STD,
+) -> VideoManifest:
+    """Return the synthesized EnvivioDash3 manifest, concatenated *repeats*
+    times (the paper uses 5).
+
+    *vbr_std* controls the per-chunk size fluctuation; the default matches
+    typical H.264 VBR segment-size variation of ~15%.
+    """
+    if repeats < 1:
+        raise VideoError(f"repeats must be >= 1, got {repeats}")
+    if vbr_std < 0:
+        raise VideoError(f"vbr_std must be >= 0, got {vbr_std}")
+    rng = np.random.default_rng(_CONTENT_SEED)
+    bitrates = np.asarray(PENSIEVE_BITRATES_KBPS)
+    nominal = bitrates * 1000.0 * _CHUNK_DURATION_S / 8.0  # bytes per chunk
+    # Scene complexity per chunk: one multiplicative factor shared by all
+    # rungs, plus small independent per-rung jitter (encoder noise).
+    complexity = rng.normal(1.0, vbr_std, size=(_BASE_CHUNKS, 1))
+    jitter = rng.normal(1.0, vbr_std / 3.0, size=(_BASE_CHUNKS, bitrates.size))
+    factors = np.clip(complexity * jitter, _VBR_MIN_FACTOR, _VBR_MAX_FACTOR)
+    sizes = nominal[None, :] * factors
+    base = VideoManifest(
+        bitrates_kbps=bitrates,
+        chunk_sizes_bytes=sizes,
+        chunk_duration_s=_CHUNK_DURATION_S,
+        name="enviviodash3",
+    )
+    return base.concatenated(repeats) if repeats > 1 else base

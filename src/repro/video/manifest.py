@@ -1,0 +1,112 @@
+"""Video manifests: which bitrates exist and how big every chunk is.
+
+A manifest is the ABR-relevant projection of a DASH MPD: the bitrate ladder
+and the size in bytes of every (chunk, bitrate) pair.  Chunk sizes are what
+couple the video to the network — download time is size divided by
+throughput — so they are the only video property the simulator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import VideoError
+
+__all__ = ["VideoManifest"]
+
+
+@dataclass(frozen=True)
+class VideoManifest:
+    """Sizes and rates of an encoded, segmented video.
+
+    Attributes:
+        bitrates_kbps: the bitrate ladder in kbit/s, strictly increasing.
+        chunk_sizes_bytes: array of shape ``(num_chunks, num_bitrates)``;
+            entry ``[n, q]`` is the size in bytes of chunk ``n`` encoded at
+            ladder rung ``q``.
+        chunk_duration_s: playback seconds per chunk.
+        name: identifier for logging.
+    """
+
+    bitrates_kbps: np.ndarray
+    chunk_sizes_bytes: np.ndarray
+    chunk_duration_s: float = 4.0
+    name: str = "video"
+
+    def __post_init__(self) -> None:
+        bitrates = np.asarray(self.bitrates_kbps, dtype=float)
+        sizes = np.asarray(self.chunk_sizes_bytes, dtype=float)
+        if bitrates.ndim != 1 or bitrates.size < 2:
+            raise VideoError("bitrate ladder needs at least two rungs")
+        if np.any(bitrates <= 0):
+            raise VideoError("bitrates must be positive")
+        if np.any(np.diff(bitrates) <= 0):
+            raise VideoError("bitrate ladder must be strictly increasing")
+        if sizes.ndim != 2 or sizes.shape[1] != bitrates.size:
+            raise VideoError(
+                f"chunk sizes must be (chunks, {bitrates.size}), got {sizes.shape}"
+            )
+        if sizes.shape[0] < 1:
+            raise VideoError("video needs at least one chunk")
+        if not np.all(np.isfinite(sizes)) or not np.all(np.isfinite(bitrates)):
+            raise VideoError("bitrates and chunk sizes must be finite")
+        if np.any(sizes <= 0):
+            raise VideoError("chunk sizes must be positive")
+        if self.chunk_duration_s <= 0:
+            raise VideoError(
+                f"chunk duration must be positive, got {self.chunk_duration_s}"
+            )
+        object.__setattr__(self, "bitrates_kbps", bitrates)
+        object.__setattr__(self, "chunk_sizes_bytes", sizes)
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of segments in the video."""
+        return int(self.chunk_sizes_bytes.shape[0])
+
+    @property
+    def num_bitrates(self) -> int:
+        """Number of rungs in the bitrate ladder."""
+        return int(self.bitrates_kbps.size)
+
+    @property
+    def duration_s(self) -> float:
+        """Total playback duration."""
+        return self.num_chunks * self.chunk_duration_s
+
+    def chunk_size(self, chunk_index: int, bitrate_index: int) -> float:
+        """Size in bytes of one (chunk, bitrate) pair, with bounds checks."""
+        if not 0 <= chunk_index < self.num_chunks:
+            raise VideoError(
+                f"chunk index {chunk_index} out of range [0, {self.num_chunks})"
+            )
+        if not 0 <= bitrate_index < self.num_bitrates:
+            raise VideoError(
+                f"bitrate index {bitrate_index} out of range [0, {self.num_bitrates})"
+            )
+        return float(self.chunk_sizes_bytes[chunk_index, bitrate_index])
+
+    def next_chunk_sizes(self, chunk_index: int) -> np.ndarray:
+        """Sizes of the upcoming chunk at every bitrate (a Pensieve feature)."""
+        if not 0 <= chunk_index < self.num_chunks:
+            raise VideoError(
+                f"chunk index {chunk_index} out of range [0, {self.num_chunks})"
+            )
+        return self.chunk_sizes_bytes[chunk_index].copy()
+
+    def concatenated(self, repeats: int) -> "VideoManifest":
+        """The video repeated *repeats* times back to back.
+
+        The paper prolongs EnvivioDash3 by "concatenating the original
+        video five times".
+        """
+        if repeats < 1:
+            raise VideoError(f"repeats must be >= 1, got {repeats}")
+        return VideoManifest(
+            bitrates_kbps=self.bitrates_kbps.copy(),
+            chunk_sizes_bytes=np.tile(self.chunk_sizes_bytes, (repeats, 1)),
+            chunk_duration_s=self.chunk_duration_s,
+            name=f"{self.name}x{repeats}",
+        )

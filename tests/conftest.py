@@ -1,0 +1,69 @@
+"""Shared fixtures: small videos, traces, and training configurations.
+
+Everything here is sized so individual tests run in milliseconds-to-seconds
+while still exercising the real code paths (no mocks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pensieve.training import TrainingConfig
+from repro.traces.trace import Trace
+from repro.video.envivio import envivio_dash3_manifest
+from repro.video.manifest import VideoManifest
+
+
+@pytest.fixture(scope="session")
+def manifest() -> VideoManifest:
+    """The synthesized EnvivioDash3 video, single repetition (48 chunks)."""
+    return envivio_dash3_manifest(repeats=1)
+
+
+@pytest.fixture(scope="session")
+def bitrates(manifest: VideoManifest) -> np.ndarray:
+    return manifest.bitrates_kbps
+
+
+@pytest.fixture()
+def steady_trace() -> Trace:
+    """A constant 3 Mbit/s link, long enough for any test session."""
+    return Trace.from_bandwidths([3.0] * 400, name="steady3")
+
+
+@pytest.fixture()
+def fast_trace() -> Trace:
+    """A constant 40 Mbit/s link: every rung always fits."""
+    return Trace.from_bandwidths([40.0] * 400, name="fast40")
+
+
+@pytest.fixture()
+def slow_trace() -> Trace:
+    """A constant 0.4 Mbit/s link: only the lowest rung fits."""
+    return Trace.from_bandwidths([0.4] * 1200, name="slow04")
+
+
+@pytest.fixture()
+def bursty_trace() -> Trace:
+    """Alternating 1 / 8 Mbit/s every 10 s."""
+    pattern = ([1.0] * 10 + [8.0] * 10) * 20
+    return Trace.from_bandwidths(pattern, name="bursty")
+
+
+@pytest.fixture(scope="session")
+def tiny_training_config() -> TrainingConfig:
+    """A few epochs of the real trainer: enough to move the weights."""
+    return TrainingConfig(
+        epochs=5,
+        gamma=0.9,
+        n_step=4,
+        filters=8,
+        hidden=16,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,177 @@
+"""Tests for repro.abr.env: the chunk-level streaming simulator."""
+
+import numpy as np
+import pytest
+
+from repro.abr.env import ABREnv
+from repro.errors import SimulationError
+from repro.traces.trace import Trace
+from repro.video.manifest import VideoManifest
+from repro.video.qoe import LinearQoE
+
+
+def flat_manifest(chunks=10, chunk_duration=4.0):
+    """Constant chunk sizes: rung r is exactly bitrate_r * duration bytes."""
+    bitrates = np.array([300.0, 750.0, 1200.0])
+    sizes = np.outer(
+        np.ones(chunks), bitrates * 1000.0 * chunk_duration / 8.0
+    )
+    return VideoManifest(
+        bitrates_kbps=bitrates,
+        chunk_sizes_bytes=sizes,
+        chunk_duration_s=chunk_duration,
+    )
+
+
+class TestDownloadTiming:
+    def test_constant_rate_download_time(self):
+        # 1.2 Mbit/s chunk of 4 s over a 2.4 Mbit/s link: 2 s + RTT.
+        manifest = flat_manifest()
+        env = ABREnv(manifest, Trace.from_bandwidths([2.4] * 200), rtt_s=0.08)
+        env.reset()
+        result = env.step(2)
+        assert result.info["download_time_s"] == pytest.approx(2.0 + 0.08, rel=1e-6)
+
+    def test_zero_rtt(self):
+        manifest = flat_manifest()
+        env = ABREnv(manifest, Trace.from_bandwidths([1.2] * 200), rtt_s=0.0)
+        env.reset()
+        result = env.step(2)
+        assert result.info["download_time_s"] == pytest.approx(4.0, rel=1e-6)
+
+    def test_download_spans_rate_change(self):
+        # First 4 s at 1.2 Mbit/s, then 2.4: a 1.2 Mbit/s x 4 s chunk
+        # started at t=0.0 with no RTT finishes exactly at the boundary.
+        manifest = flat_manifest()
+        trace = Trace(
+            times=np.array([0.0, 4.0, 400.0]),
+            bandwidths_mbps=np.array([1.2, 2.4, 2.4]),
+        )
+        env = ABREnv(manifest, trace, rtt_s=0.0)
+        env.reset()  # chunk 0 at rung 0 consumes some link time
+        first_time = env.step(2).info["download_time_s"]
+        assert first_time > 0
+        # Measured throughput must lie between the two rates.
+        throughput = env.step(2).info["throughput_mbps"]
+        assert 1.2 - 1e-6 <= throughput <= 2.4 + 1e-6
+
+
+class TestBufferDynamics:
+    def test_rebuffer_when_buffer_empty(self):
+        manifest = flat_manifest()
+        env = ABREnv(manifest, Trace.from_bandwidths([0.3] * 2000), rtt_s=0.0)
+        env.reset()
+        # Highest rung at 0.3 Mbit/s: 16 s download, 4 s buffered.
+        result = env.step(2)
+        assert result.info["rebuffer_s"] == pytest.approx(12.0, rel=1e-3)
+
+    def test_no_rebuffer_with_deep_buffer(self):
+        manifest = flat_manifest(chunks=20)
+        env = ABREnv(manifest, Trace.from_bandwidths([50.0] * 300))
+        env.reset()
+        total_rebuffer = 0.0
+        done = False
+        while not done:
+            result = env.step(0)
+            total_rebuffer += result.info["rebuffer_s"]
+            done = result.done
+        assert total_rebuffer == 0.0
+
+    def test_buffer_never_negative_and_capped(self):
+        manifest = flat_manifest(chunks=30)
+        env = ABREnv(
+            manifest, Trace.from_bandwidths([100.0] * 300), max_buffer_s=20.0
+        )
+        env.reset()
+        done = False
+        while not done:
+            result = env.step(0)
+            assert 0.0 <= result.info["buffer_s"] <= 20.0 + 1e-9
+            done = result.done
+
+    def test_sleep_reported_when_buffer_full(self):
+        manifest = flat_manifest(chunks=30)
+        env = ABREnv(
+            manifest, Trace.from_bandwidths([100.0] * 300), max_buffer_s=12.0
+        )
+        env.reset()
+        sleeps = []
+        done = False
+        while not done:
+            result = env.step(0)
+            sleeps.append(result.info["sleep_s"])
+            done = result.done
+        assert any(s > 0 for s in sleeps)
+
+
+class TestEpisodeProtocol:
+    def test_reset_downloads_first_chunk_at_lowest_rung(self):
+        manifest = flat_manifest()
+        env = ABREnv(manifest, Trace.from_bandwidths([3.0] * 200))
+        observation = env.reset()
+        assert env.chunks_downloaded == 1
+        # Throughput history has exactly one sample.
+        assert np.count_nonzero(observation[2]) == 1
+
+    def test_episode_length(self):
+        manifest = flat_manifest(chunks=5)
+        env = ABREnv(manifest, Trace.from_bandwidths([10.0] * 200))
+        env.reset()
+        steps = 0
+        done = False
+        while not done:
+            done = env.step(1).done
+            steps += 1
+        assert steps == 4  # reset consumed chunk 0
+
+    def test_step_after_done_rejected(self):
+        manifest = flat_manifest(chunks=2)
+        env = ABREnv(manifest, Trace.from_bandwidths([10.0] * 200))
+        env.reset()
+        assert env.step(0).done
+        with pytest.raises(SimulationError):
+            env.step(0)
+
+    def test_invalid_action_rejected(self):
+        manifest = flat_manifest()
+        env = ABREnv(manifest, Trace.from_bandwidths([10.0] * 200))
+        env.reset()
+        with pytest.raises(SimulationError):
+            env.step(3)
+
+    def test_reward_matches_qoe_metric(self):
+        manifest = flat_manifest()
+        metric = LinearQoE()
+        env = ABREnv(manifest, Trace.from_bandwidths([5.0] * 200), qoe_metric=metric)
+        env.reset()
+        result = env.step(2)
+        expected = metric.chunk_reward(
+            bitrate_mbps=1.2,
+            rebuffer_s=result.info["rebuffer_s"],
+            previous_bitrate_mbps=0.3,
+        )
+        assert result.reward == pytest.approx(expected)
+
+    def test_trace_wraparound_long_session(self):
+        # Video longer than the trace: the trace must wrap seamlessly.
+        manifest = flat_manifest(chunks=50)
+        env = ABREnv(manifest, Trace.from_bandwidths([1.0, 2.0, 1.5, 0.8]))
+        env.reset()
+        done = False
+        while not done:
+            done = env.step(1).done
+        assert env.chunks_downloaded == 50
+
+
+class TestValidation:
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(SimulationError):
+            ABREnv(flat_manifest(), Trace.from_bandwidths([1.0, 1.0]), rtt_s=-0.1)
+
+    def test_tiny_buffer_cap_rejected(self):
+        with pytest.raises(SimulationError):
+            ABREnv(
+                flat_manifest(),
+                Trace.from_bandwidths([1.0, 1.0]),
+                max_buffer_s=2.0,
+            )

@@ -1,0 +1,93 @@
+"""Tests for repro.abr.session: full-session evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.abr.session import run_session
+from repro.policies.buffer_based import BufferBasedPolicy
+from repro.policies.constant import ConstantPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.video.qoe import LinearQoE
+
+
+class TestRunSession:
+    def test_covers_whole_video(self, manifest, fast_trace):
+        policy = ConstantPolicy(manifest.bitrates_kbps, bitrate_index=0)
+        result = run_session(policy, manifest, fast_trace)
+        assert len(result) == manifest.num_chunks - 1
+
+    def test_qoe_equals_reward_sum(self, manifest, steady_trace):
+        policy = BufferBasedPolicy(manifest.bitrates_kbps)
+        result = run_session(policy, manifest, steady_trace)
+        assert result.qoe == pytest.approx(
+            sum(record.reward for record in result.chunks)
+        )
+
+    def test_session_qoe_consistent_with_metric(self, manifest, steady_trace):
+        # Recomputing from recorded bitrates/rebuffers must match, modulo
+        # the first chunk (downloaded before the policy's first decision).
+        metric = LinearQoE()
+        policy = BufferBasedPolicy(manifest.bitrates_kbps)
+        result = run_session(policy, manifest, steady_trace, qoe_metric=metric)
+        recomputed = metric.session_qoe(
+            result.bitrates_mbps, [record.rebuffer_s for record in result.chunks]
+        )
+        # The recorded chunks exclude chunk 0, so the only difference is
+        # the smoothness term linking chunk 0 to chunk 1.
+        first = result.chunks[0]
+        lowest = manifest.bitrates_kbps[0] / 1000.0
+        smoothness_link = abs(first.bitrate_mbps - lowest)
+        assert result.qoe == pytest.approx(recomputed - smoothness_link, rel=1e-9)
+
+    def test_deterministic_given_seed(self, manifest, bursty_trace):
+        policy = RandomPolicy(manifest.bitrates_kbps)
+        a = run_session(policy, manifest, bursty_trace, seed=5)
+        b = run_session(policy, manifest, bursty_trace, seed=5)
+        assert a.qoe == b.qoe
+        assert [c.bitrate_index for c in a.chunks] == [
+            c.bitrate_index for c in b.chunks
+        ]
+
+    def test_different_seeds_vary_random_policy(self, manifest, bursty_trace):
+        policy = RandomPolicy(manifest.bitrates_kbps)
+        a = run_session(policy, manifest, bursty_trace, seed=1)
+        b = run_session(policy, manifest, bursty_trace, seed=2)
+        assert [c.bitrate_index for c in a.chunks] != [
+            c.bitrate_index for c in b.chunks
+        ]
+
+    def test_observations_recorded(self, manifest, steady_trace):
+        policy = BufferBasedPolicy(manifest.bitrates_kbps)
+        result = run_session(policy, manifest, steady_trace)
+        assert result.observations.shape == (len(result), 6, 8)
+
+    def test_policy_name_default(self, manifest, steady_trace):
+        policy = BufferBasedPolicy(manifest.bitrates_kbps)
+        result = run_session(policy, manifest, steady_trace)
+        assert result.policy_name == "BufferBasedPolicy"
+
+
+class TestSessionStatistics:
+    def test_constant_policy_has_no_switches(self, manifest, steady_trace):
+        policy = ConstantPolicy(manifest.bitrates_kbps, bitrate_index=1)
+        result = run_session(policy, manifest, steady_trace)
+        assert result.bitrate_switches == 0
+
+    def test_rebuffer_total_nonnegative(self, manifest, slow_trace):
+        policy = ConstantPolicy(
+            manifest.bitrates_kbps, bitrate_index=len(manifest.bitrates_kbps) - 1
+        )
+        result = run_session(policy, manifest, slow_trace)
+        assert result.rebuffer_total_s > 0
+
+    def test_default_fraction_zero_for_plain_policies(self, manifest, steady_trace):
+        result = run_session(
+            BufferBasedPolicy(manifest.bitrates_kbps), manifest, steady_trace
+        )
+        assert result.default_fraction == 0.0
+
+    def test_slow_link_worse_than_fast_link(self, manifest, slow_trace, fast_trace):
+        policy = BufferBasedPolicy(manifest.bitrates_kbps)
+        slow_result = run_session(policy, manifest, slow_trace)
+        fast_result = run_session(policy, manifest, fast_trace)
+        assert fast_result.qoe > slow_result.qoe

@@ -1,0 +1,113 @@
+"""Tests for repro.cli: the command-line interface.
+
+The heavy commands (figures/runtimes/shapes) are exercised indirectly via
+the experiment tests; here we cover the parser, the light commands, and
+the trace-export paths end to end.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.mahimahi import read_mahimahi
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["traces", "--dataset", "wifi", "--out", "x"])
+
+    def test_config_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--config", "turbo"])
+
+
+class TestDatasetsCommand:
+    def test_lists_all_six(self):
+        out = io.StringIO()
+        assert main(["datasets"], out=out) == 0
+        text = out.getvalue()
+        for name in (
+            "norway",
+            "belgium",
+            "gamma_1_2",
+            "gamma_2_2",
+            "logistic",
+            "exponential",
+        ):
+            assert name in text
+
+
+class TestTracesCommand:
+    def test_csv_export(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "traces",
+                "--dataset",
+                "gamma_2_2",
+                "--out",
+                str(tmp_path),
+                "--count",
+                "2",
+                "--duration",
+                "60",
+            ],
+            out=out,
+        )
+        assert code == 0
+        files = sorted(tmp_path.glob("*.csv"))
+        assert len(files) == 2
+        header = files[0].read_text().splitlines()[0]
+        assert header == "time_s,bandwidth_mbps"
+
+    def test_mahimahi_export_round_trips(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "traces",
+                "--dataset",
+                "belgium",
+                "--out",
+                str(tmp_path),
+                "--format",
+                "mahimahi",
+                "--count",
+                "1",
+                "--duration",
+                "30",
+            ],
+            out=out,
+        )
+        assert code == 0
+        files = sorted(tmp_path.glob("*.mahi"))
+        assert len(files) == 1
+        recovered = read_mahimahi(files[0])
+        assert recovered.mean_bandwidth > 0
+
+    def test_deterministic_given_seed(self, tmp_path):
+        for sub in ("a", "b"):
+            main(
+                [
+                    "traces",
+                    "--dataset",
+                    "norway",
+                    "--out",
+                    str(tmp_path / sub),
+                    "--count",
+                    "1",
+                    "--duration",
+                    "30",
+                    "--seed",
+                    "5",
+                ],
+                out=io.StringIO(),
+            )
+        a = next((tmp_path / "a").glob("*.csv")).read_text()
+        b = next((tmp_path / "b").glob("*.csv")).read_text()
+        assert a == b

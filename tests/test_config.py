@@ -1,0 +1,82 @@
+"""Tests for repro.config: experiment configuration tiers."""
+
+import pytest
+
+from repro.config import FAST, PAPER, ExperimentConfig, get_config
+from repro.errors import ConfigError
+from repro.pensieve.training import TrainingConfig
+from repro.traces.dataset import DATASET_NAMES
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert get_config("fast") is FAST
+        assert get_config("paper") is PAPER
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            get_config("turbo")
+
+    def test_fast_cheaper_than_paper(self):
+        assert FAST.training.epochs < PAPER.training.epochs
+        assert FAST.video_repeats <= PAPER.video_repeats
+        assert FAST.num_traces <= PAPER.num_traces
+
+    def test_paper_keeps_safety_parameters(self):
+        # The paper's safety constants must not be scaled down.
+        for config in (FAST, PAPER):
+            assert config.safety.ensemble_size == 5
+            assert config.safety.trim == 2
+            assert config.safety.l == 3
+            assert config.safety.ocsvm_k_synthetic == 30
+            assert config.safety.ocsvm_k_empirical == 5
+
+    def test_all_six_datasets(self):
+        assert FAST.datasets == DATASET_NAMES
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="test",
+            num_traces=5,
+            trace_duration_s=100.0,
+            video_repeats=1,
+            training=TrainingConfig(epochs=1),
+        )
+
+    def test_valid_base(self):
+        ExperimentConfig(**self._base_kwargs())
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"num_traces": 2},
+            {"trace_duration_s": 0.0},
+            {"video_repeats": 0},
+            {"value_epochs": 0},
+            {"datasets": ()},
+            {"datasets": ("wifi",)},
+            {"random_eval_repeats": 0},
+        ],
+    )
+    def test_invalid_rejected(self, override):
+        kwargs = {**self._base_kwargs(), **override}
+        with pytest.raises(ConfigError):
+            ExperimentConfig(**kwargs)
+
+
+class TestFingerprint:
+    def test_describe_is_jsonable(self):
+        import json
+
+        json.dumps(FAST.describe())
+
+    def test_describe_distinguishes_tiers(self):
+        assert FAST.describe() != PAPER.describe()
+
+    def test_scaled_override(self):
+        smaller = FAST.scaled(num_traces=4)
+        assert smaller.num_traces == 4
+        assert smaller.video_repeats == FAST.video_repeats
+        assert smaller.describe() != FAST.describe()

@@ -1,0 +1,152 @@
+"""Tests for repro.core.calibration: threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    calibrate_variance_threshold,
+    collect_window_variances,
+    evaluate_mean_qoe,
+)
+from repro.core.signals import UncertaintySignal
+from repro.errors import CalibrationError
+from repro.policies.buffer_based import BufferBasedPolicy
+from repro.policies.constant import ConstantPolicy
+from repro.traces.trace import Trace
+
+
+class _BufferNoiseSignal(UncertaintySignal):
+    """A continuous signal derived from the observation itself (buffer level),
+    so calibration sees deterministic, policy-dependent variance."""
+
+    binary = False
+
+    def measure(self, observation):
+        return float(observation[1, -1] * 3.0)
+
+
+class _ConstantSignal(UncertaintySignal):
+    binary = False
+
+    def measure(self, observation):
+        return 1.0
+
+
+class _BinarySignal(UncertaintySignal):
+    binary = True
+
+    def measure(self, observation):
+        return 0.0
+
+
+@pytest.fixture()
+def traces():
+    return [
+        Trace.from_bandwidths([2.0] * 400, name="a"),
+        Trace.from_bandwidths([3.0] * 400, name="b"),
+    ]
+
+
+class TestEvaluateMeanQoe:
+    def test_mean_over_traces(self, manifest, traces):
+        policy = BufferBasedPolicy(manifest.bitrates_kbps)
+        mean_qoe = evaluate_mean_qoe(policy, manifest, traces)
+        individual = [
+            evaluate_mean_qoe(policy, manifest, [trace]) for trace in traces
+        ]
+        assert mean_qoe == pytest.approx(np.mean(individual))
+
+    def test_empty_traces_rejected(self, manifest):
+        with pytest.raises(CalibrationError):
+            evaluate_mean_qoe(
+                BufferBasedPolicy(manifest.bitrates_kbps), manifest, []
+            )
+
+
+class TestCollectWindowVariances:
+    def test_collects_per_decision(self, manifest, traces):
+        signal = _BufferNoiseSignal()
+        policy = BufferBasedPolicy(manifest.bitrates_kbps)
+        variances = collect_window_variances(
+            signal, policy, manifest, traces, k=5
+        )
+        expected = sum(manifest.num_chunks - 1 for _ in traces)
+        assert variances.shape == (expected,)
+        assert np.all(variances >= 0)
+
+    def test_constant_signal_zero_variance(self, manifest, traces):
+        variances = collect_window_variances(
+            _ConstantSignal(), BufferBasedPolicy(manifest.bitrates_kbps),
+            manifest, traces, k=5,
+        )
+        assert np.allclose(variances, 0.0)
+
+
+class TestCalibrateVarianceThreshold:
+    def test_binary_signal_rejected(self, manifest, traces):
+        with pytest.raises(CalibrationError):
+            calibrate_variance_threshold(
+                _BinarySignal(),
+                learned=ConstantPolicy(manifest.bitrates_kbps, 5),
+                default=BufferBasedPolicy(manifest.bitrates_kbps),
+                manifest=manifest,
+                traces=traces,
+                target_qoe=0.0,
+            )
+
+    def test_empty_traces_rejected(self, manifest):
+        with pytest.raises(CalibrationError):
+            calibrate_variance_threshold(
+                _ConstantSignal(),
+                learned=ConstantPolicy(manifest.bitrates_kbps, 5),
+                default=BufferBasedPolicy(manifest.bitrates_kbps),
+                manifest=manifest,
+                traces=[],
+                target_qoe=0.0,
+            )
+
+    def test_matches_learned_when_target_is_learned_qoe(self, manifest, traces):
+        # With the target set to the learned policy's own QoE, calibration
+        # must pick a threshold that (almost) never defaults.
+        learned = ConstantPolicy(manifest.bitrates_kbps, 2)
+        default = BufferBasedPolicy(manifest.bitrates_kbps)
+        learned_qoe = evaluate_mean_qoe(learned, manifest, traces)
+        result = calibrate_variance_threshold(
+            _BufferNoiseSignal(),
+            learned=learned,
+            default=default,
+            manifest=manifest,
+            traces=traces,
+            target_qoe=learned_qoe,
+        )
+        assert result.achieved_qoe == pytest.approx(learned_qoe, rel=0.05)
+
+    def test_matches_default_when_target_is_default_qoe(self, manifest, traces):
+        # With the target set to the default policy's QoE, calibration must
+        # pick an aggressive threshold that defaults early.
+        learned = ConstantPolicy(manifest.bitrates_kbps, 5)
+        default = BufferBasedPolicy(manifest.bitrates_kbps)
+        default_qoe = evaluate_mean_qoe(default, manifest, traces)
+        result = calibrate_variance_threshold(
+            _BufferNoiseSignal(),
+            learned=learned,
+            default=default,
+            manifest=manifest,
+            traces=traces,
+            target_qoe=default_qoe,
+            candidate_alphas=[0.0, 1e9],
+        )
+        assert result.alpha == 0.0
+
+    def test_candidate_table_recorded(self, manifest, traces):
+        result = calibrate_variance_threshold(
+            _BufferNoiseSignal(),
+            learned=ConstantPolicy(manifest.bitrates_kbps, 3),
+            default=BufferBasedPolicy(manifest.bitrates_kbps),
+            manifest=manifest,
+            traces=traces,
+            target_qoe=0.0,
+            candidate_alphas=[0.1, 1.0, 10.0],
+        )
+        assert len(result.candidates) == 3
+        assert result.gap == abs(result.achieved_qoe - result.target_qoe)

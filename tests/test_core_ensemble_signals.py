@@ -1,0 +1,132 @@
+"""Tests for repro.core.ensemble_signals: U_pi and U_V."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble_signals import (
+    PolicyEnsembleSignal,
+    ValueEnsembleSignal,
+    trim_by_distance,
+)
+from repro.errors import SafetyError
+
+
+class _FixedPolicy:
+    def __init__(self, probabilities):
+        self._probabilities = np.asarray(probabilities, dtype=float)
+
+    def action_probabilities(self, observation):
+        return self._probabilities
+
+    def act(self, observation, rng):
+        return int(np.argmax(self._probabilities))
+
+    def reset(self):
+        pass
+
+
+class _FixedValue:
+    def __init__(self, value):
+        self._value = float(value)
+
+    def value(self, observation):
+        return self._value
+
+
+OBS = np.zeros((6, 8))
+
+
+class TestTrimByDistance:
+    def test_drops_farthest(self):
+        outputs = np.array([[1.0], [2.0], [100.0]])
+        distances = np.array([0.1, 0.2, 50.0])
+        survivors = trim_by_distance(outputs, distances, trim=1)
+        assert 100.0 not in survivors
+
+    def test_zero_trim_is_identity(self):
+        outputs = np.array([[1.0], [2.0]])
+        assert np.array_equal(
+            trim_by_distance(outputs, np.array([0.0, 1.0]), 0), outputs
+        )
+
+    def test_over_trim_rejected(self):
+        with pytest.raises(SafetyError):
+            trim_by_distance(np.ones((2, 1)), np.zeros(2), trim=2)
+
+    def test_negative_trim_rejected(self):
+        with pytest.raises(SafetyError):
+            trim_by_distance(np.ones((3, 1)), np.zeros(3), trim=-1)
+
+
+class TestPolicyEnsembleSignal:
+    def test_identical_agents_zero_uncertainty(self):
+        agents = [_FixedPolicy([0.25, 0.25, 0.5]) for _ in range(5)]
+        signal = PolicyEnsembleSignal(agents, trim=2)
+        assert signal.measure(OBS) == pytest.approx(0.0, abs=1e-9)
+
+    def test_disagreement_raises_uncertainty(self):
+        agreeing = [_FixedPolicy([0.9, 0.1]) for _ in range(5)]
+        disagreeing = [
+            _FixedPolicy([0.9, 0.1]),
+            _FixedPolicy([0.1, 0.9]),
+            _FixedPolicy([0.5, 0.5]),
+            _FixedPolicy([0.8, 0.2]),
+            _FixedPolicy([0.2, 0.8]),
+        ]
+        low = PolicyEnsembleSignal(agreeing, trim=2).measure(OBS)
+        high = PolicyEnsembleSignal(disagreeing, trim=2).measure(OBS)
+        assert high > low
+
+    def test_trimming_discards_outlier_members(self):
+        # Four agreeing agents plus one wild outlier: with trim=2 the
+        # outlier cannot dominate the signal.
+        agents = [_FixedPolicy([0.98, 0.02])] * 4 + [_FixedPolicy([0.01, 0.99])]
+        trimmed = PolicyEnsembleSignal(agents, trim=2).measure(OBS)
+        untrimmed = PolicyEnsembleSignal(agents, trim=0).measure(OBS)
+        assert trimmed < untrimmed
+        assert trimmed == pytest.approx(0.0, abs=1e-9)
+
+    def test_signal_non_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            probs = rng.dirichlet(np.ones(4), size=5)
+            agents = [_FixedPolicy(p) for p in probs]
+            assert PolicyEnsembleSignal(agents, trim=2).measure(OBS) >= 0.0
+
+    def test_too_small_ensemble_rejected(self):
+        with pytest.raises(SafetyError):
+            PolicyEnsembleSignal([_FixedPolicy([1.0])], trim=0)
+
+    def test_trim_leaves_two_members(self):
+        agents = [_FixedPolicy([0.5, 0.5])] * 4
+        with pytest.raises(SafetyError):
+            PolicyEnsembleSignal(agents, trim=3)
+
+
+class TestValueEnsembleSignal:
+    def test_identical_values_zero_uncertainty(self):
+        members = [_FixedValue(3.0) for _ in range(5)]
+        assert ValueEnsembleSignal(members, trim=2).measure(OBS) == pytest.approx(0.0)
+
+    def test_spread_values_raise_uncertainty(self):
+        tight = [_FixedValue(v) for v in [1.0, 1.01, 0.99, 1.0, 1.02]]
+        spread = [_FixedValue(v) for v in [0.0, 5.0, -5.0, 2.0, -3.0]]
+        low = ValueEnsembleSignal(tight, trim=2).measure(OBS)
+        high = ValueEnsembleSignal(spread, trim=2).measure(OBS)
+        assert high > low
+
+    def test_trim_discards_two_farthest(self):
+        # Three members at 1.0, two wild ones: survivors all equal 1.0.
+        members = [_FixedValue(1.0)] * 3 + [_FixedValue(100.0), _FixedValue(-50.0)]
+        signal = ValueEnsembleSignal(members, trim=2)
+        assert signal.measure(OBS) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_hand_computed_value(self):
+        members = [_FixedValue(v) for v in [0.0, 2.0, 4.0]]
+        signal = ValueEnsembleSignal(members, trim=0)
+        # Mean 2; distances 2, 0, 2; sum = 4.
+        assert signal.measure(OBS) == pytest.approx(4.0)
+
+    def test_too_small_ensemble_rejected(self):
+        with pytest.raises(SafetyError):
+            ValueEnsembleSignal([_FixedValue(1.0)], trim=0)

@@ -1,0 +1,111 @@
+"""Tests for repro.core.strategies: alternative thresholding strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import CusumTrigger, EWMATrigger, HysteresisTrigger
+from repro.errors import SafetyError
+
+
+class TestEWMATrigger:
+    def test_sustained_elevation_fires(self):
+        trigger = EWMATrigger(bar=0.5, alpha=0.3)
+        fired = [trigger.update(1.0) for _ in range(10)]
+        assert any(fired)
+
+    def test_single_spike_forgiven(self):
+        trigger = EWMATrigger(bar=0.5, alpha=0.2)
+        for _ in range(20):
+            trigger.update(0.0)
+        assert not trigger.update(1.0)  # one spike: level only reaches 0.2
+
+    def test_level_converges_to_input(self):
+        trigger = EWMATrigger(bar=10.0, alpha=0.5)
+        for _ in range(30):
+            trigger.update(2.0)
+        assert trigger.level == pytest.approx(2.0, rel=1e-3)
+
+    def test_reset(self):
+        trigger = EWMATrigger(bar=0.5, alpha=1.0)
+        trigger.update(5.0)
+        trigger.reset()
+        assert trigger.level == 0.0
+        assert not trigger.update(0.0)
+
+    def test_validation(self):
+        with pytest.raises(SafetyError):
+            EWMATrigger(bar=-1.0)
+        with pytest.raises(SafetyError):
+            EWMATrigger(bar=1.0, alpha=0.0)
+        trigger = EWMATrigger(bar=1.0)
+        with pytest.raises(SafetyError):
+            trigger.update(float("inf"))
+
+
+class TestCusumTrigger:
+    def test_persistent_small_shift_detected(self):
+        # Signal mean rises from 0 to 0.3 with drift allowance 0.1: the
+        # statistic accumulates 0.2/step and must fire eventually.
+        trigger = CusumTrigger(threshold=2.0, drift=0.1)
+        fired_at = None
+        for step in range(100):
+            if trigger.update(0.3):
+                fired_at = step
+                break
+        assert fired_at is not None
+        assert fired_at == pytest.approx(10, abs=2)
+
+    def test_in_distribution_noise_bleeds_off(self):
+        rng = np.random.default_rng(0)
+        trigger = CusumTrigger(threshold=5.0, drift=0.3)
+        fired = [trigger.update(abs(rng.normal(0.0, 0.1))) for _ in range(500)]
+        assert not any(fired)
+
+    def test_statistic_never_negative(self):
+        trigger = CusumTrigger(threshold=1.0, drift=1.0)
+        for value in [0.0, 0.0, 5.0, 0.0, 0.0]:
+            trigger.update(value)
+            assert trigger.statistic >= 0.0
+
+    def test_reset(self):
+        trigger = CusumTrigger(threshold=1.0, drift=0.0)
+        trigger.update(0.9)
+        trigger.reset()
+        assert trigger.statistic == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SafetyError):
+            CusumTrigger(threshold=0.0, drift=0.1)
+        with pytest.raises(SafetyError):
+            CusumTrigger(threshold=1.0, drift=-0.1)
+
+
+class TestHysteresisTrigger:
+    def test_fires_above_high(self):
+        trigger = HysteresisTrigger(high=1.0, low=0.2)
+        assert not trigger.update(0.9)
+        assert trigger.update(1.1)
+
+    def test_stays_active_between_bars(self):
+        trigger = HysteresisTrigger(high=1.0, low=0.2)
+        trigger.update(1.5)
+        assert trigger.update(0.5)  # between bars: stays active
+        assert not trigger.update(0.1)  # below low: clears
+
+    def test_no_flapping_near_single_bar(self):
+        trigger = HysteresisTrigger(high=1.0, low=0.2)
+        trigger.update(1.5)
+        states = [trigger.update(v) for v in [0.9, 1.1, 0.9, 1.1, 0.9]]
+        assert all(states)
+
+    def test_reset(self):
+        trigger = HysteresisTrigger(high=1.0, low=0.2)
+        trigger.update(2.0)
+        trigger.reset()
+        assert not trigger.update(0.5)
+
+    def test_validation(self):
+        with pytest.raises(SafetyError):
+            HysteresisTrigger(high=0.5, low=1.0)
+        with pytest.raises(SafetyError):
+            HysteresisTrigger(high=1.0, low=-0.1)

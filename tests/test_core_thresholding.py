@@ -1,0 +1,98 @@
+"""Tests for repro.core.thresholding: consecutive and variance triggers."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
+from repro.errors import SafetyError
+
+
+class TestConsecutiveTrigger:
+    def test_fires_after_l_consecutive(self):
+        trigger = ConsecutiveTrigger(l=3)
+        assert not trigger.update(1.0)
+        assert not trigger.update(1.0)
+        assert trigger.update(1.0)
+
+    def test_interrupted_streak_resets(self):
+        trigger = ConsecutiveTrigger(l=3)
+        trigger.update(1.0)
+        trigger.update(1.0)
+        trigger.update(0.0)
+        assert not trigger.update(1.0)
+        assert not trigger.update(1.0)
+        assert trigger.update(1.0)
+
+    def test_l_equals_one_fires_immediately(self):
+        assert ConsecutiveTrigger(l=1).update(1.0)
+
+    def test_reset(self):
+        trigger = ConsecutiveTrigger(l=2)
+        trigger.update(1.0)
+        trigger.reset()
+        assert not trigger.update(1.0)
+
+    def test_zero_signal_never_fires(self):
+        trigger = ConsecutiveTrigger(l=1)
+        assert not any(trigger.update(0.0) for _ in range(10))
+
+    def test_bad_l_rejected(self):
+        with pytest.raises(SafetyError):
+            ConsecutiveTrigger(l=0)
+
+
+class TestVarianceTrigger:
+    def test_constant_signal_never_fires(self):
+        trigger = VarianceTrigger(alpha=1e-6, k=3, l=1)
+        assert not any(trigger.update(5.0) for _ in range(20))
+
+    def test_fires_on_high_variance_streak(self):
+        trigger = VarianceTrigger(alpha=0.1, k=3, l=2)
+        fired = [trigger.update(v) for v in [0.0, 10.0, 0.0, 10.0, 0.0, 10.0]]
+        assert any(fired)
+
+    def test_window_variance_matches_numpy(self):
+        trigger = VarianceTrigger(alpha=np.inf, k=4, l=1)
+        values = [1.0, 3.0, -2.0, 0.5, 7.0]
+        for value in values:
+            trigger.update(value)
+        assert trigger.window_variance() == pytest.approx(np.var(values[-4:]))
+
+    def test_variance_zero_until_window_full(self):
+        trigger = VarianceTrigger(alpha=0.0, k=5, l=1)
+        trigger.update(1.0)
+        trigger.update(100.0)
+        assert trigger.window_variance() == 0.0
+
+    def test_l_consecutive_requirement(self):
+        trigger = VarianceTrigger(alpha=0.1, k=2, l=3)
+        # Alternate high-variance and zero-variance windows: never 3 in a row.
+        fired = []
+        for _ in range(6):
+            fired.append(trigger.update(0.0))
+            fired.append(trigger.update(10.0))
+            fired.append(trigger.update(10.0))
+            fired.append(trigger.update(10.0))
+        # Each burst of equal values collapses variance back under alpha.
+        assert not all(fired)
+
+    def test_reset_clears_window_and_streak(self):
+        trigger = VarianceTrigger(alpha=0.1, k=2, l=1)
+        trigger.update(0.0)
+        trigger.update(100.0)
+        trigger.reset()
+        assert trigger.window_variance() == 0.0
+        assert not trigger.update(100.0)
+
+    def test_non_finite_signal_rejected(self):
+        trigger = VarianceTrigger(alpha=1.0, k=2, l=1)
+        with pytest.raises(SafetyError):
+            trigger.update(float("nan"))
+
+    def test_parameter_validation(self):
+        with pytest.raises(SafetyError):
+            VarianceTrigger(alpha=-1.0)
+        with pytest.raises(SafetyError):
+            VarianceTrigger(alpha=1.0, k=1)
+        with pytest.raises(SafetyError):
+            VarianceTrigger(alpha=1.0, l=0)

@@ -1,0 +1,53 @@
+"""Tests for repro.experiments.artifacts: the config-hashed cache."""
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.experiments.artifacts import ArtifactCache
+
+
+class TestArtifactCache:
+    def test_store_and_load(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        cache.store("results", {"qoe": 1.5})
+        assert cache.load("results") == {"qoe": 1.5}
+
+    def test_has(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        assert not cache.has("missing")
+        cache.store("present", [1, 2])
+        assert cache.has("present")
+
+    def test_load_missing_raises(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        with pytest.raises(ArtifactError):
+            cache.load("missing")
+
+    def test_different_fingerprints_isolated(self, tmp_path):
+        a = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        b = ArtifactCache({"tier": "paper"}, root=tmp_path)
+        a.store("x", 1)
+        assert not b.has("x")
+
+    def test_same_fingerprint_shares(self, tmp_path):
+        a = ArtifactCache({"tier": "fast", "n": 3}, root=tmp_path)
+        b = ArtifactCache({"n": 3, "tier": "fast"}, root=tmp_path)
+        a.store("x", 42)
+        assert b.load("x") == 42
+
+    def test_get_or_compute_caches(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": 7}
+
+        assert cache.get_or_compute("thing", compute) == {"v": 7}
+        assert cache.get_or_compute("thing", compute) == {"v": 7}
+        assert len(calls) == 1
+
+    def test_fingerprint_written_alongside(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        cache.store("x", 1)
+        assert (cache.directory / "config.json").exists()

@@ -1,0 +1,107 @@
+"""Tests for repro.experiments.detection: detector-quality metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.signals import UncertaintySignal
+from repro.core.thresholding import ConsecutiveTrigger
+from repro.errors import ConfigError
+from repro.experiments.detection import (
+    session_trigger_step,
+    signal_detection_report,
+)
+from repro.policies.constant import ConstantPolicy
+from repro.traces.trace import Trace
+from repro.video.envivio import envivio_dash3_manifest
+
+
+class _SlowLinkSignal(UncertaintySignal):
+    """Fires whenever the latest measured throughput is below 2 Mbit/s."""
+
+    binary = True
+
+    def measure(self, observation):
+        from repro.abr.state import ObservationView
+
+        view = ObservationView(
+            observation,
+            np.array([300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0]),
+        )
+        latest = view.throughput_history_mbps[-1]
+        return 1.0 if 0 < latest < 2.0 else 0.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    manifest = envivio_dash3_manifest(repeats=1)
+    policy = ConstantPolicy(manifest.bitrates_kbps, bitrate_index=1)
+    fast = [Trace.from_bandwidths([6.0] * 300, name=f"fast{i}") for i in range(3)]
+    slow = [Trace.from_bandwidths([0.8] * 600, name=f"slow{i}") for i in range(3)]
+    return manifest, policy, fast, slow
+
+
+class TestSessionTriggerStep:
+    def test_returns_first_firing_step(self, setup):
+        manifest, policy, _, slow = setup
+        from repro.abr.session import run_session
+
+        session = run_session(policy, manifest, slow[0], seed=0)
+        step = session_trigger_step(
+            _SlowLinkSignal(), ConsecutiveTrigger(l=3), session.observation_list
+        )
+        assert step == 2  # fires on the third consecutive slow chunk
+
+    def test_returns_none_when_never_fires(self, setup):
+        manifest, policy, fast, _ = setup
+        from repro.abr.session import run_session
+
+        session = run_session(policy, manifest, fast[0], seed=0)
+        step = session_trigger_step(
+            _SlowLinkSignal(), ConsecutiveTrigger(l=3), session.observation_list
+        )
+        assert step is None
+
+
+class TestDetectionReport:
+    def test_perfect_separation(self, setup):
+        manifest, policy, fast, slow = setup
+        report = signal_detection_report(
+            _SlowLinkSignal(),
+            ConsecutiveTrigger(l=3),
+            policy,
+            manifest,
+            in_distribution_traces=fast,
+            ood_traces=slow,
+        )
+        assert report.true_positive_rate == 1.0
+        assert report.false_positive_rate == 0.0
+        assert report.mean_detection_delay_chunks == pytest.approx(2.0)
+        assert report.sessions_in == 3
+        assert report.sessions_ood == 3
+
+    def test_no_detection_gives_nan_delay(self, setup):
+        manifest, policy, fast, _ = setup
+        report = signal_detection_report(
+            _SlowLinkSignal(),
+            ConsecutiveTrigger(l=3),
+            policy,
+            manifest,
+            in_distribution_traces=fast,
+            ood_traces=fast,  # "OOD" side is also fast: never fires
+        )
+        assert report.true_positive_rate == 0.0
+        assert math.isnan(report.mean_detection_delay_chunks)
+
+    def test_empty_traces_rejected(self, setup):
+        manifest, policy, fast, slow = setup
+        with pytest.raises(ConfigError):
+            signal_detection_report(
+                _SlowLinkSignal(),
+                ConsecutiveTrigger(l=1),
+                policy,
+                manifest,
+                in_distribution_traces=[],
+                ood_traces=slow,
+            )

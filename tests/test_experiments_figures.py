@@ -1,0 +1,188 @@
+"""Tests for repro.experiments.figures and report rendering.
+
+These tests run against a synthetic evaluation matrix (no training), so
+they verify the figure *projections*, not the training pipeline — that is
+covered by the integration test and the benchmarks.
+"""
+
+import pytest
+
+from repro.config import FAST
+from repro.errors import ConfigError
+from repro.experiments.figures import figure1, figure2, figure3, figure4, figure5
+from repro.experiments.report import render_report, shape_checks
+from repro.experiments.training_runs import BASELINES, SCHEMES, EvaluationMatrix
+from repro.traces.dataset import DATASET_NAMES
+
+
+def paper_shaped_matrix():
+    """A matrix hand-built to satisfy every qualitative claim."""
+    datasets = DATASET_NAMES
+    matrix = EvaluationMatrix(datasets=datasets)
+    matrix.baselines = {
+        test: {"BB": {"qoe": 100.0}, "Random": {"qoe": 0.0}} for test in datasets
+    }
+    matrix.entries = {}
+    for train in datasets:
+        matrix.entries[train] = {}
+        for test in datasets:
+            if train == test:
+                rows = {
+                    "Pensieve": 130.0,
+                    "ND": 115.0,
+                    "A-ensemble": 115.0,
+                    "V-ensemble": 115.0,
+                }
+            else:
+                rows = {
+                    "Pensieve": -50.0,
+                    "ND": 90.0,
+                    "A-ensemble": 20.0,
+                    "V-ensemble": 70.0,
+                }
+            matrix.entries[train][test] = {
+                scheme: {"qoe": qoe, "default_fraction": 0.0}
+                for scheme, qoe in rows.items()
+            }
+    return matrix
+
+
+MATRIX = paper_shaped_matrix()
+
+
+class TestFigure1:
+    def test_series_cover_all_datasets(self):
+        data = figure1(FAST, matrix=MATRIX)
+        assert data["datasets"] == list(DATASET_NAMES)
+        for scheme in ("Pensieve", "ND", "A-ensemble", "V-ensemble", "BB"):
+            assert len(data["series"][scheme]) == len(DATASET_NAMES)
+
+    def test_uses_diagonal_entries(self):
+        data = figure1(FAST, matrix=MATRIX)
+        assert data["series"]["Pensieve"] == [130.0] * 6
+        assert data["series"]["BB"] == [100.0] * 6
+
+
+class TestFigure2:
+    def test_panels_for_paper_trainings(self):
+        data = figure2(FAST, matrix=MATRIX)
+        assert set(data) == {"belgium", "gamma_2_2"}
+        for panel in data.values():
+            assert len(panel["Pensieve"]) == 6
+            assert panel["Random"] == [0.0] * 6
+
+    def test_missing_dataset_rejected(self):
+        small = EvaluationMatrix(datasets=("norway",))
+        small.baselines = {"norway": {"BB": {"qoe": 1.0}, "Random": {"qoe": 0.0}}}
+        small.entries = {
+            "norway": {
+                "norway": {
+                    s: {"qoe": 0.5, "default_fraction": 0.0} for s in SCHEMES
+                }
+            }
+        }
+        with pytest.raises(ConfigError):
+            figure2(FAST, matrix=small)
+
+
+class TestFigure3:
+    def test_diagonal_above_one(self):
+        data = figure3(FAST, matrix=MATRIX)
+        for name in DATASET_NAMES:
+            assert data["scores"][name][name] == pytest.approx(1.3)
+
+    def test_off_diagonal_below_zero(self):
+        data = figure3(FAST, matrix=MATRIX)
+        assert data["scores"]["norway"]["belgium"] == pytest.approx(-0.5)
+
+
+class TestFigure4:
+    def test_summary_statistics(self):
+        data = figure4(FAST, matrix=MATRIX)
+        assert data["ood_pairs"] == 30
+        assert data["summary"]["Pensieve"]["mean"] == pytest.approx(-0.5)
+        assert data["summary"]["ND"]["mean"] == pytest.approx(0.9)
+
+    def test_all_schemes_present(self):
+        data = figure4(FAST, matrix=MATRIX)
+        assert set(data["summary"]) == {
+            "Pensieve",
+            "ND",
+            "A-ensemble",
+            "V-ensemble",
+        }
+
+
+class TestFigure5:
+    def test_cdf_lengths(self):
+        data = figure5(FAST, matrix=MATRIX)
+        for cdf in data["cdfs"].values():
+            assert len(cdf["values"]) == 30
+            assert cdf["fractions"][-1] == pytest.approx(1.0)
+
+    def test_cdf_sorted(self):
+        data = figure5(FAST, matrix=MATRIX)
+        values = data["cdfs"]["Pensieve"]["values"]
+        assert values == sorted(values)
+
+
+class TestShapeChecks:
+    def test_paper_shaped_matrix_passes_everything(self):
+        checks = shape_checks(FAST, MATRIX)
+        failing = [name for name, ok in checks.items() if not ok]
+        assert not failing
+
+    def test_detects_violations(self):
+        bad = paper_shaped_matrix()
+        # Make Pensieve lose in-distribution everywhere.
+        for name in DATASET_NAMES:
+            bad.entries[name][name]["Pensieve"]["qoe"] = 0.0
+        checks = shape_checks(FAST, bad)
+        assert not checks["fig1_pensieve_beats_bb_in_distribution"]
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self):
+        text = render_report(FAST, MATRIX)
+        for fragment in (
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "paired tests",
+            "shape checks",
+        ):
+            assert fragment in text
+
+    def test_claims_marked_by_tier(self):
+        from repro.experiments.report import PRIMARY_CLAIMS
+
+        text = render_report(FAST, MATRIX)
+        assert "primary" in text
+        assert "secondary" in text
+        checks = shape_checks(FAST, MATRIX)
+        assert PRIMARY_CLAIMS <= set(checks)
+
+    def test_runtimes_section_optional(self):
+        runtimes = {
+            "offline_seconds": {
+                "ocsvm_fit": 0.01,
+                "agent_ensemble": 10.0,
+                "agent_each": 2.0,
+                "value_ensemble": 5.0,
+                "value_each": 1.0,
+            },
+            "online_ms_per_decision": {"U_S": 0.5, "U_pi": 3.0, "U_V": 4.0},
+            "decisions_measured": 100,
+        }
+        text = render_report(FAST, MATRIX, runtimes=runtimes)
+        assert "Running times" in text
+        assert "U_pi decision" in text
+
+
+class TestSchemeConstants:
+    def test_scheme_partition(self):
+        assert set(SCHEMES) & set(BASELINES) == set()
+        assert "Pensieve" in SCHEMES
+        assert "BB" in BASELINES

@@ -1,0 +1,67 @@
+"""Tests for repro.experiments.nd_sweep at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.nd_sweep import nd_parameter_sweep
+from repro.policies.buffer_based import BufferBasedPolicy
+from repro.policies.constant import ConstantPolicy
+from repro.traces.trace import Trace
+from repro.video.envivio import envivio_dash3_manifest
+
+
+@pytest.fixture(scope="module")
+def sweep_setup():
+    manifest = envivio_dash3_manifest(repeats=1)
+    learned = ConstantPolicy(manifest.bitrates_kbps, bitrate_index=5)
+    default = BufferBasedPolicy(manifest.bitrates_kbps)
+    rng = np.random.default_rng(0)
+    # Training samples: [mean, std] windows around 6 Mbit/s (k=2 -> 4-D).
+    samples = np.column_stack(
+        [
+            rng.normal(6.0, 0.2, size=200),
+            rng.normal(0.3, 0.05, size=200),
+            rng.normal(6.0, 0.2, size=200),
+            rng.normal(0.3, 0.05, size=200),
+        ]
+    )
+    in_dist = [Trace.from_bandwidths([6.0] * 300, name="home")]
+    ood = [Trace.from_bandwidths([0.8] * 900, name="away")]
+    return manifest, learned, default, samples, in_dist, ood
+
+
+class TestNDParameterSweep:
+    def test_grid_shape_and_order(self, sweep_setup):
+        manifest, learned, default, samples, in_dist, ood = sweep_setup
+        points = nd_parameter_sweep(
+            learned, default, manifest, samples, in_dist, ood,
+            k=2, nus=(0.05, 0.2), ls=(1, 3),
+        )
+        assert [(p.nu, p.l) for p in points] == [
+            (0.05, 1),
+            (0.05, 3),
+            (0.2, 1),
+            (0.2, 3),
+        ]
+
+    def test_obvious_shift_triggers_defaulting(self, sweep_setup):
+        manifest, learned, default, samples, in_dist, ood = sweep_setup
+        points = nd_parameter_sweep(
+            learned, default, manifest, samples, in_dist, ood,
+            k=2, nus=(0.1,), ls=(3,),
+        )
+        point = points[0]
+        assert point.ood_default_fraction > 0.5
+        assert point.ood_qoe > -10_000  # rescued relative to always-max
+
+    def test_validation(self, sweep_setup):
+        manifest, learned, default, samples, in_dist, ood = sweep_setup
+        with pytest.raises(ConfigError):
+            nd_parameter_sweep(
+                learned, default, manifest, samples, [], ood, k=2
+            )
+        with pytest.raises(ConfigError):
+            nd_parameter_sweep(
+                learned, default, manifest, samples, in_dist, ood, k=2, nus=()
+            )

@@ -1,0 +1,94 @@
+"""Tests for repro.experiments.normalization and EvaluationMatrix."""
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.experiments.normalization import normalize_matrix, normalized_score
+from repro.experiments.training_runs import EvaluationMatrix
+
+
+def synthetic_matrix():
+    datasets = ("a", "b")
+    matrix = EvaluationMatrix(datasets=datasets)
+    matrix.baselines = {
+        "a": {"BB": {"qoe": 100.0}, "Random": {"qoe": 0.0}},
+        "b": {"BB": {"qoe": -10.0}, "Random": {"qoe": -110.0}},
+    }
+    matrix.entries = {
+        train: {
+            "a": {
+                "Pensieve": {"qoe": 50.0, "default_fraction": 0.0},
+                "ND": {"qoe": 75.0, "default_fraction": 0.4},
+                "A-ensemble": {"qoe": 100.0, "default_fraction": 0.9},
+                "V-ensemble": {"qoe": 0.0, "default_fraction": 0.0},
+            },
+            "b": {
+                "Pensieve": {"qoe": -210.0, "default_fraction": 0.0},
+                "ND": {"qoe": -10.0, "default_fraction": 1.0},
+                "A-ensemble": {"qoe": -60.0, "default_fraction": 0.5},
+                "V-ensemble": {"qoe": -110.0, "default_fraction": 0.0},
+            },
+        }
+        for train in datasets
+    }
+    return matrix
+
+
+class TestEvaluationMatrix:
+    def test_qoe_lookup(self):
+        matrix = synthetic_matrix()
+        assert matrix.qoe("a", "b", "Pensieve") == -210.0
+        assert matrix.qoe("a", "b", "BB") == -10.0
+        assert matrix.qoe("a", "a", "Random") == 0.0
+
+    def test_default_fraction_lookup(self):
+        matrix = synthetic_matrix()
+        assert matrix.default_fraction("a", "a", "ND") == 0.4
+        assert matrix.default_fraction("a", "a", "BB") == 0.0
+
+    def test_ood_pairs(self):
+        matrix = synthetic_matrix()
+        assert set(matrix.ood_pairs()) == {("a", "b"), ("b", "a")}
+
+    def test_payload_round_trip(self):
+        matrix = synthetic_matrix()
+        recovered = EvaluationMatrix.from_payload(matrix.to_payload())
+        assert recovered.qoe("a", "b", "ND") == matrix.qoe("a", "b", "ND")
+        assert recovered.datasets == matrix.datasets
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ArtifactError):
+            EvaluationMatrix.from_payload({"entries": {}})
+
+
+class TestNormalization:
+    def test_anchors(self):
+        matrix = synthetic_matrix()
+        # BB on its own test set normalizes to 1, Random to 0.
+        assert normalized_score(matrix, "a", "a", "BB") == pytest.approx(1.0)
+        assert normalized_score(matrix, "a", "a", "Random") == pytest.approx(0.0)
+
+    def test_midpoint(self):
+        matrix = synthetic_matrix()
+        assert normalized_score(matrix, "a", "a", "Pensieve") == pytest.approx(0.5)
+
+    def test_below_random_is_negative(self):
+        matrix = synthetic_matrix()
+        assert normalized_score(matrix, "a", "b", "Pensieve") == pytest.approx(-1.0)
+
+    def test_shifted_anchors_dataset_b(self):
+        matrix = synthetic_matrix()
+        # On dataset b, Random=-110 and BB=-10: ND at -10 is exactly 1.
+        assert normalized_score(matrix, "a", "b", "ND") == pytest.approx(1.0)
+
+    def test_normalize_matrix_structure(self):
+        matrix = synthetic_matrix()
+        normalized = normalize_matrix(matrix)
+        assert set(normalized) == {"a", "b"}
+        assert set(normalized["a"]) == {"a", "b"}
+        assert set(normalized["a"]["a"]) == {
+            "Pensieve",
+            "ND",
+            "A-ensemble",
+            "V-ensemble",
+        }

@@ -1,0 +1,57 @@
+"""Tests for repro.experiments.runtimes at miniature scale."""
+
+import pytest
+
+from repro.config import FAST
+from repro.core.osap import SafetyConfig
+from repro.experiments.runtimes import measure_runtimes
+from repro.pensieve.training import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_runtimes():
+    config = FAST.scaled(
+        name="tiny-runtimes",
+        num_traces=4,
+        trace_duration_s=200.0,
+        video_repeats=1,
+        training=TrainingConfig(epochs=2, gamma=0.9, n_step=4, filters=4, hidden=12),
+        safety=SafetyConfig(
+            ensemble_size=3,
+            trim=1,
+            ocsvm_k_synthetic=5,
+            ocsvm_nu=0.2,
+            max_ocsvm_samples=200,
+        ),
+        value_epochs=5,
+    )
+    return measure_runtimes(config, dataset_name="gamma_2_2")
+
+
+class TestMeasureRuntimes:
+    def test_structure(self, tiny_runtimes):
+        offline = tiny_runtimes["offline_seconds"]
+        online = tiny_runtimes["online_ms_per_decision"]
+        assert set(online) == {"U_S", "U_pi", "U_V"}
+        for key in (
+            "ocsvm_fit",
+            "agent_ensemble",
+            "agent_each",
+            "value_ensemble",
+            "value_each",
+        ):
+            assert offline[key] >= 0.0
+
+    def test_per_member_consistency(self, tiny_runtimes):
+        offline = tiny_runtimes["offline_seconds"]
+        assert offline["agent_each"] == pytest.approx(
+            offline["agent_ensemble"] / 3, rel=1e-9
+        )
+
+    def test_decisions_counted(self, tiny_runtimes):
+        assert tiny_runtimes["decisions_measured"] > 0
+
+    def test_online_latency_plausible(self, tiny_runtimes):
+        # Per-decision latencies must be far below the ~4 s chunk cadence.
+        for latency_ms in tiny_runtimes["online_ms_per_decision"].values():
+            assert 0.0 <= latency_ms < 1000.0

@@ -1,0 +1,94 @@
+"""Tests for repro.experiments.training_runs at miniature scale.
+
+These run the *real* pipeline (training, calibration, evaluation) with a
+deliberately tiny configuration, checking structure, caching, and
+baseline handling rather than result quality.
+"""
+
+import pytest
+
+from repro.config import FAST
+from repro.core.osap import SafetyConfig
+from repro.errors import ConfigError
+from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.training_runs import (
+    compute_baselines,
+    run_all_distributions,
+    run_training_distribution,
+)
+from repro.pensieve.training import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return FAST.scaled(
+        name="tiny",
+        num_traces=4,
+        trace_duration_s=200.0,
+        video_repeats=1,
+        training=TrainingConfig(
+            epochs=2, gamma=0.9, n_step=4, filters=4, hidden=12
+        ),
+        safety=SafetyConfig(
+            ensemble_size=3,
+            trim=1,
+            ocsvm_k_synthetic=5,
+            ocsvm_nu=0.2,
+            max_ocsvm_samples=200,
+        ),
+        value_epochs=5,
+        datasets=("gamma_1_2", "exponential"),
+        random_eval_repeats=1,
+    )
+
+
+class TestBaselines:
+    def test_structure(self, tiny_config):
+        baselines = compute_baselines(tiny_config)
+        assert set(baselines) == {"gamma_1_2", "exponential"}
+        for per_dataset in baselines.values():
+            assert set(per_dataset) == {"BB", "Random"}
+            assert "qoe" in per_dataset["BB"]
+
+    def test_cached(self, tiny_config, tmp_path):
+        cache = ArtifactCache(tiny_config.describe(), root=tmp_path)
+        first = compute_baselines(tiny_config, cache)
+        assert cache.has("baselines")
+        second = compute_baselines(tiny_config, cache)
+        assert first == second
+
+
+class TestRunTrainingDistribution:
+    def test_structure(self, tiny_config):
+        run = run_training_distribution(tiny_config, "gamma_1_2")
+        assert set(run["evaluations"]) == {"gamma_1_2", "exponential"}
+        for per_test in run["evaluations"].values():
+            assert set(per_test) == {"Pensieve", "ND", "A-ensemble", "V-ensemble"}
+            for stats in per_test.values():
+                assert "qoe" in stats
+                assert 0.0 <= stats["default_fraction"] <= 1.0
+        assert "alpha_a_ensemble" in run["metadata"]
+
+    def test_unknown_dataset_rejected(self, tiny_config):
+        with pytest.raises(ConfigError):
+            run_training_distribution(tiny_config, "norway")
+
+    def test_cache_round_trip(self, tiny_config, tmp_path):
+        cache = ArtifactCache(tiny_config.describe(), root=tmp_path)
+        first = run_training_distribution(tiny_config, "exponential", cache)
+        assert cache.has("train_exponential")
+        second = run_training_distribution(tiny_config, "exponential", cache)
+        assert first == second
+
+
+class TestRunAllDistributions:
+    def test_full_matrix(self, tiny_config, tmp_path):
+        cache = ArtifactCache(tiny_config.describe(), root=tmp_path)
+        matrix = run_all_distributions(tiny_config, cache)
+        assert matrix.datasets == ("gamma_1_2", "exponential")
+        assert len(matrix.ood_pairs()) == 2
+        # Every lookup path works.
+        for train in matrix.datasets:
+            for test in matrix.datasets:
+                for scheme in ("Pensieve", "ND", "BB", "Random"):
+                    assert isinstance(matrix.qoe(train, test, scheme), float)

@@ -1,0 +1,83 @@
+"""Tests for repro.mdp.gridworld: the controlled-shift toy environment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.mdp.gridworld import GridWorld, make_shifted_gridworld
+
+
+class TestDynamics:
+    def test_reset_returns_origin(self):
+        env = GridWorld(size=4, observation_noise=0.0, seed=0)
+        observation = env.reset()
+        assert np.allclose(observation, [0.0, 0.0])
+
+    def test_deterministic_walk_reaches_goal(self):
+        env = GridWorld(size=3, slip=0.0, observation_noise=0.0, seed=0)
+        env.reset()
+        rewards = []
+        done = False
+        # Walk: down, down, right, right.
+        for action in [1, 1, 3, 3]:
+            result = env.step(action)
+            rewards.append(result.reward)
+            done = result.done
+        assert done
+        assert rewards[-1] == env.goal_reward
+        assert all(r == env.step_reward for r in rewards[:-1])
+
+    def test_walls_clip_movement(self):
+        env = GridWorld(size=3, slip=0.0, observation_noise=0.0, seed=0)
+        env.reset()
+        result = env.step(0)  # up against the top wall
+        assert result.info["position"] == (0, 0)
+
+    def test_episode_truncates(self):
+        env = GridWorld(size=5, slip=0.0, max_episode_steps=3, seed=0)
+        env.reset()
+        env.step(0)
+        env.step(0)
+        assert env.step(0).done
+
+    def test_invalid_action_rejected(self):
+        env = GridWorld(size=3, seed=0)
+        env.reset()
+        with pytest.raises(ConfigError):
+            env.step(4)
+
+    def test_observation_noise_applied(self):
+        noisy = GridWorld(size=3, observation_noise=0.5, seed=0)
+        assert not np.allclose(noisy.reset(), [0.0, 0.0])
+
+    def test_observation_bias_applied(self):
+        env = GridWorld(size=3, observation_noise=0.0, observation_bias=2.0, seed=0)
+        assert np.allclose(env.reset(), [2.0, 2.0])
+
+
+class TestValidation:
+    def test_small_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            GridWorld(size=1)
+
+    def test_bad_slip_rejected(self):
+        with pytest.raises(ConfigError):
+            GridWorld(slip=1.5)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigError):
+            GridWorld(observation_noise=-0.1)
+
+
+class TestShiftedClone:
+    def test_keeps_unspecified_parameters(self):
+        base = GridWorld(size=6, slip=0.2, observation_noise=0.05, seed=0)
+        shifted = make_shifted_gridworld(base, slip=0.8)
+        assert shifted.slip == 0.8
+        assert shifted.size == 6
+        assert shifted.observation_noise == 0.05
+
+    def test_bias_shift_moves_observations(self):
+        base = GridWorld(size=4, observation_noise=0.0, seed=0)
+        shifted = make_shifted_gridworld(base, observation_bias=1.0)
+        assert np.allclose(shifted.reset() - base.reset(), 1.0)

@@ -1,0 +1,95 @@
+"""Tests for repro.mdp.mdp: tabular MDPs, value iteration, policy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.mdp.mdp import TabularMDP, policy_evaluation, value_iteration
+
+
+def two_state_mdp(gamma=0.9):
+    """State 0: action 0 stays (r=0), action 1 jumps to state 1 (r=1).
+    State 1: absorbing with r=2 on both actions."""
+    transitions = np.zeros((2, 2, 2))
+    transitions[0, 0, 0] = 1.0
+    transitions[0, 1, 1] = 1.0
+    transitions[1, :, 1] = 1.0
+    rewards = np.array([[0.0, 1.0], [2.0, 2.0]])
+    return TabularMDP(transitions, rewards, gamma=gamma)
+
+
+class TestValidation:
+    def test_rows_must_sum_to_one(self):
+        transitions = np.zeros((2, 1, 2))
+        transitions[0, 0, 0] = 0.5  # missing mass
+        transitions[1, 0, 1] = 1.0
+        with pytest.raises(ConfigError):
+            TabularMDP(transitions, np.zeros((2, 1)))
+
+    def test_negative_probability_rejected(self):
+        transitions = np.zeros((2, 1, 2))
+        transitions[0, 0] = [1.5, -0.5]
+        transitions[1, 0, 1] = 1.0
+        with pytest.raises(ConfigError):
+            TabularMDP(transitions, np.zeros((2, 1)))
+
+    def test_reward_shape_checked(self):
+        transitions = np.zeros((2, 1, 2))
+        transitions[:, 0, 0] = 1.0
+        with pytest.raises(ConfigError):
+            TabularMDP(transitions, np.zeros((2, 2)))
+
+    def test_gamma_range(self):
+        transitions = np.zeros((1, 1, 1))
+        transitions[0, 0, 0] = 1.0
+        with pytest.raises(ConfigError):
+            TabularMDP(transitions, np.zeros((1, 1)), gamma=1.0)
+
+
+class TestValueIteration:
+    def test_absorbing_state_value(self):
+        mdp = two_state_mdp(gamma=0.9)
+        values, policy = value_iteration(mdp)
+        # V(1) = 2 / (1 - 0.9) = 20; V(0) = 1 + 0.9 * 20 = 19.
+        assert values[1] == pytest.approx(20.0, rel=1e-6)
+        assert values[0] == pytest.approx(19.0, rel=1e-6)
+        assert policy[0] == 1
+
+    def test_optimal_beats_all_deterministic_policies(self):
+        rng = np.random.default_rng(0)
+        raw = rng.random((4, 3, 4))
+        transitions = raw / raw.sum(axis=2, keepdims=True)
+        rewards = rng.normal(size=(4, 3))
+        mdp = TabularMDP(transitions, rewards, gamma=0.8)
+        optimal_values, _ = value_iteration(mdp)
+        for a0 in range(3):
+            policy = np.full(4, a0)
+            values = policy_evaluation(mdp, policy)
+            assert np.all(values <= optimal_values + 1e-8)
+
+
+class TestPolicyEvaluation:
+    def test_matches_hand_computation(self):
+        mdp = two_state_mdp(gamma=0.5)
+        values = policy_evaluation(mdp, np.array([0, 0]))
+        # Policy stays in state 0 forever: V(0) = 0. V(1) = 2/(1-0.5) = 4.
+        assert values[0] == pytest.approx(0.0, abs=1e-10)
+        assert values[1] == pytest.approx(4.0, rel=1e-10)
+
+    def test_stochastic_policy(self):
+        mdp = two_state_mdp(gamma=0.5)
+        policy = np.array([[0.5, 0.5], [1.0, 0.0]])
+        values = policy_evaluation(mdp, policy)
+        # V(0) = 0.5*(0 + 0.5 V0) + 0.5*(1 + 0.5*V1), V1 = 4.
+        # => V0 = 0.25 V0 + 0.5 + 1.0 => V0 = 2.
+        assert values[0] == pytest.approx(2.0, rel=1e-10)
+
+    def test_bad_policy_shape_rejected(self):
+        mdp = two_state_mdp()
+        with pytest.raises(ConfigError):
+            policy_evaluation(mdp, np.zeros((3, 2)))
+
+    def test_unnormalized_stochastic_policy_rejected(self):
+        mdp = two_state_mdp()
+        with pytest.raises(ConfigError):
+            policy_evaluation(mdp, np.full((2, 2), 0.7))

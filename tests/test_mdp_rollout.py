@@ -1,0 +1,90 @@
+"""Tests for repro.mdp.rollout: trajectories and discounted returns."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mdp.gridworld import GridWorld
+from repro.mdp.rollout import Trajectory, Transition, discounted_returns, rollout
+from repro.policies.random_policy import RandomPolicy
+
+
+class _UniformGridPolicy:
+    """Uniform policy over the gridworld's four actions."""
+
+    def action_probabilities(self, observation):
+        return np.full(4, 0.25)
+
+    def act(self, observation, rng):
+        return int(rng.integers(4))
+
+    def reset(self):
+        pass
+
+
+class TestDiscountedReturns:
+    def test_undiscounted_is_suffix_sum(self):
+        rewards = np.array([1.0, 2.0, 3.0])
+        returns = discounted_returns(rewards, gamma=1.0)
+        assert np.allclose(returns, [6.0, 5.0, 3.0])
+
+    def test_discounted_recursion(self):
+        rewards = np.array([1.0, 1.0, 1.0])
+        returns = discounted_returns(rewards, gamma=0.5)
+        assert returns[-1] == pytest.approx(1.0)
+        assert returns[1] == pytest.approx(1.0 + 0.5 * 1.0)
+        assert returns[0] == pytest.approx(1.0 + 0.5 * 1.5)
+
+    def test_bootstrap_value(self):
+        returns = discounted_returns(np.array([1.0]), gamma=0.9, bootstrap_value=10.0)
+        assert returns[0] == pytest.approx(1.0 + 0.9 * 10.0)
+
+    def test_gamma_range_checked(self):
+        with pytest.raises(ValueError):
+            discounted_returns(np.array([1.0]), gamma=1.5)
+
+    @given(
+        st.lists(st.floats(-10, 10), min_size=1, max_size=30),
+        st.floats(0.0, 1.0),
+    )
+    def test_property_bellman_identity(self, rewards, gamma):
+        rewards = np.array(rewards)
+        returns = discounted_returns(rewards, gamma)
+        for t in range(len(rewards) - 1):
+            assert returns[t] == pytest.approx(
+                rewards[t] + gamma * returns[t + 1], rel=1e-9, abs=1e-9
+            )
+
+
+class TestRollout:
+    def test_episode_terminates(self):
+        env = GridWorld(size=3, slip=0.0, max_episode_steps=50, seed=0)
+        trajectory = rollout(env, _UniformGridPolicy(), np.random.default_rng(0))
+        assert 0 < len(trajectory) <= 50
+        assert trajectory.transitions[-1].done
+
+    def test_max_steps_respected(self):
+        env = GridWorld(size=5, slip=0.0, max_episode_steps=1000, seed=0)
+        trajectory = rollout(
+            env, _UniformGridPolicy(), np.random.default_rng(0), max_steps=7
+        )
+        assert len(trajectory) <= 7
+
+    def test_records_probabilities(self):
+        env = GridWorld(size=3, seed=0)
+        trajectory = rollout(env, _UniformGridPolicy(), np.random.default_rng(0))
+        for transition in trajectory.transitions:
+            assert np.allclose(transition.action_probabilities, 0.25)
+
+    def test_accessors(self):
+        env = GridWorld(size=3, seed=0)
+        trajectory = rollout(env, _UniformGridPolicy(), np.random.default_rng(1))
+        assert trajectory.observations.shape == (len(trajectory), 2)
+        assert trajectory.actions.shape == (len(trajectory),)
+        assert trajectory.total_reward == pytest.approx(trajectory.rewards.sum())
+
+    def test_bad_max_steps(self):
+        env = GridWorld(size=3, seed=0)
+        with pytest.raises(ValueError):
+            rollout(env, _UniformGridPolicy(), np.random.default_rng(0), max_steps=0)

@@ -1,0 +1,138 @@
+"""Tests for repro.nn.losses: softmax family, MSE, entropy, KL."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.gradcheck import numerical_gradient, relative_error
+from repro.nn.losses import (
+    entropy,
+    kl_divergence,
+    log_softmax,
+    mean_squared_error,
+    softmax,
+    softmax_cross_entropy,
+)
+
+RNG = np.random.default_rng(0)
+
+finite_logits = st.lists(
+    st.floats(-50, 50), min_size=2, max_size=8
+).map(lambda xs: np.array([xs]))
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probs = softmax(RNG.normal(size=(4, 6)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        logits = RNG.normal(size=(2, 5))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_extreme_logits_stable(self):
+        probs = softmax(np.array([[1000.0, -1000.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        logits = RNG.normal(size=(3, 4))
+        assert np.allclose(log_softmax(logits), np.log(softmax(logits)))
+
+    @given(finite_logits)
+    def test_property_valid_distribution(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_uniform_loss_is_log_k(self):
+        logits = np.zeros((1, 4))
+        loss, _ = softmax_cross_entropy(logits, np.array([2]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient_matches_numeric(self):
+        logits = RNG.normal(size=(3, 5))
+        targets = np.array([0, 2, 4])
+        _, grad = softmax_cross_entropy(logits, targets)
+        numeric = numerical_gradient(
+            lambda: softmax_cross_entropy(logits, targets)[0], logits
+        )
+        assert relative_error(grad, numeric) < 1e-5
+
+    def test_soft_targets(self):
+        logits = RNG.normal(size=(2, 3))
+        soft = softmax(RNG.normal(size=(2, 3)))
+        loss, grad = softmax_cross_entropy(logits, soft)
+        assert np.isfinite(loss)
+        assert grad.shape == logits.shape
+
+
+class TestMeanSquaredError:
+    def test_zero_at_match(self):
+        x = RNG.normal(size=(5,))
+        loss, grad = mean_squared_error(x, x.copy())
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_gradient_matches_numeric(self):
+        predictions = RNG.normal(size=(6,))
+        targets = RNG.normal(size=(6,))
+        _, grad = mean_squared_error(predictions, targets)
+        numeric = numerical_gradient(
+            lambda: mean_squared_error(predictions, targets)[0], predictions
+        )
+        assert relative_error(grad, numeric) < 1e-5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error(np.zeros(3), np.zeros(4))
+
+
+class TestEntropy:
+    def test_uniform_is_log_k(self):
+        assert entropy(np.full(8, 1 / 8)) == pytest.approx(np.log(8))
+
+    def test_deterministic_is_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_batched(self):
+        probs = softmax(RNG.normal(size=(4, 3)))
+        assert entropy(probs).shape == (4,)
+
+
+class TestKLDivergence:
+    def test_identical_is_zero(self):
+        p = softmax(RNG.normal(size=(5,)))
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_negative(self):
+        for _ in range(20):
+            p = softmax(RNG.normal(size=(6,)))
+            q = softmax(RNG.normal(size=(6,)))
+            assert kl_divergence(p, q) >= -1e-12
+
+    def test_asymmetry(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(float(kl_divergence(q, p)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.ones(2) / 2, np.ones(3) / 3)
+
+    @given(
+        st.lists(st.floats(0.01, 10), min_size=3, max_size=3),
+        st.lists(st.floats(0.01, 10), min_size=3, max_size=3),
+    )
+    def test_property_gibbs_inequality(self, raw_p, raw_q):
+        p = np.array(raw_p) / np.sum(raw_p)
+        q = np.array(raw_q) / np.sum(raw_q)
+        assert float(kl_divergence(p, q)) >= -1e-9

@@ -1,0 +1,107 @@
+"""Tests for repro.nn.network: Sequential container and MLP builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.gradcheck import numerical_gradient, relative_error
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Sequential, build_mlp
+from repro.nn.optim import Adam
+
+RNG = np.random.default_rng(7)
+
+
+class TestSequential:
+    def test_forward_composition(self):
+        dense = Dense(3, 2, RNG)
+        net = Sequential([dense, ReLU()])
+        x = RNG.normal(size=(4, 3))
+        assert np.allclose(net.forward(x), np.maximum(dense.forward(x), 0.0))
+
+    def test_param_and_grad_lists_align(self):
+        net = build_mlp(4, [8, 8], 2, RNG)
+        assert len(net.params) == len(net.grads)
+        for param, grad in zip(net.params, net.grads):
+            assert param.shape == grad.shape
+
+    def test_end_to_end_gradient(self):
+        net = build_mlp(3, [5], 2, RNG, activation="tanh")
+        x = RNG.normal(size=(4, 3))
+        weights = RNG.normal(size=(4, 2))
+
+        def loss() -> float:
+            return float((net.forward(x) * weights).sum())
+
+        net.zero_grads()
+        net.forward(x)
+        net.backward(weights)
+        for param, grad in zip(net.params, net.grads):
+            numeric = numerical_gradient(loss, param)
+            assert relative_error(grad, numeric) < 1e-5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Sequential([])
+
+    def test_copy_params_from(self):
+        a = build_mlp(3, [4], 2, np.random.default_rng(1))
+        b = build_mlp(3, [4], 2, np.random.default_rng(2))
+        x = RNG.normal(size=(2, 3))
+        assert not np.allclose(a.forward(x), b.forward(x))
+        b.copy_params_from(a)
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_copy_params_shape_mismatch(self):
+        a = build_mlp(3, [4], 2, RNG)
+        b = build_mlp(3, [5], 2, RNG)
+        with pytest.raises(ModelError):
+            b.copy_params_from(a)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        net = build_mlp(3, [6], 2, np.random.default_rng(5))
+        x = RNG.normal(size=(3, 3))
+        expected = net.forward(x)
+        path = tmp_path / "model.npz"
+        net.save(path)
+        other = build_mlp(3, [6], 2, np.random.default_rng(99))
+        other.load(path)
+        assert np.allclose(other.forward(x), expected)
+
+    def test_load_shape_mismatch(self, tmp_path):
+        net = build_mlp(3, [6], 2, RNG)
+        path = tmp_path / "model.npz"
+        net.save(path)
+        wrong = build_mlp(3, [7], 2, RNG)
+        with pytest.raises(ModelError):
+            wrong.load(path)
+
+
+class TestBuildMlp:
+    def test_output_shape(self):
+        net = build_mlp(5, [16, 8], 3, RNG)
+        assert net.forward(RNG.normal(size=(7, 5))).shape == (7, 3)
+
+    def test_no_hidden_layers(self):
+        net = build_mlp(4, [], 2, RNG)
+        assert len(net.layers) == 1
+
+    def test_unknown_activation(self):
+        with pytest.raises(ModelError):
+            build_mlp(3, [4], 2, RNG, activation="gelu")
+
+    def test_trains_on_regression(self):
+        net = build_mlp(1, [16], 1, np.random.default_rng(0), activation="tanh")
+        optimizer = Adam(net.params, learning_rate=0.01)
+        x = np.linspace(-1, 1, 64)[:, None]
+        y = x**2
+        for _ in range(500):
+            pred = net.forward(x)
+            diff = pred - y
+            net.zero_grads()
+            net.backward(2 * diff / diff.size)
+            optimizer.step(net.grads)
+        final = float(np.mean((net.forward(x) - y) ** 2))
+        assert final < 1e-2

@@ -1,0 +1,92 @@
+"""Tests for repro.nn.recurrent: the GRU layer, gradient-checked."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.gradcheck import numerical_gradient, relative_error
+from repro.nn.optim import Adam
+from repro.nn.recurrent import GRU
+
+RNG = np.random.default_rng(0)
+
+
+class TestForward:
+    def test_output_shape(self):
+        gru = GRU(3, 5, RNG)
+        out = gru.forward(RNG.normal(size=(4, 7, 3)))
+        assert out.shape == (4, 5)
+
+    def test_hidden_state_bounded(self):
+        gru = GRU(2, 4, RNG)
+        out = gru.forward(RNG.normal(size=(3, 20, 2)) * 10)
+        # h is a convex mix of tanh outputs, so it stays in (-1, 1).
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_zero_length_input_rejected(self):
+        gru = GRU(2, 4, RNG)
+        with pytest.raises(ModelError):
+            gru.forward(np.ones((2, 3)))
+
+    def test_wrong_feature_dim_rejected(self):
+        gru = GRU(2, 4, RNG)
+        with pytest.raises(ModelError):
+            gru.forward(np.ones((2, 5, 3)))
+
+    def test_order_sensitivity(self):
+        # A recurrent model must distinguish sequence orderings.
+        gru = GRU(1, 6, np.random.default_rng(3))
+        ramp_up = np.linspace(-1, 1, 10).reshape(1, 10, 1)
+        ramp_down = ramp_up[:, ::-1, :]
+        assert not np.allclose(gru.forward(ramp_up), gru.forward(ramp_down))
+
+
+class TestBackward:
+    def test_gradient_check_params_and_input(self):
+        gru = GRU(2, 3, np.random.default_rng(1))
+        x = RNG.normal(size=(2, 4, 2))
+        weights = RNG.normal(size=(2, 3))
+
+        def loss() -> float:
+            return float((gru.forward(x) * weights).sum())
+
+        gru.zero_grads()
+        gru.forward(x)
+        grad_x = gru.backward(weights)
+        numeric_x = numerical_gradient(loss, x)
+        assert relative_error(grad_x, numeric_x) < 1e-5
+        for param, grad in zip(gru.params, gru.grads):
+            numeric = numerical_gradient(loss, param)
+            assert relative_error(grad, numeric) < 1e-5
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(ModelError):
+            GRU(2, 3, RNG).backward(np.ones((1, 3)))
+
+
+class TestLearning:
+    def test_learns_sequence_sum_sign(self):
+        # Classify whether the sequence sum is positive: requires
+        # integrating information across time steps.
+        rng = np.random.default_rng(5)
+        gru = GRU(1, 8, rng)
+        from repro.nn.layers import Dense
+
+        head = Dense(8, 1, rng)
+        optimizer = Adam(gru.params + head.params, learning_rate=0.02)
+        x = rng.normal(size=(64, 6, 1))
+        y = (x.sum(axis=(1, 2)) > 0).astype(float) * 2.0 - 1.0
+        losses = []
+        for _ in range(150):
+            hidden = gru.forward(x)
+            scores = head.forward(hidden)[:, 0]
+            diff = np.tanh(scores) - y
+            loss = float(np.mean(diff**2))
+            losses.append(loss)
+            grad_scores = 2.0 * diff * (1.0 - np.tanh(scores) ** 2) / y.size
+            gru.zero_grads()
+            head.zero_grads()
+            grad_hidden = head.backward(grad_scores[:, None])
+            gru.backward(grad_hidden)
+            optimizer.step(gru.grads + head.grads)
+        assert losses[-1] < losses[0] * 0.3

@@ -1,0 +1,80 @@
+"""Tests for repro.novelty.kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NoveltyError
+from repro.novelty.kernels import linear_kernel, median_heuristic_gamma, rbf_kernel
+
+RNG = np.random.default_rng(0)
+
+
+class TestRbfKernel:
+    def test_self_similarity_is_one(self):
+        x = RNG.normal(size=(5, 3))
+        kernel = rbf_kernel(x, x, gamma=0.7)
+        assert np.allclose(np.diag(kernel), 1.0)
+
+    def test_symmetry(self):
+        x = RNG.normal(size=(4, 2))
+        kernel = rbf_kernel(x, x, gamma=1.0)
+        assert np.allclose(kernel, kernel.T)
+
+    def test_range(self):
+        a = RNG.normal(size=(6, 3))
+        b = RNG.normal(size=(4, 3))
+        kernel = rbf_kernel(a, b, gamma=0.5)
+        assert np.all(kernel > 0)
+        assert np.all(kernel <= 1.0)
+
+    def test_matches_direct_formula(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])  # squared distance 25
+        assert rbf_kernel(a, b, gamma=0.1)[0, 0] == pytest.approx(np.exp(-2.5))
+
+    def test_positive_semidefinite(self):
+        x = RNG.normal(size=(10, 4))
+        kernel = rbf_kernel(x, x, gamma=0.3)
+        eigenvalues = np.linalg.eigvalsh(kernel)
+        assert eigenvalues.min() > -1e-10
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(NoveltyError):
+            rbf_kernel(np.ones((1, 2)), np.ones((1, 2)), gamma=0.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(NoveltyError):
+            rbf_kernel(np.ones((1, 2)), np.ones((1, 3)), gamma=1.0)
+
+    @given(st.floats(0.01, 10.0))
+    def test_property_distance_monotone(self, gamma):
+        origin = np.zeros((1, 1))
+        near = np.array([[1.0]])
+        far = np.array([[2.0]])
+        assert rbf_kernel(origin, near, gamma) > rbf_kernel(origin, far, gamma)
+
+
+class TestLinearKernel:
+    def test_matches_inner_product(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(2, 4))
+        assert np.allclose(linear_kernel(a, b), a @ b.T)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(NoveltyError):
+            linear_kernel(np.ones((1, 2)), np.ones((1, 3)))
+
+
+class TestMedianHeuristic:
+    def test_positive(self):
+        assert median_heuristic_gamma(RNG.normal(size=(50, 3))) > 0
+
+    def test_constant_data_fallback(self):
+        gamma = median_heuristic_gamma(np.ones((10, 4)))
+        assert gamma == pytest.approx(0.25)
+
+    def test_scale_sensitivity(self):
+        x = RNG.normal(size=(100, 2))
+        assert median_heuristic_gamma(x) > median_heuristic_gamma(x * 10.0)

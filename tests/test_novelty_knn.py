@@ -1,0 +1,58 @@
+"""Tests for repro.novelty.knn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoveltyError
+from repro.novelty.knn import KNNDetector
+
+
+def cloud(n=200, center=0.0, seed=0, dim=2):
+    return np.random.default_rng(seed).normal(center, 1.0, size=(n, dim))
+
+
+class TestKNNDetector:
+    def test_detects_far_cluster(self):
+        detector = KNNDetector(k=5).fit(cloud(seed=1))
+        outliers = cloud(n=100, center=8.0, seed=2)
+        assert float((detector.predict(outliers) == -1).mean()) > 0.95
+
+    def test_accepts_in_distribution(self):
+        detector = KNNDetector(k=5).fit(cloud(seed=1))
+        fresh = cloud(n=100, seed=3)
+        assert float((detector.predict(fresh) == 1).mean()) > 0.8
+
+    def test_training_flag_rate_near_quantile(self):
+        detector = KNNDetector(k=5, quantile=0.9).fit(cloud(n=300, seed=4))
+        flagged = float((detector.predict(cloud(n=300, seed=4)) == -1).mean())
+        # Scoring training data without leave-one-out self-match: zero
+        # distance to self pulls distances down, so fewer flags.
+        assert flagged <= 0.1
+
+    def test_respects_multimodal_support(self):
+        # Two clusters: a Gaussian envelope would flag the gap midpoint as
+        # typical, kNN correctly flags it.
+        rng = np.random.default_rng(5)
+        train = np.vstack(
+            [rng.normal(-5.0, 0.3, size=(150, 2)), rng.normal(5.0, 0.3, size=(150, 2))]
+        )
+        detector = KNNDetector(k=5, quantile=0.99).fit(train)
+        midpoint = np.array([[0.0, 0.0]])
+        assert detector.predict(midpoint)[0] == -1
+
+    def test_scores_sign_consistent(self):
+        detector = KNNDetector(k=3).fit(cloud(seed=1))
+        samples = np.vstack([cloud(30, seed=6), cloud(30, center=7.0, seed=7)])
+        assert np.all(
+            (detector.scores(samples) >= 0) == (detector.predict(samples) == 1)
+        )
+
+    def test_validation(self):
+        with pytest.raises(NoveltyError):
+            KNNDetector(k=0)
+        with pytest.raises(NoveltyError):
+            KNNDetector(quantile=1.0)
+        with pytest.raises(NoveltyError):
+            KNNDetector(k=10).fit(cloud(n=5))
+        with pytest.raises(NoveltyError):
+            KNNDetector().predict(cloud(n=2))

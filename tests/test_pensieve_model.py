@@ -1,0 +1,113 @@
+"""Tests for repro.pensieve.model: actor and critic networks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.gradcheck import numerical_gradient, relative_error
+from repro.nn.losses import softmax
+from repro.pensieve.model import ActorNetwork, CriticNetwork, PensieveTrunk
+
+RNG = np.random.default_rng(0)
+NUM_BITRATES = 6
+
+
+def random_observations(batch=3):
+    return RNG.normal(size=(batch, 6, 8)) * 0.5
+
+
+class TestTrunk:
+    def test_output_shape(self):
+        trunk = PensieveTrunk(NUM_BITRATES, RNG, filters=4, hidden=12)
+        features = trunk.forward(random_observations(5))
+        assert features.shape == (5, 12)
+
+    def test_single_observation_promoted(self):
+        trunk = PensieveTrunk(NUM_BITRATES, RNG, filters=4, hidden=12)
+        features = trunk.forward(random_observations(1)[0])
+        assert features.shape == (1, 12)
+
+    def test_params_and_grads_align(self):
+        trunk = PensieveTrunk(NUM_BITRATES, RNG, filters=4, hidden=8)
+        assert len(trunk.params) == len(trunk.grads)
+        for param, grad in zip(trunk.params, trunk.grads):
+            assert param.shape == grad.shape
+
+    def test_backward_before_forward_rejected(self):
+        trunk = PensieveTrunk(NUM_BITRATES, RNG, filters=4, hidden=8)
+        with pytest.raises(ModelError):
+            trunk.backward(np.ones((1, 8)))
+
+    def test_wrong_shape_rejected(self):
+        trunk = PensieveTrunk(NUM_BITRATES, RNG, filters=4, hidden=8)
+        with pytest.raises(ModelError):
+            trunk.forward(np.ones((2, 5, 8)))
+
+    def test_narrow_ladder_rejected(self):
+        with pytest.raises(ModelError):
+            PensieveTrunk(3, RNG)  # shorter than the conv kernel
+
+
+class TestActorNetwork:
+    def test_probabilities_valid(self):
+        actor = ActorNetwork(NUM_BITRATES, RNG, filters=4, hidden=8)
+        probs = actor.probabilities(random_observations(4))
+        assert probs.shape == (4, NUM_BITRATES)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_gradient_check(self):
+        actor = ActorNetwork(NUM_BITRATES, np.random.default_rng(3), filters=3, hidden=6)
+        obs = random_observations(2)
+        weights = RNG.normal(size=(2, NUM_BITRATES))
+
+        def loss() -> float:
+            return float((actor.logits(obs) * weights).sum())
+
+        actor.zero_grads()
+        actor.logits(obs)
+        actor.backward(weights)
+        for param, grad in zip(actor.params, actor.grads):
+            numeric = numerical_gradient(loss, param)
+            assert relative_error(grad, numeric) < 1e-5
+
+    def test_different_inits_differ(self):
+        a = ActorNetwork(NUM_BITRATES, np.random.default_rng(1), filters=4, hidden=8)
+        b = ActorNetwork(NUM_BITRATES, np.random.default_rng(2), filters=4, hidden=8)
+        obs = random_observations(1)
+        assert not np.allclose(a.probabilities(obs), b.probabilities(obs))
+
+    def test_same_init_identical(self):
+        a = ActorNetwork(NUM_BITRATES, np.random.default_rng(1), filters=4, hidden=8)
+        b = ActorNetwork(NUM_BITRATES, np.random.default_rng(1), filters=4, hidden=8)
+        obs = random_observations(1)
+        assert np.allclose(a.probabilities(obs), b.probabilities(obs))
+
+    def test_logits_softmax_consistency(self):
+        actor = ActorNetwork(NUM_BITRATES, RNG, filters=4, hidden=8)
+        obs = random_observations(2)
+        assert np.allclose(actor.probabilities(obs), softmax(actor.logits(obs)))
+
+
+class TestCriticNetwork:
+    def test_scalar_values(self):
+        critic = CriticNetwork(NUM_BITRATES, RNG, filters=4, hidden=8)
+        values = critic.values(random_observations(5))
+        assert values.shape == (5,)
+
+    def test_gradient_check(self):
+        critic = CriticNetwork(
+            NUM_BITRATES, np.random.default_rng(4), filters=3, hidden=6
+        )
+        obs = random_observations(2)
+        weights = RNG.normal(size=2)
+
+        def loss() -> float:
+            return float((critic.values(obs) * weights).sum())
+
+        critic.zero_grads()
+        critic.values(obs)
+        critic.backward(weights)
+        for param, grad in zip(critic.params, critic.grads):
+            numeric = numerical_gradient(loss, param)
+            assert relative_error(grad, numeric) < 1e-5

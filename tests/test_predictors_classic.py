@@ -1,0 +1,131 @@
+"""Tests for repro.predictors.classic: the classical estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.predictors.classic import (
+    EWMAPredictor,
+    HarmonicMeanPredictor,
+    HoltPredictor,
+    LastSamplePredictor,
+    MovingAveragePredictor,
+)
+
+ALL_PREDICTORS = [
+    LastSamplePredictor,
+    MovingAveragePredictor,
+    HarmonicMeanPredictor,
+    EWMAPredictor,
+    HoltPredictor,
+]
+
+
+@pytest.mark.parametrize("cls", ALL_PREDICTORS)
+class TestSharedBehaviour:
+    def test_cold_start_positive(self, cls):
+        assert cls().predict() > 0
+
+    def test_reset_restores_cold_start(self, cls):
+        predictor = cls()
+        for sample in [5.0, 6.0, 7.0]:
+            predictor.update(sample)
+        predictor.reset()
+        assert predictor.predict() == predictor.cold_start_mbps
+
+    def test_constant_stream_converges_to_constant(self, cls):
+        predictor = cls()
+        for _ in range(50):
+            predictor.update(3.0)
+        assert predictor.predict() == pytest.approx(3.0, rel=1e-6)
+
+    def test_nonpositive_sample_rejected(self, cls):
+        with pytest.raises(ConfigError):
+            cls().update(0.0)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=30))
+    def test_property_prediction_positive_and_finite(self, cls, samples):
+        predictor = cls()
+        for sample in samples:
+            predictor.update(sample)
+        prediction = predictor.predict()
+        assert np.isfinite(prediction)
+        assert prediction > 0
+
+
+class TestLastSample:
+    def test_tracks_latest(self):
+        predictor = LastSamplePredictor()
+        predictor.update(2.0)
+        predictor.update(9.0)
+        assert predictor.predict() == 9.0
+
+
+class TestMovingAverage:
+    def test_window_bound(self):
+        predictor = MovingAveragePredictor(window=2)
+        for sample in [1.0, 100.0, 2.0, 4.0]:
+            predictor.update(sample)
+        assert predictor.predict() == pytest.approx(3.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigError):
+            MovingAveragePredictor(window=0)
+
+
+class TestHarmonicMean:
+    def test_below_arithmetic_mean(self):
+        harmonic = HarmonicMeanPredictor(window=3)
+        arithmetic = MovingAveragePredictor(window=3)
+        for sample in [1.0, 4.0, 10.0]:
+            harmonic.update(sample)
+            arithmetic.update(sample)
+        assert harmonic.predict() < arithmetic.predict()
+
+    def test_known_value(self):
+        predictor = HarmonicMeanPredictor(window=2)
+        predictor.update(2.0)
+        predictor.update(4.0)
+        assert predictor.predict() == pytest.approx(2 / (0.5 + 0.25))
+
+
+class TestEWMA:
+    def test_alpha_one_is_last_sample(self):
+        predictor = EWMAPredictor(alpha=1.0)
+        predictor.update(3.0)
+        predictor.update(8.0)
+        assert predictor.predict() == 8.0
+
+    def test_smooths_spikes(self):
+        predictor = EWMAPredictor(alpha=0.2)
+        for _ in range(20):
+            predictor.update(2.0)
+        predictor.update(50.0)
+        assert predictor.predict() < 15.0
+
+    def test_bad_alpha(self):
+        with pytest.raises(ConfigError):
+            EWMAPredictor(alpha=0.0)
+
+
+class TestHolt:
+    def test_extrapolates_trend(self):
+        predictor = HoltPredictor(alpha=0.8, beta=0.8)
+        for sample in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            predictor.update(sample)
+        # A rising ramp: the prediction should overshoot the last sample.
+        assert predictor.predict() > 5.0
+
+    def test_falling_trend_floored_positive(self):
+        predictor = HoltPredictor(alpha=0.9, beta=0.9)
+        for sample in [10.0, 5.0, 1.0, 0.2, 0.05]:
+            predictor.update(sample)
+        assert predictor.predict() > 0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            HoltPredictor(alpha=0.0)
+        with pytest.raises(ConfigError):
+            HoltPredictor(beta=1.5)

@@ -1,0 +1,63 @@
+"""Tests for repro.predictors.recurrent: the GRU predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.predictors.classic import MovingAveragePredictor
+from repro.predictors.evaluation import backtest_predictor
+from repro.predictors.recurrent import train_recurrent_predictor
+
+
+def alternating_series(length=300, low=1.0, high=8.0):
+    return np.array([low if i % 2 == 0 else high for i in range(length)])
+
+
+class TestRecurrentPredictor:
+    def test_learns_alternation(self):
+        predictor = train_recurrent_predictor(
+            [alternating_series()], context=6, hidden_size=8, epochs=250, seed=0
+        )
+        score = backtest_predictor(predictor, [alternating_series(80)], warmup=6)
+        baseline = backtest_predictor(
+            MovingAveragePredictor(window=6), [alternating_series(80)], warmup=6
+        )
+        # The GRU can express the alternation exactly; a mean cannot.
+        assert score.mae < baseline.mae * 0.5
+
+    def test_cold_start_positive(self):
+        predictor = train_recurrent_predictor(
+            [alternating_series(100)], context=6, epochs=5
+        )
+        assert predictor.predict() > 0
+
+    def test_prediction_clamped(self):
+        predictor = train_recurrent_predictor(
+            [alternating_series(100)], context=4, epochs=5
+        )
+        for _ in range(4):
+            predictor.update(150.0)
+        assert 0.01 <= predictor.predict() <= 200.0
+
+    def test_reset(self):
+        predictor = train_recurrent_predictor(
+            [alternating_series(100)], context=4, epochs=5
+        )
+        predictor.update(5.0)
+        predictor.reset()
+        assert predictor.predict() == predictor.cold_start_mbps
+
+    def test_deterministic_given_seed(self):
+        series = [alternating_series(120)]
+        a = train_recurrent_predictor(series, context=4, epochs=5, seed=2)
+        b = train_recurrent_predictor(series, context=4, epochs=5, seed=2)
+        for sample in [1.0, 8.0, 1.0, 8.0]:
+            a.update(sample)
+            b.update(sample)
+        assert a.predict() == pytest.approx(b.predict())
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            train_recurrent_predictor([np.array([1.0, 2.0])], context=10)
+        with pytest.raises(TrainingError):
+            train_recurrent_predictor([alternating_series(50)], epochs=0)

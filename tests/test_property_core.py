@@ -1,0 +1,127 @@
+"""Property-based tests for the safety core's semantics.
+
+Hypothesis drives the triggers and trimming logic with arbitrary signal
+streams, checking them against straightforward reference implementations
+and their defining invariants.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ensemble_signals import trim_by_distance
+from repro.core.strategies import CusumTrigger, EWMATrigger, HysteresisTrigger
+from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
+
+binary_streams = st.lists(st.sampled_from([0.0, 1.0]), min_size=1, max_size=60)
+signal_streams = st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60)
+small_l = st.integers(1, 5)
+
+
+class TestConsecutiveTriggerProperties:
+    @given(binary_streams, small_l)
+    def test_matches_reference_implementation(self, stream, l):
+        trigger = ConsecutiveTrigger(l=l)
+        streak = 0
+        for value in stream:
+            streak = streak + 1 if value > 0 else 0
+            assert trigger.update(value) == (streak >= l)
+
+    @given(binary_streams)
+    def test_l1_fires_exactly_on_positive(self, stream):
+        trigger = ConsecutiveTrigger(l=1)
+        for value in stream:
+            assert trigger.update(value) == (value > 0)
+
+    @given(binary_streams, small_l)
+    def test_reset_equivalent_to_fresh_trigger(self, stream, l):
+        used = ConsecutiveTrigger(l=l)
+        for value in stream:
+            used.update(value)
+        used.reset()
+        fresh = ConsecutiveTrigger(l=l)
+        for value in stream:
+            assert used.update(value) == fresh.update(value)
+
+
+class TestVarianceTriggerProperties:
+    @settings(max_examples=50)
+    @given(signal_streams)
+    def test_infinite_alpha_never_fires(self, stream):
+        trigger = VarianceTrigger(alpha=float("inf"), k=3, l=1)
+        assert not any(trigger.update(value) for value in stream)
+
+    @settings(max_examples=50)
+    @given(signal_streams)
+    def test_window_variance_matches_numpy(self, stream):
+        k = 4
+        trigger = VarianceTrigger(alpha=float("inf"), k=k, l=1)
+        for index, value in enumerate(stream):
+            trigger.update(value)
+            if index + 1 >= k:
+                expected = float(np.var(stream[index + 1 - k : index + 1]))
+                assert abs(trigger.window_variance() - expected) < 1e-9
+
+    @settings(max_examples=50)
+    @given(st.floats(0.0, 10.0))
+    def test_constant_stream_never_fires(self, level):
+        trigger = VarianceTrigger(alpha=1e-12, k=3, l=1)
+        assert not any(trigger.update(level) for _ in range(20))
+
+
+class TestStrategyProperties:
+    @settings(max_examples=50)
+    @given(signal_streams, st.floats(0.05, 1.0))
+    def test_ewma_level_bounded_by_stream_range(self, stream, alpha):
+        trigger = EWMATrigger(bar=float("inf"), alpha=alpha)
+        for value in stream:
+            trigger.update(value)
+            assert min(stream) - 1e-9 <= trigger.level <= max(stream) + 1e-9
+
+    @settings(max_examples=50)
+    @given(signal_streams, st.floats(0.0, 5.0))
+    def test_cusum_statistic_nonnegative_and_bounded(self, stream, drift):
+        trigger = CusumTrigger(threshold=float("inf"), drift=drift)
+        total_excess = 0.0
+        for value in stream:
+            trigger.update(value)
+            total_excess = max(total_excess + value - drift, 0.0)
+            assert trigger.statistic >= 0.0
+        assert abs(trigger.statistic - total_excess) < 1e-9
+
+    @settings(max_examples=50)
+    @given(signal_streams)
+    def test_hysteresis_state_consistent_with_bars(self, stream):
+        trigger = HysteresisTrigger(high=5.0, low=2.0)
+        active = False
+        for value in stream:
+            if active and value < 2.0:
+                active = False
+            elif not active and value > 5.0:
+                active = True
+            assert trigger.update(value) == active
+
+
+class TestTrimProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=3, max_size=10),
+        st.integers(0, 3),
+    )
+    def test_survivor_count(self, values, trim):
+        outputs = np.asarray(values)[:, None]
+        if trim >= len(values):
+            return
+        distances = np.abs(outputs[:, 0] - outputs[:, 0].mean())
+        survivors = trim_by_distance(outputs, distances, trim)
+        assert survivors.shape[0] == len(values) - trim
+
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(-100, 100), min_size=4, max_size=10))
+    def test_trimming_removes_extremes(self, values):
+        outputs = np.asarray(values)[:, None]
+        distances = np.abs(outputs[:, 0] - outputs[:, 0].mean())
+        survivors = trim_by_distance(outputs, distances, 1)[:, 0]
+        dropped_distance = distances.max()
+        surviving_distances = np.abs(survivors - outputs[:, 0].mean())
+        assert np.all(surviving_distances <= dropped_distance + 1e-12)

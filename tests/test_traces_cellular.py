@@ -1,0 +1,114 @@
+"""Tests for repro.traces.cellular: simulated Norway-3G / Belgium-4G traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.cellular import (
+    BELGIUM_4G,
+    NORWAY_3G,
+    CellularModel,
+    belgium_4g_trace,
+    norway_3g_trace,
+)
+
+
+class TestRangeCharacteristics:
+    def test_norway_within_3g_range(self):
+        trace = norway_3g_trace(duration_s=5000, seed=0)
+        assert trace.bandwidths_mbps.min() >= NORWAY_3G.min_mbps
+        assert trace.bandwidths_mbps.max() <= NORWAY_3G.max_mbps
+
+    def test_belgium_within_4g_range(self):
+        trace = belgium_4g_trace(duration_s=5000, seed=0)
+        assert trace.bandwidths_mbps.min() >= BELGIUM_4G.min_mbps
+        assert trace.bandwidths_mbps.max() <= BELGIUM_4G.max_mbps
+
+    def test_belgium_much_faster_than_norway(self):
+        norway = norway_3g_trace(duration_s=5000, seed=0)
+        belgium = belgium_4g_trace(duration_s=5000, seed=0)
+        assert belgium.mean_bandwidth > 5 * norway.mean_bandwidth
+
+
+class TestTemporalCorrelation:
+    def test_positive_lag1_autocorrelation(self):
+        # Cellular traces are strongly correlated in time, unlike the
+        # paper's i.i.d. synthetic datasets.
+        trace = norway_3g_trace(duration_s=5000, seed=3)
+        series = trace.bandwidths_mbps
+        centered = series - series.mean()
+        autocorr = float(
+            (centered[:-1] * centered[1:]).sum()
+            / np.maximum((centered**2).sum(), 1e-12)
+        )
+        assert autocorr > 0.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = norway_3g_trace(300, seed=5)
+        b = norway_3g_trace(300, seed=5)
+        assert np.array_equal(a.bandwidths_mbps, b.bandwidths_mbps)
+
+    def test_different_seeds_differ(self):
+        a = belgium_4g_trace(300, seed=5)
+        b = belgium_4g_trace(300, seed=6)
+        assert not np.array_equal(a.bandwidths_mbps, b.bandwidths_mbps)
+
+
+class TestModelValidation:
+    def test_bad_median(self):
+        with pytest.raises(TraceError):
+            CellularModel(
+                median_mbps=0.0,
+                volatility=0.1,
+                reversion=0.1,
+                min_mbps=0.1,
+                max_mbps=10.0,
+                outage_rate=0.01,
+                outage_recovery=0.1,
+                outage_factor=0.5,
+            )
+
+    def test_bad_reversion(self):
+        with pytest.raises(TraceError):
+            CellularModel(
+                median_mbps=1.0,
+                volatility=0.1,
+                reversion=0.0,
+                min_mbps=0.1,
+                max_mbps=10.0,
+                outage_rate=0.01,
+                outage_recovery=0.1,
+                outage_factor=0.5,
+            )
+
+    def test_bad_band(self):
+        with pytest.raises(TraceError):
+            CellularModel(
+                median_mbps=1.0,
+                volatility=0.1,
+                reversion=0.1,
+                min_mbps=5.0,
+                max_mbps=1.0,
+                outage_rate=0.01,
+                outage_recovery=0.1,
+                outage_factor=0.5,
+            )
+
+    def test_bad_outage_factor(self):
+        with pytest.raises(TraceError):
+            CellularModel(
+                median_mbps=1.0,
+                volatility=0.1,
+                reversion=0.1,
+                min_mbps=0.1,
+                max_mbps=10.0,
+                outage_rate=0.01,
+                outage_recovery=0.1,
+                outage_factor=0.0,
+            )
+
+    def test_bad_duration(self):
+        with pytest.raises(TraceError):
+            NORWAY_3G.generate(0.0, seed=0, name="x")

@@ -1,0 +1,99 @@
+"""Tests for repro.traces.dataset: registry and train/val/test split."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TraceError
+from repro.traces.dataset import (
+    DATASET_NAMES,
+    EMPIRICAL_DATASETS,
+    SYNTHETIC_DATASETS,
+    Dataset,
+    make_dataset,
+)
+from repro.traces.trace import Trace
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert len(DATASET_NAMES) == 6
+        assert set(EMPIRICAL_DATASETS) | set(SYNTHETIC_DATASETS) == set(DATASET_NAMES)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_every_dataset_generates(self, name):
+        dataset = make_dataset(name, num_traces=3, duration_s=100, seed=0)
+        assert len(dataset) == 3
+        assert all(len(trace) >= 2 for trace in dataset.traces)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_dataset("wifi", num_traces=2)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigError):
+            make_dataset("norway", num_traces=0)
+
+    def test_deterministic_across_calls(self):
+        a = make_dataset("belgium", num_traces=3, duration_s=100, seed=7)
+        b = make_dataset("belgium", num_traces=3, duration_s=100, seed=7)
+        for trace_a, trace_b in zip(a.traces, b.traces):
+            assert np.array_equal(trace_a.bandwidths_mbps, trace_b.bandwidths_mbps)
+
+    def test_traces_within_dataset_differ(self):
+        dataset = make_dataset("norway", num_traces=4, duration_s=100, seed=0)
+        first = dataset.traces[0].bandwidths_mbps
+        assert any(
+            not np.array_equal(first, trace.bandwidths_mbps)
+            for trace in dataset.traces[1:]
+        )
+
+    def test_is_synthetic_flag(self):
+        assert make_dataset("gamma_1_2", num_traces=2, duration_s=50).is_synthetic
+        assert not make_dataset("norway", num_traces=2, duration_s=50).is_synthetic
+
+    def test_trace_names_carry_dataset(self):
+        dataset = make_dataset("logistic", num_traces=2, duration_s=50)
+        assert dataset.traces[0].name.startswith("logistic-")
+
+
+class TestSplit:
+    def _dataset(self, count):
+        traces = tuple(
+            Trace.from_bandwidths([1.0 + i, 2.0], name=f"t{i}") for i in range(count)
+        )
+        return Dataset(name="synthetic-test", traces=traces)
+
+    def test_paper_fractions(self):
+        split = self._dataset(10).split()
+        # 70% train (7), of which 30% validation (2); 30% test (3).
+        assert len(split.train) + len(split.validation) == 7
+        assert len(split.validation) == 2
+        assert len(split.test) == 3
+
+    def test_no_overlap(self):
+        split = self._dataset(10).split()
+        names = lambda group: {t.name for t in group}
+        assert not names(split.train) & names(split.test)
+        assert not names(split.validation) & names(split.test)
+        assert not names(split.train) & names(split.validation)
+
+    def test_covers_all_traces(self):
+        dataset = self._dataset(10)
+        split = dataset.split()
+        total = len(split.train) + len(split.validation) + len(split.test)
+        assert total == len(dataset)
+
+    def test_tiny_dataset_still_splits(self):
+        split = self._dataset(3).split()
+        assert len(split.train) >= 1
+        assert len(split.test) >= 1
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ConfigError):
+            self._dataset(5).split(train_fraction=1.0)
+        with pytest.raises(ConfigError):
+            self._dataset(5).split(validation_fraction=1.0)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(TraceError):
+            Dataset(name="empty", traces=())

@@ -1,0 +1,44 @@
+"""Tests for the fair-share (competing sessions) trace transform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.trace import Trace
+from repro.traces.transforms import fair_share
+
+
+class TestFairShare:
+    def test_halves_bandwidth_while_one_competitor_active(self):
+        trace = Trace.from_bandwidths([8.0] * 30)
+        shared = fair_share(trace, [(10.0, 20.0)])
+        assert np.allclose(shared.bandwidths_mbps[:10], 8.0)
+        assert np.allclose(shared.bandwidths_mbps[10:20], 4.0)
+        assert np.allclose(shared.bandwidths_mbps[20:], 8.0)
+
+    def test_multiple_overlapping_competitors(self):
+        trace = Trace.from_bandwidths([9.0] * 10)
+        shared = fair_share(trace, [(0.0, 10.0), (0.0, 10.0)])
+        assert np.allclose(shared.bandwidths_mbps, 3.0)
+
+    def test_no_competitors_is_identity_values(self):
+        trace = Trace.from_bandwidths([5.0] * 5)
+        shared = fair_share(trace, [])
+        assert np.allclose(shared.bandwidths_mbps, 5.0)
+
+    def test_window_outside_trace_has_no_effect(self):
+        trace = Trace.from_bandwidths([5.0] * 5)
+        shared = fair_share(trace, [(100.0, 200.0)])
+        assert np.allclose(shared.bandwidths_mbps, 5.0)
+
+    def test_result_stays_positive(self):
+        trace = Trace.from_bandwidths([0.05] * 5)
+        shared = fair_share(trace, [(0.0, 10.0)] * 9)
+        assert np.all(shared.bandwidths_mbps > 0)
+
+    def test_bad_window_rejected(self):
+        trace = Trace.from_bandwidths([5.0] * 5)
+        with pytest.raises(TraceError):
+            fair_share(trace, [(5.0, 2.0)])
+        with pytest.raises(TraceError):
+            fair_share(trace, [(-1.0, 2.0)])

@@ -1,0 +1,83 @@
+"""Tests for repro.traces.mahimahi: the packet-delivery trace format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.mahimahi import MTU_BYTES, read_mahimahi, write_mahimahi
+from repro.traces.trace import Trace
+
+
+class TestWrite:
+    def test_constant_rate_packet_count(self, tmp_path):
+        # 12 Mbit/s = 1000 packets/s at 1500 bytes; 10 s -> 10000 lines.
+        trace = Trace.from_bandwidths([12.0] * 11, name="const12")
+        path = tmp_path / "const12.mahi"
+        count = write_mahimahi(trace, path)
+        assert count == pytest.approx(10_000, abs=2)
+
+    def test_timestamps_sorted(self, tmp_path):
+        trace = Trace.from_bandwidths([3.0, 8.0, 1.0, 6.0] * 5)
+        path = tmp_path / "t.mahi"
+        write_mahimahi(trace, path)
+        stamps = [int(line) for line in path.read_text().split()]
+        assert stamps == sorted(stamps)
+
+    def test_too_slow_trace_rejected(self, tmp_path):
+        trace = Trace(
+            times=np.array([0.0, 0.001]),
+            bandwidths_mbps=np.array([0.01, 0.01]),
+        )
+        with pytest.raises(TraceError):
+            write_mahimahi(trace, tmp_path / "slow.mahi")
+
+
+class TestRead:
+    def test_round_trip_preserves_rate(self, tmp_path):
+        trace = Trace.from_bandwidths([5.0] * 21, name="const5")
+        path = tmp_path / "rt.mahi"
+        write_mahimahi(trace, path)
+        recovered = read_mahimahi(path)
+        # Mid-trace bins should carry ~5 Mbit/s (quantized to packets).
+        middle = recovered.bandwidths_mbps[2:-2]
+        assert middle.mean() == pytest.approx(5.0, rel=0.02)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            read_mahimahi(tmp_path / "absent.mahi")
+
+    def test_garbage_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.mahi"
+        path.write_text("12\nnot-a-number\n")
+        with pytest.raises(TraceError) as excinfo:
+            read_mahimahi(path)
+        assert "line" in str(excinfo.value) or "2" in str(excinfo.value)
+
+    def test_negative_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "neg.mahi"
+        path.write_text("-5\n")
+        with pytest.raises(TraceError):
+            read_mahimahi(path)
+
+    def test_unsorted_rejected(self, tmp_path):
+        path = tmp_path / "unsorted.mahi"
+        path.write_text("10\n5\n")
+        with pytest.raises(TraceError):
+            read_mahimahi(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.mahi"
+        path.write_text("\n")
+        with pytest.raises(TraceError):
+            read_mahimahi(path)
+
+    def test_bad_bin_size(self, tmp_path):
+        path = tmp_path / "x.mahi"
+        path.write_text("100\n2000\n")
+        with pytest.raises(TraceError):
+            read_mahimahi(path, bin_s=0.0)
+
+
+class TestConstants:
+    def test_mtu_is_1500(self):
+        assert MTU_BYTES == 1500

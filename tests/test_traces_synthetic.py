@@ -1,0 +1,91 @@
+"""Tests for repro.traces.synthetic: the paper's four i.i.d. generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.synthetic import (
+    exponential_trace,
+    gamma_trace,
+    iid_trace,
+    logistic_trace,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: gamma_trace(2.0, 2.0, 300, seed),
+            lambda seed: logistic_trace(4.0, 0.5, 300, seed),
+            lambda seed: exponential_trace(1.0, 300, seed),
+        ],
+        ids=["gamma", "logistic", "exponential"],
+    )
+    def test_same_seed_same_trace(self, factory):
+        a = factory(11)
+        b = factory(11)
+        assert np.array_equal(a.bandwidths_mbps, b.bandwidths_mbps)
+
+    def test_different_seeds_differ(self):
+        a = gamma_trace(1.0, 2.0, 300, seed=1)
+        b = gamma_trace(1.0, 2.0, 300, seed=2)
+        assert not np.array_equal(a.bandwidths_mbps, b.bandwidths_mbps)
+
+
+class TestDistributions:
+    def test_gamma_mean_matches(self):
+        trace = gamma_trace(2.0, 2.0, duration_s=20_000, seed=0)
+        assert trace.bandwidths_mbps.mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_gamma_1_2_mean_matches(self):
+        trace = gamma_trace(1.0, 2.0, duration_s=20_000, seed=0)
+        assert trace.bandwidths_mbps.mean() == pytest.approx(2.0, rel=0.06)
+
+    def test_logistic_centered_at_four(self):
+        trace = logistic_trace(duration_s=20_000, seed=0)
+        assert trace.bandwidths_mbps.mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_exponential_mean_matches(self):
+        trace = exponential_trace(duration_s=20_000, seed=0)
+        # The positive floor slightly raises the mean above 1.0.
+        assert trace.bandwidths_mbps.mean() == pytest.approx(1.0, rel=0.1)
+
+    def test_all_positive(self):
+        for trace in [
+            gamma_trace(1.0, 2.0, 5000, 0),
+            logistic_trace(4.0, 0.5, 5000, 0),
+            exponential_trace(1.0, 5000, 0),
+        ]:
+            assert np.all(trace.bandwidths_mbps > 0)
+
+
+class TestValidation:
+    def test_bad_gamma_params(self):
+        with pytest.raises(TraceError):
+            gamma_trace(0.0, 2.0)
+
+    def test_bad_logistic_scale(self):
+        with pytest.raises(TraceError):
+            logistic_trace(scale=0.0)
+
+    def test_bad_exponential_scale(self):
+        with pytest.raises(TraceError):
+            exponential_trace(scale=-1.0)
+
+    def test_bad_duration(self):
+        with pytest.raises(TraceError):
+            gamma_trace(1.0, 1.0, duration_s=0.0)
+
+    def test_sampler_shape_checked(self):
+        with pytest.raises(TraceError):
+            iid_trace(
+                lambda rng, n: np.ones((n, 2)), 10.0, 0, name="bad"
+            )
+
+
+class TestNaming:
+    def test_names_identify_distribution(self):
+        assert gamma_trace(1.0, 2.0, 10, 0).name == "gamma(1,2)"
+        assert logistic_trace(4.0, 0.5, 10, 0).name == "logistic(4,0.5)"
+        assert exponential_trace(1.0, 10, 0).name == "exponential(1)"

@@ -1,0 +1,99 @@
+"""Tests for repro.traces.trace: the Trace type."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.traces.trace import Trace
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(TraceError):
+            Trace(times=np.array([0.0, 1.0]), bandwidths_mbps=np.array([1.0]))
+
+    def test_needs_two_samples(self):
+        with pytest.raises(TraceError):
+            Trace(times=np.array([0.0]), bandwidths_mbps=np.array([1.0]))
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(times=np.array([0.0, 2.0, 1.0]), bandwidths_mbps=np.ones(3))
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(times=np.array([0.0, 1.0, 1.0]), bandwidths_mbps=np.ones(3))
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(times=np.array([-1.0, 0.0]), bandwidths_mbps=np.ones(2))
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(times=np.array([0.0, 1.0]), bandwidths_mbps=np.array([1.0, 0.0]))
+
+
+class TestProperties:
+    def test_duration(self):
+        trace = Trace.from_bandwidths([1.0, 2.0, 3.0], interval_s=2.0)
+        assert trace.duration == 4.0
+
+    def test_mean_bandwidth_time_weighted(self):
+        trace = Trace(
+            times=np.array([0.0, 1.0, 4.0]),
+            bandwidths_mbps=np.array([2.0, 8.0, 5.0]),
+        )
+        # 2 Mbit/s for 1 s, then 8 Mbit/s for 3 s.
+        assert trace.mean_bandwidth == pytest.approx((2.0 + 24.0) / 4.0)
+
+    def test_bandwidth_at_within_segment(self):
+        trace = Trace.from_bandwidths([1.0, 5.0, 9.0])
+        assert trace.bandwidth_at(0.5) == 1.0
+        assert trace.bandwidth_at(1.5) == 5.0
+
+    def test_bandwidth_at_wraps(self):
+        trace = Trace.from_bandwidths([1.0, 5.0, 9.0])  # duration 2 s
+        assert trace.bandwidth_at(2.5) == trace.bandwidth_at(0.5)
+        assert trace.bandwidth_at(4.5) == trace.bandwidth_at(0.5)
+
+    def test_len(self):
+        assert len(Trace.from_bandwidths([1.0, 2.0])) == 2
+
+
+class TestTransforms:
+    def test_scaled(self):
+        trace = Trace.from_bandwidths([1.0, 2.0])
+        scaled = trace.scaled(3.0)
+        assert np.allclose(scaled.bandwidths_mbps, [3.0, 6.0])
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(TraceError):
+            Trace.from_bandwidths([1.0, 2.0]).scaled(0.0)
+
+    def test_clipped_floors_bandwidth(self):
+        trace = Trace.from_bandwidths([0.02, 5.0])
+        clipped = trace.clipped(min_mbps=0.5)
+        assert clipped.bandwidths_mbps[0] == 0.5
+        assert clipped.bandwidths_mbps[1] == 5.0
+
+    def test_from_bandwidths_bad_interval(self):
+        with pytest.raises(TraceError):
+            Trace.from_bandwidths([1.0, 2.0], interval_s=0.0)
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(st.floats(0.1, 100.0), min_size=2, max_size=50),
+        st.floats(0.0, 500.0),
+    )
+    def test_bandwidth_at_returns_member(self, bandwidths, query):
+        trace = Trace.from_bandwidths(bandwidths)
+        value = trace.bandwidth_at(query)
+        assert value in set(bandwidths)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=2, max_size=30))
+    def test_mean_between_min_and_max(self, bandwidths):
+        trace = Trace.from_bandwidths(bandwidths)
+        assert min(bandwidths) - 1e-9 <= trace.mean_bandwidth <= max(bandwidths) + 1e-9

@@ -1,0 +1,51 @@
+"""Tests for repro.util.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.util.bootstrap import bootstrap_ci
+
+
+class TestBootstrapCI:
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        ci = bootstrap_ci(rng.normal(5.0, 1.0, size=100))
+        assert ci.estimate in ci
+
+    def test_covers_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for seed in range(30):
+            sample = rng.normal(2.0, 1.0, size=60)
+            ci = bootstrap_ci(sample, confidence=0.95, seed=seed)
+            hits += 2.0 in ci
+        assert hits >= 24  # ~95% nominal coverage, allow slack
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_ci(rng.normal(0, 1, size=20))
+        large = bootstrap_ci(rng.normal(0, 1, size=2000))
+        assert large.width < small.width
+
+    def test_custom_statistic(self):
+        values = [1.0, 2.0, 3.0, 100.0]
+        ci = bootstrap_ci(values, statistic=np.median)
+        assert ci.estimate == pytest.approx(2.5)
+
+    def test_deterministic_given_seed(self):
+        values = np.arange(50.0)
+        a = bootstrap_ci(values, seed=7)
+        b = bootstrap_ci(values, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_degenerate_sample(self):
+        ci = bootstrap_ci([3.0, 3.0, 3.0])
+        assert ci.low == ci.high == ci.estimate == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=5)

@@ -1,0 +1,72 @@
+"""Tests for repro.util.rng: the deterministic seed tree."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import child_rng, rng_from_seed, spawn_seeds
+
+
+class TestRngFromSeed:
+    def test_int_seed_is_deterministic(self):
+        a = rng_from_seed(42).random(5)
+        b = rng_from_seed(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            rng_from_seed(1).random(5), rng_from_seed(2).random(5)
+        )
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert rng_from_seed(gen) is gen
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(rng_from_seed(None), np.random.Generator)
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        seeds = spawn_seeds(7, 5)
+        assert len(seeds) == 5
+        assert seeds == spawn_seeds(7, 5)
+
+    def test_children_are_distinct(self):
+        seeds = spawn_seeds(7, 10)
+        assert len(set(seeds)) == 10
+
+    def test_different_roots_give_different_children(self):
+        assert spawn_seeds(1, 3) != spawn_seeds(2, 3)
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestChildRng:
+    def test_child_is_deterministic(self):
+        a = child_rng(np.random.default_rng(3), 0).random(4)
+        b = child_rng(np.random.default_rng(3), 0).random(4)
+        assert np.array_equal(a, b)
+
+    def test_children_differ_by_index(self):
+        parent = np.random.default_rng(3)
+        a = child_rng(parent, 0).random(4)
+        parent = np.random.default_rng(3)
+        b = child_rng(parent, 1).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_child_independent_of_parent_draws(self):
+        parent1 = np.random.default_rng(3)
+        parent1.random(100)
+        a = child_rng(parent1, 2).random(4)
+        parent2 = np.random.default_rng(3)
+        b = child_rng(parent2, 2).random(4)
+        assert np.array_equal(a, b)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            child_rng(np.random.default_rng(0), -1)

@@ -1,0 +1,78 @@
+"""Tests for repro.util.serialization: JSON/npz artifact I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactError
+from repro.util.serialization import (
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+    stable_hash,
+    to_jsonable,
+)
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int32(3)) == 3
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_arrays_become_lists(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested_structures(self):
+        payload = {"a": [np.float64(1.0), {"b": np.array([2.0])}]}
+        assert to_jsonable(payload) == {"a": [1.0, {"b": [2.0]}]}
+
+    def test_non_string_keys_coerced(self):
+        assert to_jsonable({1: "x"}) == {"1": "x"}
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash({"a": 1}) == stable_hash({"a": 1})
+
+    def test_key_order_independent(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_short_hex(self):
+        digest = stable_hash({"x": [1, 2, 3]})
+        assert len(digest) == 16
+        int(digest, 16)  # valid hex
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "result.json"
+        save_json(path, {"qoe": np.float64(1.25), "names": ["a", "b"]})
+        assert load_json(path) == {"qoe": 1.25, "names": ["a", "b"]}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_json(tmp_path / "absent.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError):
+            load_json(path)
+
+
+class TestArraysRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        arrays = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        save_arrays(path, arrays)
+        loaded = load_arrays(path)
+        assert set(loaded) == {"w", "b"}
+        assert np.array_equal(loaded["w"], arrays["w"])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_arrays(tmp_path / "absent.npz")

@@ -1,0 +1,58 @@
+"""Tests for repro.util.significance: paired scheme comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.util.significance import paired_comparison
+
+
+class TestPairedComparison:
+    def test_clear_winner_significant(self):
+        rng = np.random.default_rng(0)
+        b = rng.normal(0.0, 1.0, size=30)
+        a = b + 2.0 + rng.normal(0.0, 0.1, size=30)
+        result = paired_comparison(a, b)
+        assert result.wins == 30
+        assert result.significant()
+        assert result.mean_difference == pytest.approx(2.0, abs=0.2)
+
+    def test_identical_not_significant(self):
+        scores = list(np.arange(10.0))
+        result = paired_comparison(scores, scores)
+        assert result.wins == 0 and result.losses == 0 and result.ties == 10
+        assert result.wilcoxon_p == 1.0
+        assert result.sign_test_p == 1.0
+        assert not result.significant()
+
+    def test_noise_rarely_significant(self):
+        rng = np.random.default_rng(1)
+        significant = 0
+        for _ in range(20):
+            a = rng.normal(size=15)
+            b = rng.normal(size=15)
+            if paired_comparison(a, b).significant(alpha=0.05):
+                significant += 1
+        assert significant <= 3  # ~5% false positive rate
+
+    def test_counts_partition(self):
+        result = paired_comparison([1.0, 2.0, 3.0, 2.0, 5.0], [2.0, 1.0, 3.0, 1.0, 1.0])
+        assert result.wins == 3
+        assert result.losses == 1
+        assert result.ties == 1
+        assert result.n == 5
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=12)
+        b = rng.normal(size=12)
+        forward = paired_comparison(a, b)
+        backward = paired_comparison(b, a)
+        assert forward.mean_difference == pytest.approx(-backward.mean_difference)
+        assert forward.wilcoxon_p == pytest.approx(backward.wilcoxon_p)
+        assert forward.wins == backward.losses
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_comparison([1.0] * 3, [2.0] * 3)

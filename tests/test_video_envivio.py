@@ -1,0 +1,69 @@
+"""Tests for repro.video.envivio: the synthesized EnvivioDash3 manifest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.envivio import PENSIEVE_BITRATES_KBPS, envivio_dash3_manifest
+
+
+class TestStructure:
+    def test_paper_dimensions(self):
+        manifest = envivio_dash3_manifest()
+        # 48 chunks concatenated 5 times, six encodings, ~4 s each.
+        assert manifest.num_chunks == 240
+        assert manifest.num_bitrates == 6
+        assert manifest.chunk_duration_s == 4.0
+
+    def test_pensieve_ladder(self):
+        manifest = envivio_dash3_manifest(repeats=1)
+        assert tuple(manifest.bitrates_kbps) == PENSIEVE_BITRATES_KBPS
+
+    def test_single_repeat(self):
+        assert envivio_dash3_manifest(repeats=1).num_chunks == 48
+
+
+class TestContentProperties:
+    def test_deterministic_content(self):
+        a = envivio_dash3_manifest()
+        b = envivio_dash3_manifest()
+        assert np.array_equal(a.chunk_sizes_bytes, b.chunk_sizes_bytes)
+
+    def test_sizes_near_nominal(self):
+        manifest = envivio_dash3_manifest(repeats=1)
+        nominal = manifest.bitrates_kbps * 1000 * 4.0 / 8.0
+        mean_sizes = manifest.chunk_sizes_bytes.mean(axis=0)
+        assert np.allclose(mean_sizes, nominal, rtol=0.15)
+
+    def test_vbr_variation_exists(self):
+        manifest = envivio_dash3_manifest(repeats=1)
+        per_chunk = manifest.chunk_sizes_bytes[:, -1]
+        assert per_chunk.std() / per_chunk.mean() > 0.05
+
+    def test_higher_rungs_strictly_bigger_on_average(self):
+        manifest = envivio_dash3_manifest(repeats=1)
+        means = manifest.chunk_sizes_bytes.mean(axis=0)
+        assert np.all(np.diff(means) > 0)
+
+    def test_complexity_correlated_across_rungs(self):
+        # A complex chunk should be large at every encoding.
+        sizes = envivio_dash3_manifest(repeats=1).chunk_sizes_bytes
+        low = sizes[:, 0] / sizes[:, 0].mean()
+        high = sizes[:, -1] / sizes[:, -1].mean()
+        correlation = np.corrcoef(low, high)[0, 1]
+        assert correlation > 0.5
+
+    def test_zero_vbr_gives_nominal_sizes(self):
+        manifest = envivio_dash3_manifest(repeats=1, vbr_std=0.0)
+        nominal = manifest.bitrates_kbps * 1000 * 4.0 / 8.0
+        assert np.allclose(manifest.chunk_sizes_bytes, nominal)
+
+
+class TestValidation:
+    def test_bad_repeats(self):
+        with pytest.raises(VideoError):
+            envivio_dash3_manifest(repeats=0)
+
+    def test_bad_vbr(self):
+        with pytest.raises(VideoError):
+            envivio_dash3_manifest(vbr_std=-0.1)

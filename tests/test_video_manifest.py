@@ -1,0 +1,88 @@
+"""Tests for repro.video.manifest: the VideoManifest type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.manifest import VideoManifest
+
+
+def simple_manifest(chunks=4):
+    bitrates = np.array([300.0, 750.0, 1200.0])
+    sizes = np.outer(np.ones(chunks), bitrates * 1000 * 4 / 8)
+    return VideoManifest(bitrates_kbps=bitrates, chunk_sizes_bytes=sizes)
+
+
+class TestValidation:
+    def test_needs_two_rungs(self):
+        with pytest.raises(VideoError):
+            VideoManifest(
+                bitrates_kbps=np.array([300.0]),
+                chunk_sizes_bytes=np.ones((2, 1)),
+            )
+
+    def test_ladder_must_increase(self):
+        with pytest.raises(VideoError):
+            VideoManifest(
+                bitrates_kbps=np.array([750.0, 300.0]),
+                chunk_sizes_bytes=np.ones((2, 2)),
+            )
+
+    def test_size_shape_checked(self):
+        with pytest.raises(VideoError):
+            VideoManifest(
+                bitrates_kbps=np.array([300.0, 750.0]),
+                chunk_sizes_bytes=np.ones((2, 3)),
+            )
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(VideoError):
+            VideoManifest(
+                bitrates_kbps=np.array([300.0, 750.0]),
+                chunk_sizes_bytes=np.zeros((2, 2)),
+            )
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(VideoError):
+            VideoManifest(
+                bitrates_kbps=np.array([300.0, 750.0]),
+                chunk_sizes_bytes=np.ones((2, 2)),
+                chunk_duration_s=0.0,
+            )
+
+
+class TestAccessors:
+    def test_shape_properties(self):
+        manifest = simple_manifest(chunks=5)
+        assert manifest.num_chunks == 5
+        assert manifest.num_bitrates == 3
+        assert manifest.duration_s == pytest.approx(20.0)
+
+    def test_chunk_size_bounds_checked(self):
+        manifest = simple_manifest()
+        with pytest.raises(VideoError):
+            manifest.chunk_size(99, 0)
+        with pytest.raises(VideoError):
+            manifest.chunk_size(0, 99)
+
+    def test_next_chunk_sizes_is_copy(self):
+        manifest = simple_manifest()
+        sizes = manifest.next_chunk_sizes(0)
+        sizes[0] = -1.0
+        assert manifest.chunk_size(0, 0) > 0
+
+    def test_next_chunk_sizes_bounds_checked(self):
+        with pytest.raises(VideoError):
+            simple_manifest().next_chunk_sizes(99)
+
+
+class TestConcatenation:
+    def test_repeats_chunks(self):
+        manifest = simple_manifest(chunks=3)
+        longer = manifest.concatenated(4)
+        assert longer.num_chunks == 12
+        assert longer.chunk_size(0, 1) == longer.chunk_size(3, 1)
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(VideoError):
+            simple_manifest().concatenated(0)

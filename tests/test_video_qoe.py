@@ -1,0 +1,98 @@
+"""Tests for repro.video.qoe: the linear and log QoE metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.video.qoe import LinearQoE, LogQoE
+
+
+class TestLinearQoE:
+    def test_paper_formula(self):
+        metric = LinearQoE(rebuffer_penalty=4.3, smoothness_penalty=1.0)
+        bitrates = [1.2, 2.85, 1.2]
+        rebuffers = [0.0, 0.5, 0.0]
+        expected = (
+            sum(bitrates)
+            - 4.3 * sum(rebuffers)
+            - (abs(2.85 - 1.2) + abs(1.2 - 2.85))
+        )
+        assert metric.session_qoe(bitrates, rebuffers) == pytest.approx(expected)
+
+    def test_no_rebuffer_no_switch(self):
+        metric = LinearQoE()
+        assert metric.session_qoe([4.3] * 3, [0.0] * 3) == pytest.approx(3 * 4.3)
+
+    def test_chunk_rewards_sum_to_session_qoe(self):
+        metric = LinearQoE()
+        bitrates = [0.3, 1.2, 4.3, 0.75]
+        rebuffers = [1.0, 0.0, 2.5, 0.0]
+        total = metric.chunk_reward(bitrates[0], rebuffers[0], None)
+        for i in range(1, len(bitrates)):
+            total += metric.chunk_reward(bitrates[i], rebuffers[i], bitrates[i - 1])
+        assert total == pytest.approx(metric.session_qoe(bitrates, rebuffers))
+
+    def test_rebuffering_hurts(self):
+        metric = LinearQoE()
+        clean = metric.session_qoe([1.2, 1.2], [0.0, 0.0])
+        stalled = metric.session_qoe([1.2, 1.2], [0.0, 3.0])
+        assert stalled == pytest.approx(clean - 4.3 * 3.0)
+
+    def test_negative_rebuffer_rejected(self):
+        with pytest.raises(ConfigError):
+            LinearQoE().session_qoe([1.0], [-0.1])
+        with pytest.raises(ConfigError):
+            LinearQoE().chunk_reward(1.0, -0.1, None)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            LinearQoE().session_qoe([1.0, 2.0], [0.0])
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(ConfigError):
+            LinearQoE().session_qoe([], [])
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(ConfigError):
+            LinearQoE(rebuffer_penalty=-1.0)
+
+    @given(
+        st.lists(st.floats(0.3, 4.3), min_size=2, max_size=20),
+        st.lists(st.floats(0.0, 10.0), min_size=2, max_size=20),
+    )
+    def test_property_decomposition(self, bitrates, rebuffers):
+        # Per-chunk rewards always reassemble the session total.
+        n = min(len(bitrates), len(rebuffers))
+        bitrates, rebuffers = bitrates[:n], rebuffers[:n]
+        metric = LinearQoE()
+        total = metric.chunk_reward(bitrates[0], rebuffers[0], None)
+        for i in range(1, n):
+            total += metric.chunk_reward(bitrates[i], rebuffers[i], bitrates[i - 1])
+        assert total == pytest.approx(
+            metric.session_qoe(bitrates, rebuffers), rel=1e-9, abs=1e-9
+        )
+
+
+class TestLogQoE:
+    def test_min_bitrate_maps_to_zero_quality(self):
+        metric = LogQoE(min_bitrate_mbps=0.3)
+        assert metric.quality(np.array([0.3]))[0] == pytest.approx(0.0)
+
+    def test_diminishing_returns(self):
+        metric = LogQoE(min_bitrate_mbps=0.3)
+        quality = metric.quality(np.array([0.6, 1.2, 2.4]))
+        gains = np.diff(quality)
+        assert gains[1] == pytest.approx(gains[0])  # log doubles
+        # Equal bitrate steps, though, give shrinking gains:
+        quality_linear_steps = metric.quality(np.array([1.0, 2.0, 3.0]))
+        assert np.diff(quality_linear_steps)[1] < np.diff(quality_linear_steps)[0]
+
+    def test_nonpositive_bitrate_rejected(self):
+        with pytest.raises(ConfigError):
+            LogQoE().quality(np.array([0.0]))
+
+    def test_bad_min_bitrate_rejected(self):
+        with pytest.raises(ConfigError):
+            LogQoE(min_bitrate_mbps=0.0)
