@@ -37,7 +37,9 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.novelty import KDEDetector, MahalanobisDetector, OneClassSVM
+from repro.parallel import parallel_map, resolve_max_workers
 from repro.pensieve import A2CTrainer, PensieveAgent, TrainingConfig
+from repro.perf import fast_paths, fast_paths_enabled, set_fast_paths
 from repro.policies import (
     BolaPolicy,
     BufferBasedPolicy,
@@ -85,7 +87,12 @@ __all__ = [
     "VideoManifest",
     "build_safety_suite",
     "envivio_dash3_manifest",
+    "fast_paths",
+    "fast_paths_enabled",
     "get_config",
     "make_dataset",
+    "parallel_map",
+    "resolve_max_workers",
     "run_session",
+    "set_fast_paths",
 ]

@@ -28,6 +28,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.mdp.interfaces import StepResult
 from repro.abr.state import StateBuilder
+from repro.perf import fast_paths_enabled
 from repro.traces.trace import Trace
 from repro.video.manifest import VideoManifest
 from repro.video.qoe import LinearQoE, QoEMetric
@@ -166,12 +167,56 @@ class ABREnv:
         trace position, advancing that position."""
         if size_bytes <= 0:
             raise SimulationError(f"chunk size must be positive, got {size_bytes}")
+        if fast_paths_enabled():
+            return self._transfer_time_fast(size_bytes)
         elapsed = 0.0
         remaining = size_bytes
         # Walk piecewise-constant bandwidth segments, wrapping at trace end.
         for _ in range(10_000_000):
             rate_bytes_s = self.trace.bandwidth_at(self._trace_time) * 1e6 / 8.0
             segment = self._time_to_boundary(self._trace_time)
+            capacity = rate_bytes_s * segment
+            if capacity >= remaining:
+                dt = remaining / rate_bytes_s
+                self._trace_time += dt
+                return elapsed + dt
+            elapsed += segment
+            remaining -= capacity
+            self._trace_time += segment
+        raise SimulationError(
+            f"chunk of {size_bytes:.0f} bytes did not finish; trace "
+            f"{self.trace.name!r} bandwidth is implausibly low"
+        )
+
+    def _transfer_time_fast(self, size_bytes: float) -> float:
+        """:meth:`_transfer_time` with :meth:`Trace.bandwidth_at` and
+        :meth:`_time_to_boundary` inlined over one shared segment lookup.
+
+        Both helpers locate the current segment with the identical
+        ``(time - times[0]) % duration + times[0]`` offset; computing it
+        once per iteration halves the ``searchsorted`` work while keeping
+        every float operation — and therefore every result — the same as
+        the reference walk above.
+        """
+        times = self.trace.times
+        bandwidths = self.trace.bandwidths_mbps
+        start = times[0]
+        duration = float(times[-1] - start)
+        if duration <= 0:
+            raise SimulationError("trace has zero duration")
+        last = len(times) - 1
+        elapsed = 0.0
+        remaining = size_bytes
+        for _ in range(10_000_000):
+            offset = (self._trace_time - start) % duration + start
+            index = int(times.searchsorted(offset, side="right")) - 1
+            rate_bytes_s = float(bandwidths[index]) * 1e6 / 8.0
+            if index < last:
+                segment = float(times[index + 1] - offset)
+                if segment <= 1e-12:
+                    segment = float(times[index + 1] - times[index])
+            else:
+                segment = float(times[last] - offset) or duration
             capacity = rate_bytes_s * segment
             if capacity >= remaining:
                 dt = remaining / rate_bytes_s

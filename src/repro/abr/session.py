@@ -45,16 +45,31 @@ class SessionResult:
     policy_name: str
     chunks: list[ChunkRecord] = field(default_factory=list)
     observation_list: list[np.ndarray] = field(default_factory=list)
+    _observations_cache: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _observations_cache_length: int = field(default=-1, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.chunks)
 
     @property
     def observations(self) -> np.ndarray:
-        """The observations the policy acted on, stacked ``(T, 6, 8)``."""
+        """The observations the policy acted on, stacked ``(T, 6, 8)``.
+
+        The stack is cached and rebuilt only when observations have been
+        appended since the last access (value-target collection reads this
+        repeatedly for sessions that are no longer growing).
+        """
         if not self.observation_list:
             raise SimulationError("session recorded no observations")
-        return np.stack(self.observation_list)
+        if (
+            self._observations_cache is None
+            or self._observations_cache_length != len(self.observation_list)
+        ):
+            self._observations_cache = np.stack(self.observation_list)
+            self._observations_cache_length = len(self.observation_list)
+        return self._observations_cache
 
     @property
     def qoe(self) -> float:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.perf import fast_paths_enabled
 
 __all__ = ["S_INFO", "S_LEN", "StateBuilder", "ObservationView"]
 
@@ -80,14 +81,7 @@ class StateBuilder:
             raise SimulationError(
                 f"chunks_remaining {chunks_remaining} out of range"
             )
-        state = np.roll(self._state, -1, axis=1)
-        state[0, -1] = (
-            self.bitrates_kbps[bitrate_index] / self.bitrates_kbps[-1]
-        )
-        state[1, -1] = buffer_s / _BUFFER_NORM_S
-        state[2, -1] = throughput_mbps / _THROUGHPUT_NORM_MBPS
-        state[3, -1] = download_time_s / _TIME_NORM_S
-        state[4, :] = 0.0
+        sizes = None
         if next_chunk_sizes_bytes is not None:
             sizes = np.asarray(next_chunk_sizes_bytes, dtype=float)
             if sizes.shape != (self.bitrates_kbps.size,):
@@ -95,6 +89,21 @@ class StateBuilder:
                     f"expected {self.bitrates_kbps.size} next-chunk sizes, "
                     f"got shape {sizes.shape}"
                 )
+        if fast_paths_enabled():
+            # In-place left shift; every cell np.roll would wrap around is
+            # overwritten below, so the resulting matrix is identical.
+            state = self._state
+            state[:, :-1] = state[:, 1:]
+        else:
+            state = np.roll(self._state, -1, axis=1)
+        state[0, -1] = (
+            self.bitrates_kbps[bitrate_index] / self.bitrates_kbps[-1]
+        )
+        state[1, -1] = buffer_s / _BUFFER_NORM_S
+        state[2, -1] = throughput_mbps / _THROUGHPUT_NORM_MBPS
+        state[3, -1] = download_time_s / _TIME_NORM_S
+        state[4, :] = 0.0
+        if sizes is not None:
             state[4, : sizes.size] = sizes / _BYTES_PER_MB
         state[5, -1] = chunks_remaining / self.num_chunks
         self._state = state

@@ -64,6 +64,17 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--config", default="fast", choices=["fast", "paper"])
+        if name in ("figures", "shapes"):
+            sub.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                help=(
+                    "process-pool size for the experiment sweep (default: "
+                    "the REPRO_MAX_WORKERS environment variable, else serial); "
+                    "results are identical at any setting"
+                ),
+            )
     return parser
 
 
@@ -110,7 +121,7 @@ def _cmd_traces(args, out) -> int:
 def _cmd_figures(args, out) -> int:
     config = get_config(args.config)
     cache = ArtifactCache(config.describe())
-    matrix = run_all_distributions(config, cache)
+    matrix = run_all_distributions(config, cache, max_workers=args.workers)
     print(render_report(config, matrix), file=out)
     return 0
 
@@ -137,7 +148,7 @@ def _cmd_shapes(args, out) -> int:
 
     config = get_config(args.config)
     cache = ArtifactCache(config.describe())
-    matrix = run_all_distributions(config, cache)
+    matrix = run_all_distributions(config, cache, max_workers=args.workers)
     checks = shape_checks(config, matrix)
     rows = [
         [

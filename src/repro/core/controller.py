@@ -19,6 +19,7 @@ from repro.core.signals import UncertaintySignal
 from repro.core.thresholding import DefaultTrigger
 from repro.errors import SafetyError
 from repro.mdp.interfaces import Policy
+from repro.perf import fast_paths_enabled
 
 __all__ = ["SafetyController"]
 
@@ -62,6 +63,15 @@ class SafetyController:
 
     def _active_policy(self, observation: np.ndarray) -> Policy:
         """Advance the signal/trigger one step and pick today's policy."""
+        if self._defaulted and not self.allow_revert and fast_paths_enabled():
+            # Sticky hand-off: the signal can never change another decision
+            # this session, so skip measuring it.  QoE and default_fraction
+            # are untouched; only the (reset-per-session) signal/trigger
+            # internals stop advancing.
+            self.last_decision_defaulted = True
+            self.total_steps += 1
+            self.default_steps += 1
+            return self.default
         fired = self.trigger.update(self.signal.measure(observation))
         if self.allow_revert:
             self._defaulted = fired

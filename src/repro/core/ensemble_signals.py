@@ -16,10 +16,38 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.signals import UncertaintySignal
-from repro.errors import SafetyError
+from repro.errors import ReproError, SafetyError
 from repro.nn.losses import kl_divergence
+from repro.perf import fast_paths_enabled
 
 __all__ = ["PolicyEnsembleSignal", "ValueEnsembleSignal", "trim_by_distance"]
+
+
+def _try_stack_actors(agents: list):
+    """A batched forward over the members' actors, or ``None`` when the
+    members are not stackable (non-Pensieve policies, mixed shapes)."""
+    from repro.pensieve.agent import PensieveAgent
+    from repro.pensieve.stacked import StackedActorEnsemble
+
+    if not all(type(agent) is PensieveAgent for agent in agents):
+        return None
+    try:
+        return StackedActorEnsemble([agent.actor for agent in agents])
+    except ReproError:
+        return None
+
+
+def _try_stack_critics(value_functions: list):
+    """A batched forward over the members' critics, or ``None``."""
+    from repro.pensieve.agent import PensieveValueFunction
+    from repro.pensieve.stacked import StackedCriticEnsemble
+
+    if not all(type(vf) is PensieveValueFunction for vf in value_functions):
+        return None
+    try:
+        return StackedCriticEnsemble([vf.critic for vf in value_functions])
+    except ReproError:
+        return None
 
 
 def trim_by_distance(
@@ -64,11 +92,15 @@ class PolicyEnsembleSignal(UncertaintySignal):
             )
         self.agents = list(agents)
         self.trim = trim
+        self._stacked = _try_stack_actors(self.agents)
 
     def measure(self, observation: np.ndarray) -> float:
-        distributions = np.stack(
-            [agent.action_probabilities(observation) for agent in self.agents]
-        )
+        if self._stacked is not None and fast_paths_enabled():
+            distributions = self._stacked.probabilities(observation)
+        else:
+            distributions = np.stack(
+                [agent.action_probabilities(observation) for agent in self.agents]
+            )
         mean = distributions.mean(axis=0)
         distances = kl_divergence(distributions, np.broadcast_to(mean, distributions.shape))
         survivors = trim_by_distance(distributions, distances, self.trim)
@@ -102,11 +134,15 @@ class ValueEnsembleSignal(UncertaintySignal):
             )
         self.value_functions = list(value_functions)
         self.trim = trim
+        self._stacked = _try_stack_critics(self.value_functions)
 
     def measure(self, observation: np.ndarray) -> float:
-        values = np.array(
-            [vf.value(observation) for vf in self.value_functions]
-        )
+        if self._stacked is not None and fast_paths_enabled():
+            values = self._stacked.values(observation)
+        else:
+            values = np.array(
+                [vf.value(observation) for vf in self.value_functions]
+            )
         distances = np.abs(values - values.mean())
         survivors = trim_by_distance(values[:, None], distances, self.trim)[:, 0]
         return float(np.abs(survivors - survivors.mean()).sum())

@@ -144,8 +144,13 @@ def build_safety_suite(
     qoe_metric: QoEMetric | None = None,
     value_epochs: int = 200,
     seed: int = 0,
+    max_workers: int | None = None,
 ) -> SafetySuite:
-    """Run the full offline phase for one training distribution."""
+    """Run the full offline phase for one training distribution.
+
+    *max_workers* fans the two ensemble trainings out over a process
+    pool (see :mod:`repro.parallel`); the suite is identical either way.
+    """
     safety = safety_config if safety_config is not None else SafetyConfig()
     training = training_config if training_config is not None else TrainingConfig()
     if not split.train:
@@ -158,6 +163,7 @@ def build_safety_suite(
         config=training,
         qoe_metric=qoe_metric,
         root_seed=seed,
+        max_workers=max_workers,
     )
     # Standard model selection: deploy the ensemble member with the best
     # validation QoE.  (All members still feed the U_pi signal.)
@@ -180,6 +186,7 @@ def build_safety_suite(
         reward_scale=training.reward_scale,
         qoe_metric=qoe_metric,
         root_seed=seed,
+        max_workers=max_workers,
     )
     k_ocsvm = safety.ocsvm_k(is_synthetic)
     throughputs = collect_training_throughputs(

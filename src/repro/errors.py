@@ -51,3 +51,7 @@ class SafetyError(ReproError):
 
 class ArtifactError(ReproError):
     """A cached experiment artifact is missing or corrupt."""
+
+
+class ParallelError(ReproError):
+    """The parallel executor was misconfigured or a worker failed."""

@@ -32,6 +32,7 @@ from repro.experiments.robustness import (
 from repro.experiments.runtimes import measure_runtimes
 from repro.experiments.training_runs import (
     EvaluationMatrix,
+    compute_training_distribution,
     run_all_distributions,
     run_training_distribution,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "EvaluationMatrix",
     "RobustnessPoint",
     "capacity_loss_shift",
+    "compute_training_distribution",
     "cross_traffic_shift",
     "figure1",
     "figure2",

@@ -43,13 +43,19 @@ def get_matrix(
     config: ExperimentConfig,
     cache: ArtifactCache | None = None,
     matrix: EvaluationMatrix | None = None,
+    max_workers: int | None = None,
 ) -> EvaluationMatrix:
-    """Fetch (or compute) the evaluation matrix all figures project from."""
+    """Fetch (or compute) the evaluation matrix all figures project from.
+
+    *max_workers* (or the ``REPRO_MAX_WORKERS`` environment variable)
+    parallelizes the computation on a cache miss; the numbers are
+    identical to a serial run.
+    """
     if matrix is not None:
         return matrix
     if cache is None:
         cache = ArtifactCache(config.describe())
-    return run_all_distributions(config, cache)
+    return run_all_distributions(config, cache, max_workers=max_workers)
 
 
 def figure1(

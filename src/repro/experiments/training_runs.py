@@ -16,15 +16,15 @@ the config seed if a different projection is ever needed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 import numpy as np
 
-from repro.abr.session import run_session
 from repro.config import ExperimentConfig
 from repro.core.osap import build_safety_suite
 from repro.errors import ArtifactError, ConfigError
 from repro.experiments.artifacts import ArtifactCache
+from repro.parallel import parallel_map
+from repro.parallel import worker as parallel_worker
 from repro.policies.buffer_based import BufferBasedPolicy
 from repro.policies.random_policy import RandomPolicy
 from repro.traces.dataset import Dataset, DatasetSplit, make_dataset
@@ -35,6 +35,7 @@ __all__ = [
     "SCHEMES",
     "BASELINES",
     "EvaluationMatrix",
+    "compute_training_distribution",
     "run_training_distribution",
     "run_all_distributions",
 ]
@@ -120,58 +121,145 @@ def _manifest(config: ExperimentConfig) -> VideoManifest:
     return envivio_dash3_manifest(repeats=config.video_repeats)
 
 
-def _mean_qoe_and_default(
-    policy,
+def _sweep_sessions(
     manifest: VideoManifest,
-    traces: Iterable,
-    seeds: Iterable[int],
-) -> tuple[float, float]:
-    qoes = []
-    fractions = []
-    for trace in traces:
-        for seed in seeds:
-            result = run_session(policy, manifest, trace, seed=seed)
-            qoes.append(result.qoe)
-            fractions.append(result.default_fraction)
-    return float(np.mean(qoes)), float(np.mean(fractions))
+    policies: dict,
+    trace_groups: dict,
+    tasks: list[tuple[str, str, int, int]],
+    max_workers: int | None,
+) -> dict[tuple[str, str], tuple[float, float]]:
+    """Evaluate every ``(policy, group, trace, seed)`` task — in parallel
+    when allowed — and reduce to mean (QoE, default fraction) per
+    ``(policy, group)``.
+
+    Per-task results come back in task order, so the means run over the
+    same float sequences as the nested serial loops they replace.
+    """
+    results = parallel_map(
+        parallel_worker.evaluate_session,
+        tasks,
+        max_workers=max_workers,
+        initializer=parallel_worker.init_sessions,
+        initargs=(manifest, policies, trace_groups, None),
+    )
+    grouped: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    for (policy_key, group_key, _, _), outcome in zip(tasks, results):
+        grouped.setdefault((policy_key, group_key), []).append(outcome)
+    return {
+        key: (
+            float(np.mean([qoe for qoe, _ in outcomes])),
+            float(np.mean([fraction for _, fraction in outcomes])),
+        )
+        for key, outcomes in grouped.items()
+    }
 
 
 def compute_baselines(
     config: ExperimentConfig,
     cache: ArtifactCache | None = None,
+    max_workers: int | None = None,
 ) -> dict:
     """BB and Random mean QoE on every test distribution (train-free)."""
 
     def compute() -> dict:
         manifest = _manifest(config)
         datasets = _build_datasets(config)
-        bb = BufferBasedPolicy(manifest.bitrates_kbps)
-        random_policy = RandomPolicy(manifest.bitrates_kbps)
-        random_seeds = list(range(config.eval_seed, config.eval_seed + config.random_eval_repeats))
-        baselines: dict = {}
-        for name, dataset in datasets.items():
-            split = dataset.split()
-            bb_qoe, _ = _mean_qoe_and_default(
-                bb, manifest, split.test, [config.eval_seed]
+        policies = {
+            "BB": BufferBasedPolicy(manifest.bitrates_kbps),
+            "Random": RandomPolicy(manifest.bitrates_kbps),
+        }
+        trace_groups = {
+            name: list(dataset.split().test) for name, dataset in datasets.items()
+        }
+        random_seeds = list(
+            range(config.eval_seed, config.eval_seed + config.random_eval_repeats)
+        )
+        tasks = []
+        for name in datasets:
+            num_traces = len(trace_groups[name])
+            tasks.extend(
+                ("BB", name, index, config.eval_seed) for index in range(num_traces)
             )
-            random_qoe, _ = _mean_qoe_and_default(
-                random_policy, manifest, split.test, random_seeds
+            tasks.extend(
+                ("Random", name, index, seed)
+                for index in range(num_traces)
+                for seed in random_seeds
             )
-            baselines[name] = {
-                "BB": {"qoe": bb_qoe},
-                "Random": {"qoe": random_qoe},
+        means = _sweep_sessions(manifest, policies, trace_groups, tasks, max_workers)
+        return {
+            name: {
+                "BB": {"qoe": means[("BB", name)][0]},
+                "Random": {"qoe": means[("Random", name)][0]},
             }
-        return baselines
+            for name in datasets
+        }
 
     if cache is None:
         return compute()
     return cache.get_or_compute("baselines", compute)
 
 
+def compute_training_distribution(
+    config: ExperimentConfig,
+    train_name: str,
+    max_workers: int | None = None,
+) -> dict:
+    """The body of :func:`run_training_distribution`, cache-free.
+
+    Module-level (rather than a closure) so a process-pool worker can run
+    one training distribution end-to-end per task.
+    """
+    manifest = _manifest(config)
+    datasets = _build_datasets(config)
+    train_split: DatasetSplit = datasets[train_name].split()
+    bb = BufferBasedPolicy(manifest.bitrates_kbps)
+    suite = build_safety_suite(
+        manifest,
+        train_split,
+        default_policy=bb,
+        is_synthetic=datasets[train_name].is_synthetic,
+        training_config=config.training,
+        safety_config=config.safety,
+        value_epochs=config.value_epochs,
+        seed=config.suite_seed,
+        max_workers=max_workers,
+    )
+    policies = {"Pensieve": suite.agent, **suite.controllers()}
+    trace_groups = {
+        name: list(dataset.split().test) for name, dataset in datasets.items()
+    }
+    tasks = [
+        (scheme, test_name, index, config.eval_seed)
+        for test_name in datasets
+        for scheme in policies
+        for index in range(len(trace_groups[test_name]))
+    ]
+    means = _sweep_sessions(manifest, policies, trace_groups, tasks, max_workers)
+    evaluations = {
+        test_name: {
+            scheme: {
+                "qoe": means[(scheme, test_name)][0],
+                "default_fraction": means[(scheme, test_name)][1],
+            }
+            for scheme in policies
+        }
+        for test_name in datasets
+    }
+    metadata = {
+        "nd_qoe_in_distribution": suite.nd_qoe_in_distribution,
+        "alpha_a_ensemble": suite.calibration_a.alpha,
+        "alpha_v_ensemble": suite.calibration_v.alpha,
+        "calibration_gap_a": suite.calibration_a.gap,
+        "calibration_gap_v": suite.calibration_v.gap,
+    }
+    return {"evaluations": evaluations, "metadata": metadata}
+
+
 def run_training_distribution(
     config: ExperimentConfig,
     train_name: str,
     cache: ArtifactCache | None = None,
+    max_workers: int | None = None,
 ) -> dict:
     """Offline phase + full evaluation for one training distribution.
 
@@ -181,58 +269,54 @@ def run_training_distribution(
         raise ConfigError(
             f"{train_name!r} is not in this configuration's datasets"
         )
-
-    def compute() -> dict:
-        manifest = _manifest(config)
-        datasets = _build_datasets(config)
-        train_split: DatasetSplit = datasets[train_name].split()
-        bb = BufferBasedPolicy(manifest.bitrates_kbps)
-        suite = build_safety_suite(
-            manifest,
-            train_split,
-            default_policy=bb,
-            is_synthetic=datasets[train_name].is_synthetic,
-            training_config=config.training,
-            safety_config=config.safety,
-            value_epochs=config.value_epochs,
-            seed=config.suite_seed,
-        )
-        policies = {"Pensieve": suite.agent, **suite.controllers()}
-        evaluations: dict = {}
-        for test_name, dataset in datasets.items():
-            split = dataset.split()
-            evaluations[test_name] = {}
-            for scheme, policy in policies.items():
-                qoe, fraction = _mean_qoe_and_default(
-                    policy, manifest, split.test, [config.eval_seed]
-                )
-                evaluations[test_name][scheme] = {
-                    "qoe": qoe,
-                    "default_fraction": fraction,
-                }
-        metadata = {
-            "nd_qoe_in_distribution": suite.nd_qoe_in_distribution,
-            "alpha_a_ensemble": suite.calibration_a.alpha,
-            "alpha_v_ensemble": suite.calibration_v.alpha,
-            "calibration_gap_a": suite.calibration_a.gap,
-            "calibration_gap_v": suite.calibration_v.gap,
-        }
-        return {"evaluations": evaluations, "metadata": metadata}
-
     if cache is None:
-        return compute()
-    return cache.get_or_compute(f"train_{train_name}", compute)
+        return compute_training_distribution(config, train_name, max_workers)
+    return cache.get_or_compute(
+        f"train_{train_name}",
+        lambda: compute_training_distribution(config, train_name, max_workers),
+    )
 
 
 def run_all_distributions(
     config: ExperimentConfig,
     cache: ArtifactCache | None = None,
+    max_workers: int | None = None,
 ) -> EvaluationMatrix:
-    """The full 6x6x6 evaluation matrix behind every figure."""
+    """The full 6x6x6 evaluation matrix behind every figure.
+
+    With *max_workers* > 1 the uncached training distributions build
+    concurrently, one worker per distribution (the heaviest-grained unit
+    of independent work); each worker's inner loops then run serially.
+    The matrix is identical to the serial one.
+    """
     matrix = EvaluationMatrix(datasets=tuple(config.datasets))
-    matrix.baselines = compute_baselines(config, cache)
+    matrix.baselines = compute_baselines(config, cache, max_workers=max_workers)
+    pending = [
+        name
+        for name in config.datasets
+        if cache is None or not cache.has(f"train_{name}")
+    ]
+    built = dict(
+        zip(
+            pending,
+            parallel_map(
+                parallel_worker.build_distribution,
+                pending,
+                max_workers=max_workers,
+                initializer=parallel_worker.init_distributions,
+                initargs=(config,),
+            ),
+        )
+    )
     for train_name in config.datasets:
-        run = run_training_distribution(config, train_name, cache)
+        if train_name in built:
+            run = built[train_name]
+            if cache is not None:
+                cache.store(f"train_{train_name}", run)
+        else:
+            run = run_training_distribution(
+                config, train_name, cache, max_workers=max_workers
+            )
         matrix.entries[train_name] = run["evaluations"]
         matrix.metadata[train_name] = run["metadata"]
     return matrix

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import NoveltyError
 from repro.novelty.base import NoveltyDetector
 from repro.novelty.kernels import median_heuristic_gamma, rbf_kernel
+from repro.perf import fast_paths_enabled
 
 __all__ = ["OneClassSVM"]
 
@@ -39,6 +40,7 @@ class OneClassSVM(NoveltyDetector):
         gamma: float | None = None,
         tolerance: float = 1e-5,
         max_iterations: int = 100_000,
+        prune: bool = True,
     ) -> None:
         super().__init__()
         if not 0.0 < nu <= 1.0:
@@ -53,6 +55,7 @@ class OneClassSVM(NoveltyDetector):
         self.gamma = gamma
         self.tolerance = tolerance
         self.max_iterations = max_iterations
+        self.prune = prune
         self.support_vectors_: np.ndarray | None = None
         self.dual_coef_: np.ndarray | None = None
         self.rho_: float = 0.0
@@ -90,12 +93,34 @@ class OneClassSVM(NoveltyDetector):
             gradient += delta * (kernel[:, i] - kernel[:, j])
         self.iterations_ = iterations
         support = alpha > _ALPHA_TOL
-        self.support_vectors_ = samples[support].copy()
-        self.dual_coef_ = alpha[support].copy()
+        # Zero-alpha rows contribute exactly 0 to every score; dropping them
+        # shrinks the kernel evaluation from O(n) to O(#SV) per query with
+        # bitwise-identical scores.  ``prune=False`` keeps all training rows
+        # (the regression tests compare the two).
+        keep = support if self.prune else np.ones(n, dtype=bool)
+        self.support_vectors_ = samples[keep].copy()
+        self.dual_coef_ = alpha[keep].copy()
+        # Cached for the fast scoring path: |sv|^2 never changes after fit.
+        self._sv_sq_norms = (self.support_vectors_**2).sum(axis=1)
+        self._bound_fraction = float(
+            np.mean(alpha[support] >= upper - _ALPHA_TOL)
+        )
         self.rho_ = self._compute_rho(alpha, gradient, upper)
 
     def _scores(self, samples: np.ndarray) -> np.ndarray:
-        kernel = rbf_kernel(samples, self.support_vectors_, self._gamma_value)
+        if fast_paths_enabled():
+            # Inline rbf_kernel with the support-vector norms precomputed at
+            # fit time; term-for-term the same arithmetic, so scores are
+            # bitwise identical to the reference path below.
+            samples = np.atleast_2d(np.asarray(samples, dtype=float))
+            sq_dists = (
+                (samples**2).sum(axis=1)[:, None]
+                + self._sv_sq_norms[None, :]
+                - 2.0 * samples @ self.support_vectors_.T
+            )
+            kernel = np.exp(-self._gamma_value * np.maximum(sq_dists, 0.0))
+        else:
+            kernel = rbf_kernel(samples, self.support_vectors_, self._gamma_value)
         return kernel @ self.dual_coef_ - self.rho_
 
     @staticmethod
@@ -139,8 +164,7 @@ class OneClassSVM(NoveltyDetector):
         fraction treated as outliers; should be <= nu up to degeneracies)."""
         if self.dual_coef_ is None:
             raise NoveltyError("OneClassSVM used before fit()")
-        upper = 1.0 / (self.nu * self._n_train)
-        return float(np.mean(self.dual_coef_ >= upper - _ALPHA_TOL))
+        return self._bound_fraction
 
     def _validate(self, samples: np.ndarray, fitting: bool) -> np.ndarray:
         samples = super()._validate(samples, fitting)

@@ -1,0 +1,13 @@
+"""Deterministic parallel execution for the experiment pipeline.
+
+The executor gives every embarrassingly parallel loop in the library —
+ensemble-member training, per-(policy, trace) session evaluation,
+per-distribution suite builds — the same three guarantees: bitwise-
+identical results to the serial path, one-time context shipping per
+worker, and a transparent serial fallback (``max_workers=1``, platforms
+without ``fork``, or nested use inside a worker).
+"""
+
+from repro.parallel.executor import in_worker, parallel_map, resolve_max_workers
+
+__all__ = ["parallel_map", "resolve_max_workers", "in_worker"]

@@ -1,0 +1,131 @@
+"""A deterministic process-pool executor for embarrassingly parallel loops.
+
+:func:`parallel_map` is the single primitive the experiment, ensemble, and
+evaluation layers build on.  Its contract:
+
+* **Determinism** — results are collected in item order and every item is
+  an explicit, self-contained description of its work (callers put the
+  per-item seed *inside* the item, fanned out with
+  :func:`repro.util.rng.spawn_seeds`), so the output is bitwise-identical
+  whatever the worker count, including the serial fallback.
+* **One-time state shipping** — *initializer*/*initargs* run once per
+  worker process (not once per task), which is where callers ship the
+  manifest, traces, and trained policies; tasks themselves stay tiny.
+* **Transparent serial fallback** — with ``max_workers=1``, with fewer
+  than two items, on platforms without ``fork``, or when already inside a
+  worker process (no nested pools), the same function/items are executed
+  in-process in order.
+
+Worker-count resolution: an explicit ``max_workers`` argument wins,
+otherwise the ``REPRO_MAX_WORKERS`` environment variable, otherwise 1
+(serial).  Parallelism is therefore always opt-in and the default
+behaviour matches the original serial code exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ParallelError
+
+__all__ = ["parallel_map", "resolve_max_workers", "in_worker"]
+
+#: Environment variable consulted when ``max_workers`` is not given.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """Whether this process is a :func:`parallel_map` worker.
+
+    Nested ``parallel_map`` calls inside a worker degrade to the serial
+    fallback, so callers can parallelize at whatever layer they like
+    without worrying about pool-in-pool explosions.
+    """
+    return _IN_WORKER
+
+
+def resolve_max_workers(max_workers: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    Precedence: explicit argument, then the ``REPRO_MAX_WORKERS``
+    environment variable, then 1 (serial).
+    """
+    if max_workers is None:
+        env = os.environ.get(MAX_WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            max_workers = int(env)
+        except ValueError as exc:
+            raise ParallelError(
+                f"{MAX_WORKERS_ENV} must be an integer, got {env!r}"
+            ) from exc
+    if max_workers < 1:
+        raise ParallelError(f"max_workers must be >= 1, got {max_workers}")
+    return max_workers
+
+
+def _worker_bootstrap(
+    initializer: Callable[..., None] | None, initargs: Sequence[Any]
+) -> None:
+    """Per-worker setup: mark the process as a worker, then run the
+    caller's initializer (which typically fills module-level state)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _serial_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    initializer: Callable[..., None] | None,
+    initargs: Sequence[Any],
+) -> list[Any]:
+    if initializer is not None:
+        initializer(*initargs)
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    max_workers: int | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: Sequence[Any] = (),
+    chunk_size: int | None = None,
+) -> list[Any]:
+    """Map *fn* over *items*, optionally across a process pool.
+
+    *fn* and *initializer* must be module-level functions (they are
+    pickled by name); see :mod:`repro.parallel.worker` for the task
+    functions the library ships.  Results come back in item order.
+    ``chunk_size`` controls scheduling granularity (default: about four
+    chunks per worker).
+    """
+    items = list(items)
+    if chunk_size is not None and chunk_size < 1:
+        raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
+    workers = min(resolve_max_workers(max_workers), max(len(items), 1))
+    if (
+        workers == 1
+        or len(items) < 2
+        or in_worker()
+        or "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        return _serial_map(fn, items, initializer, initargs)
+    if chunk_size is None:
+        chunk_size = max(1, len(items) // (workers * 4))
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_worker_bootstrap,
+        initargs=(initializer, tuple(initargs)),
+    ) as pool:
+        return list(pool.map(fn, items, chunksize=chunk_size))

@@ -1,0 +1,156 @@
+"""Module-level task functions for :func:`repro.parallel.executor.parallel_map`.
+
+Process pools pickle tasks by *name*, so every parallel loop in the
+library maps one of the functions below over a list of small, explicit
+items (seeds, trace indices, dataset names).  The heavyweight context —
+manifest, traces, trained policies, configs — is shipped **once per
+worker** through the matching ``init_*`` initializer into a module-level
+state dict, instead of being re-pickled for every task.
+
+Each task family keeps its own state dict so the serial fallback can nest
+families (e.g. a serial distribution build running a serial session sweep)
+without clobbering anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.abr.session import run_session
+
+__all__ = [
+    "init_agent_training",
+    "train_agent_member",
+    "init_value_training",
+    "train_value_member",
+    "init_sessions",
+    "evaluate_session",
+    "init_distributions",
+    "build_distribution",
+]
+
+_AGENT_STATE: dict[str, Any] = {}
+_VALUE_STATE: dict[str, Any] = {}
+_SESSION_STATE: dict[str, Any] = {}
+_DISTRIBUTION_STATE: dict[str, Any] = {}
+
+
+# -- agent-ensemble training -------------------------------------------------
+
+def init_agent_training(manifest, traces, config, qoe_metric) -> None:
+    """Ship the training context for :func:`train_agent_member`."""
+    _AGENT_STATE.update(
+        manifest=manifest, traces=traces, config=config, qoe_metric=qoe_metric
+    )
+
+
+def train_agent_member(seed: int):
+    """Train one ensemble member that differs only by its seed."""
+    from repro.pensieve.training import A2CTrainer
+
+    state = _AGENT_STATE
+    trainer = A2CTrainer(
+        state["manifest"],
+        state["traces"],
+        config=state["config"].with_seed(seed),
+        qoe_metric=state["qoe_metric"],
+    )
+    return trainer.train()
+
+
+# -- value-ensemble training -------------------------------------------------
+
+def init_value_training(
+    observations, targets, num_bitrates, epochs, learning_rate, filters, hidden
+) -> None:
+    """Ship the shared regression dataset for :func:`train_value_member`."""
+    _VALUE_STATE.update(
+        observations=observations,
+        targets=targets,
+        num_bitrates=num_bitrates,
+        epochs=epochs,
+        learning_rate=learning_rate,
+        filters=filters,
+        hidden=hidden,
+    )
+
+
+def train_value_member(seed: int):
+    """Train one value function on the shared (observation, return) data."""
+    from repro.nn.optim import RMSProp
+    from repro.pensieve.agent import PensieveValueFunction
+    from repro.pensieve.model import CriticNetwork
+    from repro.util.rng import rng_from_seed
+
+    state = _VALUE_STATE
+    observations = state["observations"]
+    targets = state["targets"]
+    critic = CriticNetwork(
+        state["num_bitrates"],
+        rng_from_seed(seed),
+        filters=state["filters"],
+        hidden=state["hidden"],
+    )
+    optimizer = RMSProp(critic.params, learning_rate=state["learning_rate"])
+    for _ in range(state["epochs"]):
+        values = critic.values(observations)
+        diff = values - targets
+        critic.zero_grads()
+        critic.backward(2.0 * diff / diff.size)
+        optimizer.step(critic.grads)
+    return PensieveValueFunction(critic, name=f"value-{seed}")
+
+
+# -- per-(policy, trace) session evaluation ----------------------------------
+
+def init_sessions(manifest, policies, trace_groups, qoe_metric) -> None:
+    """Ship evaluation context for :func:`evaluate_session`.
+
+    *policies* maps a policy key to a policy object; *trace_groups* maps a
+    group key (e.g. a test-dataset name) to its list of traces.
+    """
+    _SESSION_STATE.update(
+        manifest=manifest,
+        policies=policies,
+        trace_groups=trace_groups,
+        qoe_metric=qoe_metric,
+    )
+
+
+def evaluate_session(task: tuple[str, str, int, int]) -> tuple[float, float]:
+    """Run one (policy, trace, seed) session; return (QoE, default fraction).
+
+    The task is ``(policy_key, group_key, trace_index, seed)`` — pure data,
+    so the same task always produces the same floats in any process.
+    """
+    policy_key, group_key, trace_index, seed = task
+    state = _SESSION_STATE
+    result = run_session(
+        state["policies"][policy_key],
+        state["manifest"],
+        state["trace_groups"][group_key][trace_index],
+        qoe_metric=state["qoe_metric"],
+        seed=seed,
+    )
+    return float(result.qoe), float(result.default_fraction)
+
+
+# -- per-distribution suite builds -------------------------------------------
+
+def init_distributions(config) -> None:
+    """Ship the experiment config for :func:`build_distribution`."""
+    _DISTRIBUTION_STATE.update(config=config)
+
+
+def build_distribution(train_name: str) -> dict:
+    """Run the full offline phase + evaluation for one training
+    distribution (the body of ``run_training_distribution``)."""
+    from repro.experiments.training_runs import compute_training_distribution
+
+    return compute_training_distribution(_DISTRIBUTION_STATE["config"], train_name)
+
+
+def _clear_state() -> None:
+    """Reset all task-family state (test hook)."""
+    for state in (_AGENT_STATE, _VALUE_STATE, _SESSION_STATE, _DISTRIBUTION_STATE):
+        state.clear()

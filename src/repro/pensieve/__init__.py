@@ -14,12 +14,15 @@ seconds-to-minutes on a CPU.
 * :mod:`repro.pensieve.ensemble` — agent ensembles (for ``U_pi``) and
   value-function ensembles (for ``U_V``), differing only in initialization
   seed as the paper prescribes.
+* :mod:`repro.pensieve.stacked` — member-stacked batched forwards for the
+  per-step ensemble signals.
 """
 
 from repro.pensieve.agent import PensieveAgent, PensieveValueFunction
 from repro.pensieve.ensemble import train_agent_ensemble, train_value_ensemble
 from repro.pensieve.model import ActorNetwork, CriticNetwork
 from repro.pensieve.online import FineTuneResult, fine_tune, warm_start_trainer
+from repro.pensieve.stacked import StackedActorEnsemble, StackedCriticEnsemble
 from repro.pensieve.training import A2CTrainer, TrainingConfig, TrainingSummary
 
 __all__ = [
@@ -29,6 +32,8 @@ __all__ = [
     "FineTuneResult",
     "PensieveAgent",
     "PensieveValueFunction",
+    "StackedActorEnsemble",
+    "StackedCriticEnsemble",
     "TrainingConfig",
     "TrainingSummary",
     "fine_tune",

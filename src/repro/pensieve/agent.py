@@ -46,7 +46,7 @@ class PensieveAgent(ABRPolicy):
 
     def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
         """The actor's softmax distribution for one observation."""
-        return self.actor.probabilities(observation)[0]
+        return self.actor.probabilities_inference(observation)[0]
 
     def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
         probabilities = self.action_probabilities(observation)
@@ -59,7 +59,7 @@ class PensieveAgent(ABRPolicy):
         value estimation "built in", as the paper notes of Pensieve)."""
         if self.critic is None:
             raise ModelError("this agent was built without a critic")
-        return float(self.critic.values(observation)[0])
+        return float(self.critic.values_inference(observation)[0])
 
 
 class PensieveValueFunction:
@@ -71,8 +71,8 @@ class PensieveValueFunction:
 
     def value(self, observation: np.ndarray) -> float:
         """Predicted discounted return from *observation*."""
-        return float(self.critic.values(observation)[0])
+        return float(self.critic.values_inference(observation)[0])
 
     def values(self, observations: np.ndarray) -> np.ndarray:
         """Batched value prediction."""
-        return self.critic.values(observations)
+        return self.critic.values_inference(observations)

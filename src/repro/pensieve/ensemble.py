@@ -20,10 +20,10 @@ import numpy as np
 from repro.abr.session import run_session
 from repro.errors import TrainingError
 from repro.mdp.rollout import discounted_returns
-from repro.nn.optim import RMSProp
+from repro.parallel import parallel_map
+from repro.parallel import worker as parallel_worker
 from repro.pensieve.agent import PensieveAgent, PensieveValueFunction
-from repro.pensieve.model import CriticNetwork
-from repro.pensieve.training import A2CTrainer, TrainingConfig
+from repro.pensieve.training import TrainingConfig
 from repro.traces.trace import Trace
 from repro.util.rng import rng_from_seed, spawn_seeds
 from repro.video.manifest import VideoManifest
@@ -39,21 +39,24 @@ def train_agent_ensemble(
     config: TrainingConfig | None = None,
     qoe_metric: QoEMetric | None = None,
     root_seed: int = 0,
+    max_workers: int | None = None,
 ) -> list[PensieveAgent]:
-    """Train *size* agents that differ only in initialization seed."""
+    """Train *size* agents that differ only in initialization seed.
+
+    Members are independent given their seeds, so they train in parallel
+    when *max_workers* (or ``REPRO_MAX_WORKERS``) allows; results are
+    identical to the serial loop.
+    """
     if size < 1:
         raise TrainingError(f"ensemble size must be >= 1, got {size}")
     config = config if config is not None else TrainingConfig()
-    agents = []
-    for seed in spawn_seeds(root_seed, size):
-        trainer = A2CTrainer(
-            manifest,
-            training_traces,
-            config=config.with_seed(seed),
-            qoe_metric=qoe_metric,
-        )
-        agents.append(trainer.train())
-    return agents
+    return parallel_map(
+        parallel_worker.train_agent_member,
+        spawn_seeds(root_seed, size),
+        max_workers=max_workers,
+        initializer=parallel_worker.init_agent_training,
+        initargs=(manifest, tuple(training_traces), config, qoe_metric),
+    )
 
 
 def collect_value_targets(
@@ -107,12 +110,15 @@ def train_value_ensemble(
     reward_scale: float = 1.0,
     qoe_metric: QoEMetric | None = None,
     root_seed: int = 0,
+    max_workers: int | None = None,
 ) -> list[PensieveValueFunction]:
     """Train *size* value functions for one agent's policy.
 
     Each member regresses the same ``(observation, discounted return)``
     dataset with a differently initialized critic network, exactly the
-    paper's recipe for ``U_V``.
+    paper's recipe for ``U_V``.  Target collection walks one shared RNG
+    and stays in the calling process; only the independent per-member
+    regressions fan out to workers.
     """
     if size < 1:
         raise TrainingError(f"ensemble size must be >= 1, got {size}")
@@ -127,18 +133,18 @@ def train_value_ensemble(
         reward_scale=reward_scale,
         seed=root_seed,
     )
-    members = []
-    for seed in spawn_seeds(root_seed + 1, size):
-        rng = rng_from_seed(seed)
-        critic = CriticNetwork(
-            manifest.num_bitrates, rng, filters=filters, hidden=hidden
-        )
-        optimizer = RMSProp(critic.params, learning_rate=learning_rate)
-        for _ in range(epochs):
-            values = critic.values(observations)
-            diff = values - targets
-            critic.zero_grads()
-            critic.backward(2.0 * diff / diff.size)
-            optimizer.step(critic.grads)
-        members.append(PensieveValueFunction(critic, name=f"value-{seed}"))
-    return members
+    return parallel_map(
+        parallel_worker.train_value_member,
+        spawn_seeds(root_seed + 1, size),
+        max_workers=max_workers,
+        initializer=parallel_worker.init_value_training,
+        initargs=(
+            observations,
+            targets,
+            manifest.num_bitrates,
+            epochs,
+            learning_rate,
+            filters,
+            hidden,
+        ),
+    )

@@ -27,6 +27,7 @@ from repro.errors import ModelError
 from repro.nn.layers import Conv1D, Dense, Flatten, ReLU
 from repro.nn.losses import softmax
 from repro.nn.network import Sequential
+from repro.perf import fast_paths_enabled
 
 __all__ = ["PensieveTrunk", "ActorNetwork", "CriticNetwork"]
 
@@ -138,6 +139,94 @@ class PensieveTrunk:
         for branch, piece in zip(self._branches, pieces):
             branch.backward(piece)
 
+    def features_inference(self, observations: np.ndarray) -> np.ndarray:
+        """Gradient-free forward pass, bitwise-identical to :meth:`forward`.
+
+        Performs the same arithmetic as the layer objects but fused into
+        one function: no per-layer dispatch, no backward caches, and the
+        single-input-channel convolutions reduced to broadcast multiplies
+        (a one-term sum, so the floats are exactly those of the einsum).
+        Reads the live weights on every call, so it never goes stale under
+        in-situ adaptation.
+        """
+        obs = np.asarray(observations, dtype=float)
+        if obs.ndim == 2:
+            obs = obs[None, :, :]
+        if obs.ndim != 3 or obs.shape[1:] != (S_INFO, S_LEN):
+            raise ModelError(
+                f"expected (batch, {S_INFO}, {S_LEN}) observations, got {obs.shape}"
+            )
+        batch = obs.shape[0]
+        # The three scalar branches are Dense(1, F): a one-term matmul, so
+        # all three reduce to a single broadcast multiply-add.  Flattening
+        # (batch, 3, F) row-major reproduces their concatenation order.
+        # Weight gathers use preallocated buffers instead of np.stack: this
+        # runs per decision step, and np.stack's shape bookkeeping costs
+        # more than the arithmetic on arrays this small.
+        scalars = obs[:, (0, 1, 5), -1]
+        branches = self._branches
+        filters = branches[0].layers[0].weight.shape[1]
+        dense_w = np.empty((3, filters))
+        dense_b = np.empty((3, filters))
+        for i in range(3):
+            dense_w[i] = branches[i].layers[0].weight[0]
+            dense_b[i] = branches[i].layers[0].bias
+        ys = scalars[:, :, None] * dense_w[None] + dense_b[None]
+        ys = np.where(ys > 0, ys, 0.0).reshape(batch, -1)
+        # The throughput and delay convolutions share their input shape, so
+        # both history branches run as one broadcast offset loop; the
+        # ladder-length sizes branch keeps its own.  Seeding the accumulator
+        # with the first offset term instead of zeros can only flip the sign
+        # of an exact zero, which the ReLU maps to +0.0 either way.
+        throughput_conv = self._conv_throughput.layers[0]
+        delay_conv = self._conv_delay.layers[0]
+        kernel = throughput_conv.kernel_size
+        out_length = S_LEN - kernel + 1
+        histories = obs[:, (2, 3), None, :]
+        out_channels = throughput_conv.weight.shape[0]
+        conv_w = np.empty((2, out_channels, kernel))
+        conv_w[0] = throughput_conv.weight[:, 0, :]
+        conv_w[1] = delay_conv.weight[:, 0, :]
+        conv_b = np.empty((2, out_channels))
+        conv_b[0] = throughput_conv.bias
+        conv_b[1] = delay_conv.bias
+        # einsum("bcl,oc->bol") with c == 1 is a plain broadcast product.
+        out = histories[..., 0:out_length] * conv_w[None, :, :, 0, None]
+        for offset in range(1, kernel):
+            out += (
+                histories[..., offset : offset + out_length]
+                * conv_w[None, :, :, offset, None]
+            )
+        out = out + conv_b[None, :, :, None]
+        out = np.where(out > 0, out, 0.0).reshape(batch, -1)
+        sizes = _conv_relu_flat(
+            obs[:, 4, : self.num_bitrates].reshape(batch, 1, self.num_bitrates),
+            self._conv_sizes,
+        )
+        return _dense_relu(np.concatenate([ys, out, sizes], axis=1), self._merge)
+
+
+def _dense_relu(x: np.ndarray, branch: Sequential) -> np.ndarray:
+    """Fused Dense->ReLU with the exact arithmetic of the layer objects."""
+    dense = branch.layers[0]
+    y = x @ dense.weight + dense.bias
+    return np.where(y > 0, y, 0.0)
+
+
+def _conv_relu_flat(x: np.ndarray, branch: Sequential) -> np.ndarray:
+    """Fused Conv1D->ReLU->Flatten for single-input-channel convolutions."""
+    conv = branch.layers[0]
+    out_length = x.shape[2] - conv.kernel_size + 1
+    # einsum("bcl,oc->bol") with c == 1 is a plain broadcast product; the
+    # first-term seed vs. a zeros accumulator only affects zero signs,
+    # which the ReLU normalizes.
+    out = x[:, :, 0:out_length] * conv.weight[None, :, 0, 0, None]
+    for offset in range(1, conv.kernel_size):
+        out += x[:, :, offset : offset + out_length] * conv.weight[None, :, 0, offset, None]
+    out = out + conv.bias[None, :, None]
+    out = np.where(out > 0, out, 0.0)
+    return out.reshape(x.shape[0], -1)
+
 
 class ActorNetwork:
     """Policy network: trunk features -> softmax over ladder rungs."""
@@ -173,6 +262,18 @@ class ActorNetwork:
         """Action distribution per observation."""
         return softmax(self.logits(observations))
 
+    def probabilities_inference(self, observations: np.ndarray) -> np.ndarray:
+        """Gradient-free action distribution, bitwise-identical to
+        :meth:`probabilities` but through the fused trunk forward.
+
+        Falls back to the layer-by-layer path when the fast paths are
+        globally disabled (see :mod:`repro.perf`).
+        """
+        if not fast_paths_enabled():
+            return self.probabilities(observations)
+        features = self.trunk.features_inference(observations)
+        return softmax(features @ self.head.weight + self.head.bias)
+
     def backward(self, grad_logits: np.ndarray) -> None:
         """Backpropagate a gradient on the logits through head and trunk."""
         self.trunk.backward(self.head.backward(grad_logits))
@@ -207,6 +308,14 @@ class CriticNetwork:
     def values(self, observations: np.ndarray) -> np.ndarray:
         """State values, shape ``(batch,)``."""
         return self.head.forward(self.trunk.forward(observations))[:, 0]
+
+    def values_inference(self, observations: np.ndarray) -> np.ndarray:
+        """Gradient-free state values, bitwise-identical to :meth:`values`
+        but through the fused trunk forward (see :mod:`repro.perf`)."""
+        if not fast_paths_enabled():
+            return self.values(observations)
+        features = self.trunk.features_inference(observations)
+        return (features @ self.head.weight + self.head.bias)[:, 0]
 
     def backward(self, grad_values: np.ndarray) -> None:
         """Backpropagate a gradient on the scalar values."""

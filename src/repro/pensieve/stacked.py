@@ -1,0 +1,202 @@
+"""Batched forward passes over an ensemble of identically shaped networks.
+
+The paper's ``U_pi``/``U_V`` signals query all five ensemble members at
+every decision step.  Looping over five :class:`Sequential` forwards pays
+the full per-layer Python overhead five times for five tiny matmuls; here
+the member weights are stacked once at construction into ``(members, ...)``
+arrays so one fused pass answers for the whole ensemble.
+
+Every operation is arranged so that member *m*'s slice goes through
+exactly the arithmetic of its own network — stacked ``matmul`` dispatches
+one GEMM per member slice, and the single-input-channel convolutions are
+one-term sums — so the stacked outputs are **bitwise identical** to the
+member-by-member loop (asserted by the regression tests).
+
+The stacked copies are snapshots: if member weights are mutated in place
+afterwards (e.g. by in-situ adaptation), call :meth:`refresh`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.state import S_INFO, S_LEN
+from repro.errors import ModelError
+from repro.nn.losses import softmax
+from repro.pensieve.model import ActorNetwork, CriticNetwork, PensieveTrunk
+
+__all__ = ["StackedActorEnsemble", "StackedCriticEnsemble"]
+
+
+class _StackedTrunk:
+    """Member-stacked weights of structurally identical trunks."""
+
+    def __init__(self, trunks: list[PensieveTrunk]) -> None:
+        if not trunks:
+            raise ModelError("need at least one trunk to stack")
+        first = trunks[0]
+        for trunk in trunks[1:]:
+            if (
+                trunk.num_bitrates != first.num_bitrates
+                or trunk.filters != first.filters
+                or trunk.hidden != first.hidden
+            ):
+                raise ModelError(
+                    "cannot stack trunks with different architectures"
+                )
+        self.trunks = list(trunks)
+        self.num_bitrates = first.num_bitrates
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-snapshot the member weights (after in-place mutation)."""
+        trunks = self.trunks
+        # Scalar branches: Dense(1, F) weights as (M, 3, F).
+        self._dense_w = np.stack(
+            [
+                [branch.layers[0].weight[0] for branch in t._branches[:3]]
+                for t in trunks
+            ]
+        )
+        self._dense_b = np.stack(
+            [[branch.layers[0].bias for branch in t._branches[:3]] for t in trunks]
+        )
+        # History convolutions (throughput, delay): (M, 2, O, K).
+        self._hist_w = np.stack(
+            [
+                [
+                    t._conv_throughput.layers[0].weight[:, 0, :],
+                    t._conv_delay.layers[0].weight[:, 0, :],
+                ]
+                for t in trunks
+            ]
+        )
+        self._hist_b = np.stack(
+            [
+                [t._conv_throughput.layers[0].bias, t._conv_delay.layers[0].bias]
+                for t in trunks
+            ]
+        )
+        self._hist_kernel = trunks[0]._conv_throughput.layers[0].kernel_size
+        # Next-chunk-sizes convolution: (M, O, K).
+        self._sizes_w = np.stack(
+            [t._conv_sizes.layers[0].weight[:, 0, :] for t in trunks]
+        )
+        self._sizes_b = np.stack([t._conv_sizes.layers[0].bias for t in trunks])
+        self._sizes_kernel = trunks[0]._conv_sizes.layers[0].kernel_size
+        # Merge layer: (M, merged, H).
+        self._merge_w = np.stack([t._merge.layers[0].weight for t in trunks])
+        self._merge_b = np.stack([t._merge.layers[0].bias for t in trunks])
+        # Broadcast-ready copies so features() does no per-call reshaping.
+        self._dense_w_e = np.ascontiguousarray(self._dense_w[:, None])
+        self._dense_b_e = np.ascontiguousarray(self._dense_b[:, None])
+        self._hist_w_off = [
+            np.ascontiguousarray(self._hist_w[:, None, :, :, offset, None])
+            for offset in range(self._hist_kernel)
+        ]
+        self._hist_b_e = np.ascontiguousarray(self._hist_b[:, None, :, :, None])
+        self._sizes_w_off = [
+            np.ascontiguousarray(self._sizes_w[:, None, :, offset, None])
+            for offset in range(self._sizes_kernel)
+        ]
+        self._sizes_b_e = np.ascontiguousarray(self._sizes_b[:, None, :, None])
+        self._merge_b_e = np.ascontiguousarray(self._merge_b[:, None, :])
+
+    def features(self, observations: np.ndarray) -> np.ndarray:
+        """Map ``(batch, 6, 8)`` observations to ``(members, batch, hidden)``."""
+        obs = np.asarray(observations, dtype=float)
+        if obs.ndim == 2:
+            obs = obs[None, :, :]
+        if obs.ndim != 3 or obs.shape[1:] != (S_INFO, S_LEN):
+            raise ModelError(
+                f"expected (batch, {S_INFO}, {S_LEN}) observations, got {obs.shape}"
+            )
+        batch = obs.shape[0]
+        members = self._dense_w.shape[0]
+        # Scalars: one-term matmuls as a broadcast multiply-add.
+        scalars = obs[:, (0, 1, 5), -1]
+        ys = scalars[None, :, :, None] * self._dense_w_e + self._dense_b_e
+        ys = np.where(ys > 0, ys, 0.0).reshape(members, batch, -1)
+        # History convolutions, both branches and all members in one loop.
+        # Accumulating from the first term instead of zeros only ever flips
+        # the sign of an exact zero, which the ReLU below maps to +0.0
+        # either way, so the post-ReLU floats match the member loop.
+        out_length = S_LEN - self._hist_kernel + 1
+        histories = obs[None, :, (2, 3), None, :]
+        # einsum("bcl,oc->bol") with c == 1 is a plain broadcast product.
+        hist = histories[..., 0:out_length] * self._hist_w_off[0]
+        for offset in range(1, self._hist_kernel):
+            hist += (
+                histories[..., offset : offset + out_length]
+                * self._hist_w_off[offset]
+            )
+        hist = hist + self._hist_b_e
+        hist = np.where(hist > 0, hist, 0.0).reshape(members, batch, -1)
+        # Sizes convolution.
+        sizes_length = self.num_bitrates - self._sizes_kernel + 1
+        sizes_x = obs[None, :, None, 4, : self.num_bitrates]
+        sizes = sizes_x[..., 0:sizes_length] * self._sizes_w_off[0]
+        for offset in range(1, self._sizes_kernel):
+            sizes += (
+                sizes_x[..., offset : offset + sizes_length]
+                * self._sizes_w_off[offset]
+            )
+        sizes = sizes + self._sizes_b_e
+        sizes = np.where(sizes > 0, sizes, 0.0).reshape(members, batch, -1)
+        merged = np.concatenate([ys, hist, sizes], axis=2)
+        features = np.matmul(merged, self._merge_w) + self._merge_b_e
+        return np.where(features > 0, features, 0.0)
+
+
+class StackedActorEnsemble:
+    """All ensemble members' action distributions in one forward pass."""
+
+    def __init__(self, actors: list[ActorNetwork]) -> None:
+        if not actors:
+            raise ModelError("need at least one actor to stack")
+        self.actors = list(actors)
+        self._trunk = _StackedTrunk([actor.trunk for actor in actors])
+        self._stack_heads()
+
+    def _stack_heads(self) -> None:
+        self._head_w = np.stack([actor.head.weight for actor in self.actors])
+        self._head_b = np.stack([actor.head.bias for actor in self.actors])
+
+    def refresh(self) -> None:
+        """Re-snapshot member weights after in-place mutation."""
+        self._trunk.refresh()
+        self._stack_heads()
+
+    def probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """Every member's softmax distribution for one observation,
+        shape ``(members, num_actions)``."""
+        features = self._trunk.features(observation)
+        logits = np.matmul(features, self._head_w) + self._head_b[:, None, :]
+        return softmax(logits)[:, 0, :]
+
+
+class StackedCriticEnsemble:
+    """All ensemble members' value estimates in one forward pass."""
+
+    def __init__(self, critics: list[CriticNetwork]) -> None:
+        if not critics:
+            raise ModelError("need at least one critic to stack")
+        self.critics = list(critics)
+        self._trunk = _StackedTrunk([critic.trunk for critic in critics])
+        self._stack_heads()
+
+    def _stack_heads(self) -> None:
+        self._head_w = np.stack([critic.head.weight for critic in self.critics])
+        self._head_b = np.stack([critic.head.bias for critic in self.critics])
+
+    def refresh(self) -> None:
+        """Re-snapshot member weights after in-place mutation."""
+        self._trunk.refresh()
+        self._stack_heads()
+
+    def values(self, observation: np.ndarray) -> np.ndarray:
+        """Every member's value estimate for one observation, shape
+        ``(members,)``."""
+        features = self._trunk.features(observation)
+        values = np.matmul(features, self._head_w) + self._head_b[:, None, :]
+        return values[:, 0, 0]

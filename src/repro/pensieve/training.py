@@ -185,7 +185,7 @@ class A2CTrainer:
             rewards: list[float] = []
             done = False
             while not done:
-                probabilities = self.actor.probabilities(observation)[0]
+                probabilities = self.actor.probabilities_inference(observation)[0]
                 action = int(self._rng.choice(probabilities.size, p=probabilities))
                 step = env.step(action)
                 observations.append(observation)

@@ -1,0 +1,46 @@
+"""Global switch for the vectorized evaluation fast paths.
+
+The batched ensemble forward, the fused single-agent inference forward,
+and the OC-SVM's cached-norm scoring are all *bitwise-identical*
+reimplementations of the straightforward loops they replace.  This module
+provides one switch that routes every such call site back to the
+reference implementation, so that
+
+* the benchmark gate (``tools/bench_parallel.py``) can time the legacy
+  path against the optimized path on the same process, and
+* equality tests can assert that both paths produce the same floats.
+
+The switch defaults to *on*; set the ``REPRO_DISABLE_FAST_PATHS``
+environment variable (to any non-empty value) to start with it off.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["fast_paths_enabled", "set_fast_paths", "fast_paths"]
+
+_FAST_PATHS: bool = not os.environ.get("REPRO_DISABLE_FAST_PATHS")
+
+
+def fast_paths_enabled() -> bool:
+    """Whether the vectorized evaluation paths are active."""
+    return _FAST_PATHS
+
+
+def set_fast_paths(enabled: bool) -> None:
+    """Globally enable or disable the vectorized evaluation paths."""
+    global _FAST_PATHS
+    _FAST_PATHS = bool(enabled)
+
+
+@contextmanager
+def fast_paths(enabled: bool):
+    """Temporarily force the fast paths on or off within a ``with`` block."""
+    previous = _FAST_PATHS
+    set_fast_paths(enabled)
+    try:
+        yield
+    finally:
+        set_fast_paths(previous)

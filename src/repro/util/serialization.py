@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -50,10 +52,26 @@ def stable_hash(payload: Mapping[str, Any]) -> str:
 
 
 def save_json(path: Path | str, payload: Any) -> None:
-    """Write *payload* as pretty-printed JSON, creating parent directories."""
+    """Write *payload* as pretty-printed JSON, creating parent directories.
+
+    The write is atomic: the payload goes to a uniquely named temporary
+    file in the target directory and is moved into place with
+    :func:`os.replace`, so a reader (or a crash, or a concurrent writer
+    in another worker process) can never observe a half-written artifact.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
+    temporary = path.with_name(
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    try:
+        temporary.write_text(
+            json.dumps(to_jsonable(payload), indent=2, sort_keys=True)
+        )
+        os.replace(temporary, path)
+    except BaseException:
+        temporary.unlink(missing_ok=True)
+        raise
 
 
 def load_json(path: Path | str) -> Any:

@@ -91,3 +91,32 @@ class TestSessionStatistics:
         slow_result = run_session(policy, manifest, slow_trace)
         fast_result = run_session(policy, manifest, fast_trace)
         assert fast_result.qoe > slow_result.qoe
+
+
+class TestObservationCache:
+    def test_repeated_access_returns_same_array_object(self):
+        from repro.abr.session import SessionResult
+
+        result = SessionResult(trace_name="t", policy_name="p")
+        result.observation_list.append(np.zeros((6, 8)))
+        first = result.observations
+        assert result.observations is first
+
+    def test_append_invalidates_cache(self):
+        from repro.abr.session import SessionResult
+
+        result = SessionResult(trace_name="t", policy_name="p")
+        result.observation_list.append(np.zeros((6, 8)))
+        stale = result.observations
+        result.observation_list.append(np.ones((6, 8)))
+        fresh = result.observations
+        assert fresh is not stale
+        assert fresh.shape == (2, 6, 8)
+        assert np.array_equal(fresh[1], np.ones((6, 8)))
+
+    def test_cached_stack_matches_uncached(self, manifest, steady_trace):
+        policy = BufferBasedPolicy(manifest.bitrates_kbps)
+        result = run_session(policy, manifest, steady_trace)
+        assert np.array_equal(
+            result.observations, np.stack(result.observation_list)
+        )

@@ -51,3 +51,63 @@ class TestArtifactCache:
         cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
         cache.store("x", 1)
         assert (cache.directory / "config.json").exists()
+
+
+class TestAtomicWrites:
+    def test_crash_mid_write_leaves_old_artifact_intact(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.util import serialization
+
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        cache.store("results", {"qoe": 1.0})
+
+        real_dumps = json.dumps
+
+        def exploding_dumps(*args, **kwargs):
+            text = real_dumps(*args, **kwargs)
+            raise RuntimeError("crash mid-serialization")
+
+        monkeypatch.setattr(serialization.json, "dumps", exploding_dumps)
+        with pytest.raises(RuntimeError):
+            cache.store("results", {"qoe": 2.0})
+        monkeypatch.undo()
+        # The previous artifact survives unharmed and no temp litter remains.
+        assert cache.load("results") == {"qoe": 1.0}
+        assert [p for p in cache.directory.iterdir() if p.suffix == ".tmp"] == []
+
+    def test_interrupted_replace_never_yields_partial_json(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        from repro.util import serialization
+
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        cache.store("results", {"qoe": 1.0})
+
+        def exploding_replace(src, dst):
+            raise OSError("crash before rename")
+
+        monkeypatch.setattr(serialization.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.store("results", {"qoe": 2.0})
+        monkeypatch.undo()
+        assert cache.load("results") == {"qoe": 1.0}
+
+    def test_concurrent_writers_leave_valid_json(self, tmp_path):
+        import threading
+
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        payloads = [{"worker": i, "data": list(range(200))} for i in range(8)]
+        threads = [
+            threading.Thread(target=cache.store, args=("shared", payload))
+            for payload in payloads
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Whichever writer won, the artifact is complete, valid JSON.
+        loaded = cache.load("shared")
+        assert loaded in [
+            {"worker": i, "data": list(range(200))} for i in range(8)
+        ]

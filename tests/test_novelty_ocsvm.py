@@ -107,3 +107,39 @@ class TestDeterminism:
         b = OneClassSVM(nu=0.2).fit(train)
         probe = gaussian_cloud(n=30, seed=9)
         assert np.allclose(a.scores(probe), b.scores(probe))
+
+
+class TestSupportVectorPruning:
+    def test_pruned_and_unpruned_scores_agree(self):
+        train = gaussian_cloud(n=300)
+        probe = gaussian_cloud(n=100, seed=7)
+        pruned = OneClassSVM(nu=0.1).fit(train)
+        unpruned = OneClassSVM(nu=0.1, prune=False).fit(train)
+        assert pruned.support_vectors_.shape[0] < train.shape[0]
+        assert unpruned.support_vectors_.shape[0] == train.shape[0]
+        # Dropped rows have dual coefficient exactly 0, so the only
+        # difference is BLAS summation grouping over the extra zero terms
+        # (at most 1 ULP).
+        assert np.allclose(
+            pruned._scores(probe), unpruned._scores(probe), rtol=0, atol=1e-12
+        )
+        assert np.array_equal(pruned.predict(probe), unpruned.predict(probe))
+        assert (
+            pruned.training_outlier_fraction == unpruned.training_outlier_fraction
+        )
+
+    def test_pruning_drops_only_zero_alpha_rows(self):
+        train = gaussian_cloud(n=200)
+        model = OneClassSVM(nu=0.2).fit(train)
+        assert np.all(model.dual_coef_ > 0)
+
+    def test_fast_scores_match_reference_path(self):
+        from repro.perf import fast_paths
+
+        train = gaussian_cloud(n=200)
+        probe = gaussian_cloud(n=50, seed=3)
+        model = OneClassSVM(nu=0.2).fit(train)
+        fast = model._scores(probe)
+        with fast_paths(False):
+            reference = model._scores(probe)
+        assert np.array_equal(fast, reference)

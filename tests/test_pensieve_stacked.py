@@ -1,0 +1,160 @@
+"""Stacked ensemble forwards must reproduce the member-by-member loop
+bitwise — they exist purely to make the per-step signals cheaper."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
+from repro.errors import ModelError
+from repro.pensieve.agent import PensieveAgent, PensieveValueFunction
+from repro.pensieve.model import ActorNetwork, CriticNetwork
+from repro.pensieve.stacked import StackedActorEnsemble, StackedCriticEnsemble
+from repro.perf import fast_paths
+from repro.util.rng import rng_from_seed
+
+NUM_BITRATES = 6
+BITRATES = [300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0]
+
+
+def make_actors(count=5, filters=8, hidden=48, base_seed=10):
+    return [
+        ActorNetwork(
+            NUM_BITRATES, rng_from_seed(base_seed + i), filters=filters, hidden=hidden
+        )
+        for i in range(count)
+    ]
+
+
+def make_critics(count=5, filters=8, hidden=48, base_seed=20):
+    return [
+        CriticNetwork(
+            NUM_BITRATES, rng_from_seed(base_seed + i), filters=filters, hidden=hidden
+        )
+        for i in range(count)
+    ]
+
+
+def observations(count, seed=0):
+    return rng_from_seed(seed).normal(size=(count, 6, 8))
+
+
+class TestStackedActor:
+    def test_bitwise_identical_to_member_loop(self):
+        actors = make_actors()
+        stacked = StackedActorEnsemble(actors)
+        for obs in observations(25):
+            reference = np.stack(
+                [actor.probabilities(obs[None])[0] for actor in actors]
+            )
+            assert np.array_equal(stacked.probabilities(obs), reference)
+
+    def test_refresh_tracks_inplace_mutation(self):
+        actors = make_actors(count=3)
+        stacked = StackedActorEnsemble(actors)
+        obs = observations(1)[0]
+        actors[1].head.weight += 0.25
+        actors[1].trunk._merge.layers[0].weight *= 0.9
+        stale = stacked.probabilities(obs)
+        reference = np.stack(
+            [actor.probabilities(obs[None])[0] for actor in actors]
+        )
+        assert not np.array_equal(stale, reference)
+        stacked.refresh()
+        assert np.array_equal(stacked.probabilities(obs), reference)
+
+    def test_mixed_architectures_rejected(self):
+        actors = make_actors(count=2) + make_actors(count=1, hidden=24)
+        with pytest.raises(ModelError):
+            StackedActorEnsemble(actors)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            StackedActorEnsemble([])
+
+
+class TestStackedCritic:
+    def test_bitwise_identical_to_member_loop(self):
+        critics = make_critics()
+        stacked = StackedCriticEnsemble(critics)
+        for obs in observations(25):
+            reference = np.array(
+                [critic.values(obs[None])[0] for critic in critics]
+            )
+            assert np.array_equal(stacked.values(obs), reference)
+
+    def test_mixed_architectures_rejected(self):
+        critics = make_critics(count=2) + make_critics(count=1, filters=4)
+        with pytest.raises(ModelError):
+            StackedCriticEnsemble(critics)
+
+
+class TestFusedInferenceForward:
+    """The single-network inference fast path used by agents and trainers."""
+
+    def test_actor_probabilities_match_reference(self):
+        actor = make_actors(count=1)[0]
+        batch = observations(16)
+        assert np.array_equal(
+            actor.probabilities_inference(batch), actor.probabilities(batch)
+        )
+
+    def test_critic_values_match_reference(self):
+        critic = make_critics(count=1)[0]
+        batch = observations(16)
+        assert np.array_equal(
+            critic.values_inference(batch), critic.values(batch)
+        )
+
+    def test_disabled_fast_paths_fall_back(self):
+        actor = make_actors(count=1)[0]
+        batch = observations(4)
+        with fast_paths(False):
+            assert np.array_equal(
+                actor.probabilities_inference(batch), actor.probabilities(batch)
+            )
+
+
+class TestSignalIntegration:
+    def test_policy_signal_same_with_and_without_fast_paths(self):
+        agents = [
+            PensieveAgent(BITRATES, actor=actor, critic=critic)
+            for actor, critic in zip(make_actors(), make_critics())
+        ]
+        signal = PolicyEnsembleSignal(agents, trim=2)
+        assert signal._stacked is not None
+        for obs in observations(10):
+            fast = signal.measure(obs)
+            with fast_paths(False):
+                slow = signal.measure(obs)
+            assert fast == slow
+
+    def test_value_signal_same_with_and_without_fast_paths(self):
+        value_functions = [
+            PensieveValueFunction(critic) for critic in make_critics()
+        ]
+        signal = ValueEnsembleSignal(value_functions, trim=2)
+        assert signal._stacked is not None
+        for obs in observations(10):
+            fast = signal.measure(obs)
+            with fast_paths(False):
+                slow = signal.measure(obs)
+            assert fast == slow
+
+    def test_non_pensieve_members_fall_back(self):
+        class StubAgent:
+            def action_probabilities(self, observation):
+                return np.array([0.5, 0.5])
+
+        signal = PolicyEnsembleSignal([StubAgent(), StubAgent()], trim=0)
+        assert signal._stacked is None
+        assert signal.measure(observations(1)[0]) == pytest.approx(0.0)
+
+    def test_mixed_member_shapes_fall_back(self):
+        agents = [
+            PensieveAgent(BITRATES, actor=actor)
+            for actor in make_actors(count=2) + make_actors(count=1, hidden=24)
+        ]
+        signal = PolicyEnsembleSignal(agents, trim=0)
+        assert signal._stacked is None
+        obs = observations(1)[0]
+        assert np.isfinite(signal.measure(obs))

@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Benchmark gate for the parallel + vectorized evaluation engine.
+
+Runs the scaled-down (train x test x scheme) evaluation matrix three ways
+and demands they produce bitwise-identical results:
+
+* ``legacy``     — fast paths disabled, serial (the pre-optimization code),
+* ``optimized``  — fast paths enabled, serial (isolates vectorization),
+* ``parallel``   — fast paths enabled, ``--workers`` process-pool workers.
+
+The headline number is legacy-serial vs. optimized-parallel wall time;
+the full run asserts it is >= 3x and writes ``BENCH_parallel.json`` at the
+repository root so the perf trajectory is tracked PR over PR.  A micro
+section times the per-step hot paths the PR vectorized: the stacked
+5-member ensemble forward against the member-by-member loop, and pruned
+fast OC-SVM scoring against the unpruned reference kernel.
+
+Wall times are the minimum over ``--repeats`` runs of each variant, the
+standard defense against scheduler noise on shared machines.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_parallel.py            # full gate
+    PYTHONPATH=src python tools/bench_parallel.py --smoke    # CI-sized
+
+``--smoke`` shrinks the workload, runs each variant once, and skips both
+the speedup assertion and the JSON artifact (machine-dependent numbers do
+not belong in CI); every equality assertion still runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import FAST
+from repro.core.osap import SafetyConfig
+from repro.experiments.training_runs import run_all_distributions
+from repro.novelty.ocsvm import OneClassSVM
+from repro.parallel import resolve_max_workers
+from repro.pensieve.model import ActorNetwork
+from repro.pensieve.stacked import StackedActorEnsemble
+from repro.pensieve.training import TrainingConfig
+from repro.perf import fast_paths
+from repro.util.rng import rng_from_seed
+
+ROOT = Path(__file__).resolve().parent.parent
+MIN_SPEEDUP = 3.0
+
+
+def bench_config(smoke: bool):
+    """The scaled-down experiment matrix the gate times."""
+    if smoke:
+        return FAST.scaled(
+            name="bench-parallel-smoke",
+            num_traces=4,
+            trace_duration_s=120.0,
+            video_repeats=1,
+            training=TrainingConfig(
+                epochs=1, gamma=0.9, n_step=4, filters=4, hidden=12
+            ),
+            safety=SafetyConfig(
+                ensemble_size=3,
+                trim=1,
+                ocsvm_k_synthetic=5,
+                ocsvm_nu=0.2,
+                max_ocsvm_samples=200,
+            ),
+            value_epochs=2,
+            datasets=("gamma_1_2",),
+            random_eval_repeats=1,
+        )
+    return FAST.scaled(
+        name="bench-parallel",
+        num_traces=6,
+        trace_duration_s=200.0,
+        video_repeats=2,
+        training=TrainingConfig(
+            epochs=2, gamma=0.9, n_step=4, filters=8, hidden=48
+        ),
+        safety=SafetyConfig(
+            ensemble_size=5,
+            trim=2,
+            ocsvm_k_synthetic=5,
+            ocsvm_nu=0.2,
+            max_ocsvm_samples=300,
+        ),
+        value_epochs=4,
+        datasets=("gamma_1_2", "exponential"),
+        random_eval_repeats=1,
+    )
+
+
+def _timed_matrix(config, workers: int, fast: bool, repeats: int):
+    walls = []
+    payload = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        with fast_paths(fast):
+            matrix = run_all_distributions(config, max_workers=workers)
+        walls.append(time.perf_counter() - start)
+        payload = matrix.to_payload()
+    return min(walls), walls, payload
+
+
+def bench_matrix(config, workers: int, repeats: int, smoke: bool) -> dict:
+    print(f"evaluation matrix ({config.name}, repeats={repeats}) ...")
+    legacy, legacy_runs, p_legacy = _timed_matrix(config, 1, False, repeats)
+    print(f"  legacy serial      : {legacy:8.2f}s  {[round(w, 2) for w in legacy_runs]}")
+    opt_serial, serial_runs, p_serial = _timed_matrix(config, 1, True, repeats)
+    print(f"  optimized serial   : {opt_serial:8.2f}s  {[round(w, 2) for w in serial_runs]}")
+    opt_parallel, par_runs, p_parallel = _timed_matrix(config, workers, True, repeats)
+    print(f"  optimized {workers} workers: {opt_parallel:8.2f}s  {[round(w, 2) for w in par_runs]}")
+
+    if not p_legacy == p_serial == p_parallel:
+        raise AssertionError("QoE matrices diverged between variants")
+    print("  QoE matrices bitwise identical across all three variants")
+
+    total = legacy / opt_parallel
+    vectorization = legacy / opt_serial
+    parallel_factor = opt_serial / opt_parallel
+    print(
+        f"  speedup: {total:.2f}x total "
+        f"({vectorization:.2f}x vectorization x {parallel_factor:.2f}x parallel)"
+    )
+    if not smoke and total < MIN_SPEEDUP:
+        raise AssertionError(
+            f"speedup gate failed: {total:.2f}x < {MIN_SPEEDUP}x"
+        )
+    return {
+        "config": config.name,
+        "datasets": list(config.datasets),
+        "ensemble_size": config.safety.ensemble_size,
+        "repeats": repeats,
+        "legacy_serial_s": legacy,
+        "optimized_serial_s": opt_serial,
+        "optimized_parallel_s": opt_parallel,
+        "workers": workers,
+        "speedup_total": total,
+        "speedup_vectorization": vectorization,
+        "speedup_parallel": parallel_factor,
+        "qoe_bitwise_identical": True,
+    }
+
+
+def bench_stacked_forward(members: int = 5, steps: int = 400) -> dict:
+    """Per-step U_pi forward: member loop vs. one stacked pass."""
+    actors = [
+        ActorNetwork(6, rng_from_seed(100 + i), filters=8, hidden=48)
+        for i in range(members)
+    ]
+    stacked = StackedActorEnsemble(actors)
+    observations = rng_from_seed(7).normal(size=(steps, 6, 8))
+
+    start = time.perf_counter()
+    loop_out = [
+        np.stack([actor.probabilities(obs[None])[0] for actor in actors])
+        for obs in observations
+    ]
+    loop_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stacked_out = [stacked.probabilities(obs) for obs in observations]
+    stacked_s = time.perf_counter() - start
+
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(loop_out, stacked_out)
+    )
+    if not identical:
+        raise AssertionError("stacked ensemble forward diverged from member loop")
+    result = {
+        "members": members,
+        "steps": steps,
+        "loop_us_per_step": loop_s / steps * 1e6,
+        "stacked_us_per_step": stacked_s / steps * 1e6,
+        "speedup": loop_s / stacked_s,
+        "bitwise_identical": True,
+    }
+    print(
+        f"  stacked {members}-member forward: "
+        f"{result['loop_us_per_step']:.0f}us -> {result['stacked_us_per_step']:.0f}us "
+        f"per step ({result['speedup']:.2f}x, bitwise identical)"
+    )
+    return result
+
+
+def bench_ocsvm_scoring(n_train: int = 400, n_query: int = 2000) -> dict:
+    """Per-step novelty score: unpruned reference kernel vs. pruned fast path."""
+    rng = np.random.default_rng(11)
+    train = rng.normal(size=(n_train, 6))
+    queries = rng.normal(size=(n_query, 6))
+    pruned = OneClassSVM(nu=0.1).fit(train)
+    unpruned = OneClassSVM(nu=0.1, prune=False).fit(train)
+
+    start = time.perf_counter()
+    with fast_paths(False):
+        reference = unpruned.scores(queries)
+        reference_pred = unpruned.predict(queries)
+    reference_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = pruned.scores(queries)
+    fast_pred = pruned.predict(queries)
+    fast_s = time.perf_counter() - start
+
+    max_diff = float(np.max(np.abs(fast - reference)))
+    # Dropping exact-zero dual coefficients changes BLAS's pairwise-sum
+    # grouping, so scores may differ by one ULP (~1e-16); predictions and
+    # everything downstream are identical.
+    if not np.allclose(fast, reference, rtol=0.0, atol=1e-12):
+        raise AssertionError(f"pruned OC-SVM scores diverged: {max_diff}")
+    if not np.array_equal(fast_pred, reference_pred):
+        raise AssertionError("pruned OC-SVM predictions diverged")
+    result = {
+        "train_samples": n_train,
+        "support_vectors": int(pruned.support_vectors_.shape[0]),
+        "queries": n_query,
+        "reference_us_per_query": reference_s / n_query * 1e6,
+        "fast_us_per_query": fast_s / n_query * 1e6,
+        "speedup": reference_s / fast_s,
+        "max_abs_score_diff": max_diff,
+        "predictions_identical": True,
+    }
+    print(
+        f"  OC-SVM scoring ({result['support_vectors']}/{n_train} SVs kept): "
+        f"{result['reference_us_per_query']:.1f}us -> {result['fast_us_per_query']:.1f}us "
+        f"per query ({result['speedup']:.2f}x, max score diff {max_diff:.1e})"
+    )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: tiny matrix, one repeat, no speedup gate, no JSON",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="pool size for the parallel variant"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per variant (min is reported)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=ROOT / "BENCH_parallel.json",
+        help="where to write the benchmark JSON (full runs only)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+
+    config = bench_config(args.smoke)
+    matrix = bench_matrix(config, args.workers, repeats, args.smoke)
+    print("per-step micro-benchmarks ...")
+    micro = {
+        "stacked_ensemble_forward": bench_stacked_forward(
+            members=config.safety.ensemble_size, steps=100 if args.smoke else 400
+        ),
+        "ocsvm_scoring": bench_ocsvm_scoring(
+            n_train=150 if args.smoke else 400,
+            n_query=300 if args.smoke else 2000,
+        ),
+    }
+
+    if args.smoke:
+        print("smoke run complete (no JSON written)")
+        return 0
+
+    payload = {
+        "benchmark": "parallel + vectorized evaluation engine",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "default_max_workers": resolve_max_workers(),
+        },
+        "matrix": matrix,
+        "micro": micro,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
