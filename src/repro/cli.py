@@ -121,7 +121,9 @@ def _cmd_traces(args, out) -> int:
 def _cmd_figures(args, out) -> int:
     config = get_config(args.config)
     cache = ArtifactCache(config.describe())
-    matrix = run_all_distributions(config, cache, max_workers=args.workers)
+    matrix = run_all_distributions(
+        config, cache, max_workers=args.workers, weight_root=cache.root
+    )
     print(render_report(config, matrix), file=out)
     return 0
 
@@ -148,7 +150,9 @@ def _cmd_shapes(args, out) -> int:
 
     config = get_config(args.config)
     cache = ArtifactCache(config.describe())
-    matrix = run_all_distributions(config, cache, max_workers=args.workers)
+    matrix = run_all_distributions(
+        config, cache, max_workers=args.workers, weight_root=cache.root
+    )
     checks = shape_checks(config, matrix)
     rows = [
         [

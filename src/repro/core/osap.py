@@ -18,6 +18,7 @@ evaluated on any test distribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -42,6 +43,9 @@ from repro.traces.trace import Trace
 from repro.util.rng import rng_from_seed
 from repro.video.manifest import VideoManifest
 from repro.video.qoe import QoEMetric
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-import cycle
+    from repro.experiments.artifacts import ArtifactCache
 
 __all__ = ["SafetyConfig", "SafetySuite", "build_safety_suite"]
 
@@ -145,11 +149,16 @@ def build_safety_suite(
     value_epochs: int = 200,
     seed: int = 0,
     max_workers: int | None = None,
+    weight_cache: "ArtifactCache | None" = None,
 ) -> SafetySuite:
     """Run the full offline phase for one training distribution.
 
     *max_workers* fans the two ensemble trainings out over a process
     pool (see :mod:`repro.parallel`); the suite is identical either way.
+    *weight_cache* (an :class:`~repro.experiments.artifacts.ArtifactCache`
+    keyed by the training fingerprint) persists both ensembles' trained
+    weights as ``.npz`` artifacts, so rebuilding the suite with an
+    unchanged configuration loads the networks instead of retraining.
     """
     safety = safety_config if safety_config is not None else SafetyConfig()
     training = training_config if training_config is not None else TrainingConfig()
@@ -164,6 +173,7 @@ def build_safety_suite(
         qoe_metric=qoe_metric,
         root_seed=seed,
         max_workers=max_workers,
+        cache=weight_cache,
     )
     # Standard model selection: deploy the ensemble member with the best
     # validation QoE.  (All members still feed the U_pi signal.)
@@ -187,6 +197,7 @@ def build_safety_suite(
         qoe_metric=qoe_metric,
         root_seed=seed,
         max_workers=max_workers,
+        cache=weight_cache,
     )
     k_ocsvm = safety.ocsvm_k(is_synthetic)
     throughputs = collect_training_throughputs(

@@ -5,6 +5,21 @@ resulting QoE numbers.  The cache stores those numbers as plain JSON under
 ``artifacts/<config-hash>/``, so re-rendering a figure, re-running a
 benchmark, or regenerating EXPERIMENTS.md never retrains unless the
 configuration changed.
+
+Two payload kinds share one fingerprint-keyed directory:
+
+* JSON (:meth:`ArtifactCache.store` / :meth:`~ArtifactCache.load`) for
+  metadata and small results,
+* ``.npz`` (:meth:`~ArtifactCache.store_arrays` /
+  :meth:`~ArtifactCache.load_arrays`) for arrays — most importantly the
+  trained actor/critic weights of the ensemble members, which lets a
+  rebuilt safety suite load its networks instead of retraining them.
+
+:data:`SCHEMA_VERSION` is folded into every hashed fingerprint, so
+changing the on-disk layout (weight key names, array shapes, JSON
+structure) only requires bumping one constant: old directories simply
+stop matching and everything is recomputed instead of being loaded in
+the wrong format.
 """
 
 from __future__ import annotations
@@ -12,9 +27,24 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
-from repro.util.serialization import load_json, save_json, stable_hash
+import numpy as np
 
-__all__ = ["ArtifactCache", "default_cache_dir"]
+from repro.util.serialization import (
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+    stable_hash,
+)
+
+__all__ = ["ArtifactCache", "default_cache_dir", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+"""On-disk artifact layout version, hashed into every cache fingerprint.
+
+Bump this whenever the stored format changes incompatibly (e.g. the npz
+weight-key naming scheme); every existing cache directory then misses and
+its artifacts are recomputed rather than misread."""
 
 
 def default_cache_dir() -> Path:
@@ -27,7 +57,7 @@ def default_cache_dir() -> Path:
 
 
 class ArtifactCache:
-    """A tiny JSON key-value store keyed by (config fingerprint, name)."""
+    """A tiny JSON + ``.npz`` store keyed by (config fingerprint, name)."""
 
     def __init__(
         self,
@@ -35,28 +65,46 @@ class ArtifactCache:
         root: Path | str | None = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
-        self.key = stable_hash(fingerprint)
-        self.directory = self.root / self.key
         self._fingerprint = dict(fingerprint)
+        self._fingerprint.setdefault("artifact_schema_version", SCHEMA_VERSION)
+        self.key = stable_hash(self._fingerprint)
+        self.directory = self.root / self.key
 
     def path(self, name: str) -> Path:
         """Path of the JSON artifact called *name*."""
         return self.directory / f"{name}.json"
 
+    def array_path(self, name: str) -> Path:
+        """Path of the ``.npz`` artifact called *name*."""
+        return self.directory / f"{name}.npz"
+
     def has(self, name: str) -> bool:
-        """Whether *name* is cached."""
+        """Whether the JSON artifact *name* is cached."""
         return self.path(name).exists()
+
+    def has_arrays(self, name: str) -> bool:
+        """Whether the ``.npz`` artifact *name* is cached."""
+        return self.array_path(name).exists()
 
     def load(self, name: str) -> Any:
         """Load a cached artifact (raises :class:`ArtifactError` if absent)."""
         return load_json(self.path(name))
 
+    def load_arrays(self, name: str) -> dict[str, np.ndarray]:
+        """Load a cached ``.npz`` artifact (raises :class:`ArtifactError`
+        if absent)."""
+        return load_arrays(self.array_path(name))
+
     def store(self, name: str, payload: Any) -> None:
         """Persist *payload* under *name*, recording the fingerprint once."""
-        fingerprint_path = self.directory / "config.json"
-        if not fingerprint_path.exists():
-            save_json(fingerprint_path, self._fingerprint)
+        self._record_fingerprint()
         save_json(self.path(name), payload)
+
+    def store_arrays(self, name: str, arrays: Mapping[str, np.ndarray]) -> None:
+        """Persist named arrays (e.g. trained network weights) under
+        *name* as an ``.npz``, recording the fingerprint once."""
+        self._record_fingerprint()
+        save_arrays(self.array_path(name), arrays)
 
     def get_or_compute(self, name: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value, computing and storing it on a miss."""
@@ -65,3 +113,9 @@ class ArtifactCache:
         value = compute()
         self.store(name, value)
         return value
+
+    def _record_fingerprint(self) -> None:
+        """Write the fingerprint (with its schema version) on first store."""
+        fingerprint_path = self.directory / "config.json"
+        if not fingerprint_path.exists():
+            save_json(fingerprint_path, self._fingerprint)

@@ -8,14 +8,21 @@ evaluated on the *test* split of all six datasets.  The result is the
 6x6x6 (train x test x scheme) QoE matrix that every figure in the paper is
 a projection of.
 
-Results are cached as JSON keyed by the experiment configuration; the
-models themselves are not persisted (they retrain deterministically from
-the config seed if a different projection is ever needed).
+Results are cached as JSON keyed by the experiment configuration.  The
+trained models are persisted too when a *weight_root* is given: each
+training distribution gets its own weight-fingerprint-keyed
+:class:`~repro.experiments.artifacts.ArtifactCache` holding the agent and
+value ensembles' parameters as ``.npz`` artifacts, so rebuilding a suite
+(e.g. after deleting the JSON results, or for a new projection) loads the
+networks instead of retraining them.  The weight fingerprint covers only
+the knobs that affect training — dataset synthesis, the training config,
+ensemble size, and seeds — so changing evaluation-only parameters still
+reuses the weights.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -199,15 +206,46 @@ def compute_baselines(
     return cache.get_or_compute("baselines", compute)
 
 
+def _weight_fingerprint(config: ExperimentConfig, train_name: str) -> dict:
+    """The configuration facts that determine the trained weights.
+
+    Deliberately narrower than ``config.describe()``: evaluation-only
+    knobs (eval seeds, OC-SVM parameters, calibration settings) are
+    excluded so changing them reuses the cached weights.
+    """
+    return {
+        "artifact": "ensemble_weights",
+        "train_name": train_name,
+        "video_repeats": config.video_repeats,
+        "num_traces": config.num_traces,
+        "trace_duration_s": config.trace_duration_s,
+        "dataset_seed": config.dataset_seed,
+        "suite_seed": config.suite_seed,
+        "ensemble_size": config.safety.ensemble_size,
+        "value_epochs": config.value_epochs,
+        "training": asdict(config.training),
+    }
+
+
+def _weight_cache(
+    config: ExperimentConfig, train_name: str, weight_root
+) -> ArtifactCache | None:
+    if weight_root is None:
+        return None
+    return ArtifactCache(_weight_fingerprint(config, train_name), root=weight_root)
+
+
 def compute_training_distribution(
     config: ExperimentConfig,
     train_name: str,
     max_workers: int | None = None,
+    weight_root=None,
 ) -> dict:
     """The body of :func:`run_training_distribution`, cache-free.
 
     Module-level (rather than a closure) so a process-pool worker can run
-    one training distribution end-to-end per task.
+    one training distribution end-to-end per task.  *weight_root* (a
+    directory) enables weight-level caching of the trained ensembles.
     """
     manifest = _manifest(config)
     datasets = _build_datasets(config)
@@ -223,6 +261,7 @@ def compute_training_distribution(
         value_epochs=config.value_epochs,
         seed=config.suite_seed,
         max_workers=max_workers,
+        weight_cache=_weight_cache(config, train_name, weight_root),
     )
     policies = {"Pensieve": suite.agent, **suite.controllers()}
     trace_groups = {
@@ -260,20 +299,27 @@ def run_training_distribution(
     train_name: str,
     cache: ArtifactCache | None = None,
     max_workers: int | None = None,
+    weight_root=None,
 ) -> dict:
     """Offline phase + full evaluation for one training distribution.
 
     Returns ``{"evaluations": {test -> scheme -> stats}, "metadata": ...}``.
+    *weight_root* enables weight-level caching of the trained ensembles
+    (see :func:`compute_training_distribution`).
     """
     if train_name not in config.datasets:
         raise ConfigError(
             f"{train_name!r} is not in this configuration's datasets"
         )
     if cache is None:
-        return compute_training_distribution(config, train_name, max_workers)
+        return compute_training_distribution(
+            config, train_name, max_workers, weight_root=weight_root
+        )
     return cache.get_or_compute(
         f"train_{train_name}",
-        lambda: compute_training_distribution(config, train_name, max_workers),
+        lambda: compute_training_distribution(
+            config, train_name, max_workers, weight_root=weight_root
+        ),
     )
 
 
@@ -281,13 +327,15 @@ def run_all_distributions(
     config: ExperimentConfig,
     cache: ArtifactCache | None = None,
     max_workers: int | None = None,
+    weight_root=None,
 ) -> EvaluationMatrix:
     """The full 6x6x6 evaluation matrix behind every figure.
 
     With *max_workers* > 1 the uncached training distributions build
     concurrently, one worker per distribution (the heaviest-grained unit
     of independent work); each worker's inner loops then run serially.
-    The matrix is identical to the serial one.
+    The matrix is identical to the serial one.  *weight_root* enables
+    weight-level caching of every distribution's trained ensembles.
     """
     matrix = EvaluationMatrix(datasets=tuple(config.datasets))
     matrix.baselines = compute_baselines(config, cache, max_workers=max_workers)
@@ -304,7 +352,7 @@ def run_all_distributions(
                 pending,
                 max_workers=max_workers,
                 initializer=parallel_worker.init_distributions,
-                initargs=(config,),
+                initargs=(config, weight_root),
             ),
         )
     )
@@ -315,7 +363,11 @@ def run_all_distributions(
                 cache.store(f"train_{train_name}", run)
         else:
             run = run_training_distribution(
-                config, train_name, cache, max_workers=max_workers
+                config,
+                train_name,
+                cache,
+                max_workers=max_workers,
+                weight_root=weight_root,
             )
         matrix.entries[train_name] = run["evaluations"]
         matrix.metadata[train_name] = run["metadata"]

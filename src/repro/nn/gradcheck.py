@@ -2,6 +2,14 @@
 
 Used by the test suite to verify every layer's analytic backward pass
 against central finite differences.
+
+Cost model: :func:`numerical_gradient` perturbs one flat index of the
+array per central difference, so a full check costs ``2 * array.size``
+evaluations of *func* — O(params x forward) for a network loss.  That is
+inherent to finite differences (each parameter needs its own perturbed
+forward; the evaluations cannot be batched into one pass without changing
+what is being measured), so for large arrays pass ``sample`` to check a
+random subset of indices instead of every one.
 """
 
 from __future__ import annotations
@@ -17,16 +25,31 @@ def numerical_gradient(
     func: Callable[[], float],
     array: np.ndarray,
     epsilon: float = 1e-6,
+    sample: int | None = None,
+    rng: np.random.Generator | None = None,
 ) -> np.ndarray:
     """Central-difference gradient of the scalar ``func()`` w.r.t. *array*.
 
     *func* must recompute the scalar from current array contents each call;
-    *array* is perturbed in place and restored.
+    *array* is perturbed in place and restored.  Costs two ``func()``
+    evaluations per checked element.  With *sample* set, only that many
+    randomly chosen flat indices are checked (requires *rng*); unchecked
+    entries of the returned gradient are zero, so compare analytic
+    gradients only where the returned array is nonzero — or mask both with
+    ``numerical != 0``.
     """
     grad = np.zeros_like(array)
     flat = array.ravel()
     grad_flat = grad.ravel()
-    for index in range(flat.size):
+    if sample is None:
+        indices = np.arange(flat.size)
+    else:
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        if rng is None:
+            raise ValueError("sampled gradient checks need an rng")
+        indices = rng.choice(flat.size, size=min(sample, flat.size), replace=False)
+    for index in indices:
         original = flat[index]
         flat[index] = original + epsilon
         plus = func()

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.errors import ModelError
 
-__all__ = ["Optimizer", "SGD", "RMSProp", "Adam"]
+__all__ = ["Optimizer", "SGD", "RMSProp", "Adam", "StackedRMSProp"]
 
 
 class Optimizer:
@@ -85,6 +85,19 @@ class RMSProp(Optimizer):
         mean_square *= self.decay
         mean_square += (1.0 - self.decay) * grad**2
         param -= self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)
+
+
+class StackedRMSProp(RMSProp):
+    """:class:`RMSProp` over member-stacked ``(members, ...)`` parameters.
+
+    The RMSProp update rule is purely elementwise, so stepping one stacked
+    array is bitwise identical to stepping each member's slice with its
+    own :class:`RMSProp` instance — member *m*'s mean-square accumulator
+    occupies slice ``m`` of the stacked accumulator and never mixes with
+    the others.  This subclass adds no arithmetic; it exists so the
+    lockstep ensemble trainer's optimizer states are explicitly documented
+    as per-member-independent.
+    """
 
 
 class Adam(Optimizer):

@@ -13,6 +13,13 @@ Gate equations (reset ``r``, update ``z``, candidate ``c``)::
     z_t = sigmoid(x_t W_xz + h_{t-1} W_hz + b_z)
     c_t = tanh(x_t W_xc + (r_t * h_{t-1}) W_hc + b_c)
     h_t = (1 - z_t) * h_{t-1} + z_t * c_t
+
+:class:`StackedGRU` is the member-stacked variant: ``M`` independent GRUs
+advanced in lockstep over ``(members, batch, time, features)`` inputs, so
+each per-timestep matmul batches across members instead of being repeated
+``M`` times.  Stacked ``matmul`` runs one GEMM per member slice and every
+other operation is elementwise, so forward, backward, and accumulated
+gradients are bitwise identical to looping over the member GRUs.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from repro.errors import ModelError
 from repro.nn.initializers import glorot_uniform
 from repro.nn.layers import Layer
 
-__all__ = ["GRU"]
+__all__ = ["GRU", "StackedGRU"]
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -131,6 +138,159 @@ class GRU(Layer):
             )
             grad_h_prev += (
                 grad_pre_r @ self.w_h[:, :n].T + grad_pre_z @ self.w_h[:, n : 2 * n].T
+            )
+            grad_h = grad_h_prev
+        return grad_x
+
+
+class StackedGRU(Layer):
+    """``M`` member :class:`GRU` layers advanced in lockstep.
+
+    Inputs are ``(members, batch, time, features)``; the per-timestep
+    recurrence runs once with stacked matmuls instead of once per member,
+    and the backward pass unrolls through time the same way.  Member *m*'s
+    slice goes through exactly the floats of its own :class:`GRU`, so the
+    final hidden states and the accumulated parameter gradients are
+    bitwise identical to looping over the members.
+    """
+
+    def __init__(self, w_x: np.ndarray, w_h: np.ndarray, bias: np.ndarray) -> None:
+        w_x = np.asarray(w_x, dtype=float)
+        w_h = np.asarray(w_h, dtype=float)
+        bias = np.asarray(bias, dtype=float)
+        if w_x.ndim != 3 or w_h.ndim != 3 or bias.ndim != 2:
+            raise ModelError("stacked GRU parameters must carry a member axis")
+        if w_x.shape[2] % 3 != 0 or w_h.shape[2] != w_x.shape[2]:
+            raise ModelError(
+                f"gate widths disagree: w_x {w_x.shape}, w_h {w_h.shape}"
+            )
+        if w_h.shape[1] * 3 != w_h.shape[2] or bias.shape != w_x.shape[::2]:
+            raise ModelError(
+                f"inconsistent stacked GRU shapes: w_x {w_x.shape}, "
+                f"w_h {w_h.shape}, bias {bias.shape}"
+            )
+        self.input_size = w_x.shape[1]
+        self.hidden_size = w_h.shape[1]
+        self.w_x = w_x
+        self.w_h = w_h
+        self.bias = bias
+        self.grad_w_x = np.zeros_like(self.w_x)
+        self.grad_w_h = np.zeros_like(self.w_h)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache: dict | None = None
+
+    @classmethod
+    def from_layers(cls, layers: list[GRU]) -> "StackedGRU":
+        """Stack the (copied) parameters of identically shaped members."""
+        if not layers:
+            raise ModelError("need at least one GRU to stack")
+        shapes = {(layer.input_size, layer.hidden_size) for layer in layers}
+        if len(shapes) != 1:
+            raise ModelError(f"cannot stack GRUs of sizes {sorted(shapes)}")
+        return cls(
+            np.stack([layer.w_x for layer in layers]),
+            np.stack([layer.w_h for layer in layers]),
+            np.stack([layer.bias for layer in layers]),
+        )
+
+    def write_back(self, layers: list[GRU]) -> None:
+        """Copy the trained stacked parameters into the member GRUs."""
+        if len(layers) != self.w_x.shape[0]:
+            raise ModelError(
+                f"{len(layers)} layers for {self.w_x.shape[0]} stacked members"
+            )
+        for index, layer in enumerate(layers):
+            layer.w_x[...] = self.w_x[index]
+            layer.w_h[...] = self.w_h[index]
+            layer.bias[...] = self.bias[index]
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.w_x, self.w_h, self.bias]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_w_x, self.grad_w_h, self.grad_bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[0] != self.w_x.shape[0] or x.shape[3] != self.input_size:
+            raise ModelError(
+                f"StackedGRU expected ({self.w_x.shape[0]}, batch, time, "
+                f"{self.input_size}), got {x.shape}"
+            )
+        members, batch, steps, _ = x.shape
+        n = self.hidden_size
+        h = np.zeros((members, batch, n))
+        hs = [h]
+        gates = []
+        for t in range(steps):
+            xt = x[:, :, t, :]
+            pre = np.matmul(xt, self.w_x) + np.matmul(h, self.w_h) + self.bias[:, None, :]
+            r = _sigmoid(pre[..., :n])
+            z = _sigmoid(pre[..., n : 2 * n])
+            # Candidate uses the reset-gated hidden state.
+            pre_c = (
+                np.matmul(xt, self.w_x[:, :, 2 * n :])
+                + np.matmul(r * h, self.w_h[:, :, 2 * n :])
+                + self.bias[:, None, 2 * n :]
+            )
+            c = np.tanh(pre_c)
+            h = (1.0 - z) * h + z * c
+            gates.append((r, z, c))
+            hs.append(h)
+        self._cache = {"x": x, "hs": hs, "gates": gates}
+        return h
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before forward")
+        x = self._cache["x"]
+        hs = self._cache["hs"]
+        gates = self._cache["gates"]
+        members, batch, steps, _ = x.shape
+        n = self.hidden_size
+        grad_h = np.asarray(grad_out, dtype=float)
+        grad_x = np.zeros_like(x)
+        for t in range(steps - 1, -1, -1):
+            r, z, c = gates[t]
+            h_prev = hs[t]
+            xt = x[:, :, t, :]
+            xt_T = xt.transpose(0, 2, 1)
+            # h_t = (1 - z) h_prev + z c
+            grad_z = grad_h * (c - h_prev)
+            grad_c = grad_h * z
+            grad_h_prev = grad_h * (1.0 - z)
+            # c = tanh(pre_c)
+            grad_pre_c = grad_c * (1.0 - c**2)
+            self.grad_w_x[:, :, 2 * n :] += np.matmul(xt_T, grad_pre_c)
+            self.grad_w_h[:, :, 2 * n :] += np.matmul(
+                (r * h_prev).transpose(0, 2, 1), grad_pre_c
+            )
+            self.grad_bias[:, 2 * n :] += grad_pre_c.sum(axis=1)
+            grad_rh = np.matmul(grad_pre_c, self.w_h[:, :, 2 * n :].transpose(0, 2, 1))
+            grad_r = grad_rh * h_prev
+            grad_h_prev += grad_rh * r
+            grad_x[:, :, t, :] += np.matmul(
+                grad_pre_c, self.w_x[:, :, 2 * n :].transpose(0, 2, 1)
+            )
+            # r and z gates: sigmoid(pre)
+            grad_pre_r = grad_r * r * (1.0 - r)
+            grad_pre_z = grad_z * z * (1.0 - z)
+            self.grad_w_x[:, :, :n] += np.matmul(xt_T, grad_pre_r)
+            self.grad_w_x[:, :, n : 2 * n] += np.matmul(xt_T, grad_pre_z)
+            h_prev_T = h_prev.transpose(0, 2, 1)
+            self.grad_w_h[:, :, :n] += np.matmul(h_prev_T, grad_pre_r)
+            self.grad_w_h[:, :, n : 2 * n] += np.matmul(h_prev_T, grad_pre_z)
+            self.grad_bias[:, :n] += grad_pre_r.sum(axis=1)
+            self.grad_bias[:, n : 2 * n] += grad_pre_z.sum(axis=1)
+            grad_x[:, :, t, :] += (
+                np.matmul(grad_pre_r, self.w_x[:, :, :n].transpose(0, 2, 1))
+                + np.matmul(grad_pre_z, self.w_x[:, :, n : 2 * n].transpose(0, 2, 1))
+            )
+            grad_h_prev += (
+                np.matmul(grad_pre_r, self.w_h[:, :, :n].transpose(0, 2, 1))
+                + np.matmul(grad_pre_z, self.w_h[:, :, n : 2 * n].transpose(0, 2, 1))
             )
             grad_h = grad_h_prev
         return grad_x

@@ -19,7 +19,11 @@ evaluation layers build on.  Its contract:
 Worker-count resolution: an explicit ``max_workers`` argument wins,
 otherwise the ``REPRO_MAX_WORKERS`` environment variable, otherwise 1
 (serial).  Parallelism is therefore always opt-in and the default
-behaviour matches the original serial code exactly.
+behaviour matches the original serial code exactly.  The resolved count
+is additionally capped at ``os.cpu_count()``: these are CPU-bound numpy
+tasks, so oversubscribing cores only adds fork and scheduling overhead
+(on a single-CPU machine every request degrades to the serial fallback,
+which benchmarking showed to be faster there than any pool).
 """
 
 from __future__ import annotations
@@ -107,11 +111,19 @@ def parallel_map(
     functions the library ships.  Results come back in item order.
     ``chunk_size`` controls scheduling granularity (default: about four
     chunks per worker).
+
+    The pool size never exceeds ``os.cpu_count()``: more workers than
+    cores cannot speed up CPU-bound tasks, and on a one-CPU machine the
+    serial fallback avoids pure fork/pickle overhead.
     """
     items = list(items)
     if chunk_size is not None and chunk_size < 1:
         raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
-    workers = min(resolve_max_workers(max_workers), max(len(items), 1))
+    workers = min(
+        resolve_max_workers(max_workers),
+        max(len(items), 1),
+        os.cpu_count() or 1,
+    )
     if (
         workers == 1
         or len(items) < 2

@@ -137,9 +137,10 @@ def evaluate_session(task: tuple[str, str, int, int]) -> tuple[float, float]:
 
 # -- per-distribution suite builds -------------------------------------------
 
-def init_distributions(config) -> None:
-    """Ship the experiment config for :func:`build_distribution`."""
-    _DISTRIBUTION_STATE.update(config=config)
+def init_distributions(config, weight_root=None) -> None:
+    """Ship the experiment config (and optional weight-cache root
+    directory) for :func:`build_distribution`."""
+    _DISTRIBUTION_STATE.update(config=config, weight_root=weight_root)
 
 
 def build_distribution(train_name: str) -> dict:
@@ -147,7 +148,11 @@ def build_distribution(train_name: str) -> dict:
     distribution (the body of ``run_training_distribution``)."""
     from repro.experiments.training_runs import compute_training_distribution
 
-    return compute_training_distribution(_DISTRIBUTION_STATE["config"], train_name)
+    return compute_training_distribution(
+        _DISTRIBUTION_STATE["config"],
+        train_name,
+        weight_root=_DISTRIBUTION_STATE.get("weight_root"),
+    )
 
 
 def _clear_state() -> None:

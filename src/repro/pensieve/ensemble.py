@@ -11,25 +11,79 @@ Section 2.4:
 
 Both trainers here derive member seeds from one root seed, so an ensemble
 is a deterministic function of ``(traces, config, root_seed)``.
+
+Because the result is deterministic, the trained weights are themselves a
+cacheable artifact: pass an :class:`~repro.experiments.artifacts.ArtifactCache`
+keyed by the training fingerprint and both trainers persist every member's
+parameters as a versioned ``.npz``, so rebuilding a safety suite with an
+unchanged configuration loads the networks instead of retraining them.
+
+When the fast paths are enabled (see :mod:`repro.perf`) multi-member
+ensembles train through :class:`~repro.pensieve.training.LockstepEnsembleTrainer`
+— one stacked pass over all members instead of ``K`` separate trainings —
+with bitwise-identical resulting weights.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.abr.session import run_session
 from repro.errors import TrainingError
 from repro.mdp.rollout import discounted_returns
+from repro.nn.optim import StackedRMSProp
 from repro.parallel import parallel_map
 from repro.parallel import worker as parallel_worker
 from repro.pensieve.agent import PensieveAgent, PensieveValueFunction
-from repro.pensieve.training import TrainingConfig
+from repro.pensieve.model import ActorNetwork, CriticNetwork
+from repro.pensieve.stacked import StackedTrainingNetwork
+from repro.pensieve.training import LockstepEnsembleTrainer, TrainingConfig
+from repro.perf import fast_paths_enabled
 from repro.traces.trace import Trace
 from repro.util.rng import rng_from_seed, spawn_seeds
 from repro.video.manifest import VideoManifest
 from repro.video.qoe import QoEMetric
 
-__all__ = ["train_agent_ensemble", "train_value_ensemble"]
+if TYPE_CHECKING:  # imported lazily to avoid a package-import cycle
+    from repro.experiments.artifacts import ArtifactCache
+
+__all__ = [
+    "train_agent_ensemble",
+    "train_value_ensemble",
+    "AGENT_WEIGHTS_ARTIFACT",
+    "VALUE_WEIGHTS_ARTIFACT",
+]
+
+#: Cache name of the agent-ensemble weight ``.npz`` artifact.
+AGENT_WEIGHTS_ARTIFACT = "agent_weights"
+#: Cache name of the value-ensemble weight ``.npz`` artifact.
+VALUE_WEIGHTS_ARTIFACT = "value_weights"
+
+
+def _member_networks(
+    num_bitrates: int, seed: int, config: TrainingConfig
+) -> tuple[ActorNetwork, CriticNetwork]:
+    """Freshly initialized actor/critic shells for one member, walking the
+    seed's RNG in the same order as :class:`A2CTrainer` (actor first)."""
+    rng = rng_from_seed(seed)
+    actor = ActorNetwork(
+        num_bitrates, rng, filters=config.filters, hidden=config.hidden
+    )
+    critic = CriticNetwork(
+        num_bitrates, rng, filters=config.filters, hidden=config.hidden
+    )
+    return actor, critic
+
+
+def _subset(arrays: dict, prefix: str) -> dict:
+    """The entries of a flattened weight mapping under one member prefix."""
+    return {
+        key[len(prefix):]: value
+        for key, value in arrays.items()
+        if key.startswith(prefix)
+    }
 
 
 def train_agent_ensemble(
@@ -40,23 +94,62 @@ def train_agent_ensemble(
     qoe_metric: QoEMetric | None = None,
     root_seed: int = 0,
     max_workers: int | None = None,
+    cache: "ArtifactCache | None" = None,
 ) -> list[PensieveAgent]:
     """Train *size* agents that differ only in initialization seed.
 
-    Members are independent given their seeds, so they train in parallel
-    when *max_workers* (or ``REPRO_MAX_WORKERS``) allows; results are
-    identical to the serial loop.
+    With the fast paths enabled, multi-member ensembles train through the
+    batched :class:`~repro.pensieve.training.LockstepEnsembleTrainer`;
+    otherwise members train independently — in parallel when
+    *max_workers* (or ``REPRO_MAX_WORKERS``) allows.  All three routes
+    produce bitwise-identical weights.
+
+    With *cache* set, the trained weights are stored under
+    :data:`AGENT_WEIGHTS_ARTIFACT` and later calls with the same
+    fingerprint skip training entirely and load the networks from disk.
     """
     if size < 1:
         raise TrainingError(f"ensemble size must be >= 1, got {size}")
     config = config if config is not None else TrainingConfig()
-    return parallel_map(
-        parallel_worker.train_agent_member,
-        spawn_seeds(root_seed, size),
-        max_workers=max_workers,
-        initializer=parallel_worker.init_agent_training,
-        initargs=(manifest, tuple(training_traces), config, qoe_metric),
-    )
+    seeds = spawn_seeds(root_seed, size)
+    if cache is not None and cache.has_arrays(AGENT_WEIGHTS_ARTIFACT):
+        arrays = cache.load_arrays(AGENT_WEIGHTS_ARTIFACT)
+        agents = []
+        for index, seed in enumerate(seeds):
+            actor, critic = _member_networks(manifest.num_bitrates, seed, config)
+            actor.load_state_arrays(_subset(arrays, f"actor_{index}_"))
+            critic.load_state_arrays(_subset(arrays, f"critic_{index}_"))
+            agents.append(
+                PensieveAgent(
+                    manifest.bitrates_kbps, actor=actor, critic=critic, greedy=True
+                )
+            )
+        return agents
+    if fast_paths_enabled() and size > 1:
+        agents = LockstepEnsembleTrainer(
+            manifest,
+            training_traces,
+            seeds,
+            config=config,
+            qoe_metric=qoe_metric,
+        ).train()
+    else:
+        agents = parallel_map(
+            parallel_worker.train_agent_member,
+            seeds,
+            max_workers=max_workers,
+            initializer=parallel_worker.init_agent_training,
+            initargs=(manifest, tuple(training_traces), config, qoe_metric),
+        )
+    if cache is not None:
+        arrays: dict[str, np.ndarray] = {}
+        for index, agent in enumerate(agents):
+            for key, value in agent.actor.state_arrays().items():
+                arrays[f"actor_{index}_{key}"] = value
+            for key, value in agent.critic.state_arrays().items():
+                arrays[f"critic_{index}_{key}"] = value
+        cache.store_arrays(AGENT_WEIGHTS_ARTIFACT, arrays)
+    return agents
 
 
 def collect_value_targets(
@@ -97,6 +190,46 @@ def collect_value_targets(
     return np.concatenate(observations), np.concatenate(returns)
 
 
+def _train_value_members_lockstep(
+    observations: np.ndarray,
+    targets: np.ndarray,
+    num_bitrates: int,
+    epochs: int,
+    learning_rate: float,
+    filters: int,
+    hidden: int,
+    seeds: list[int],
+) -> list[PensieveValueFunction]:
+    """Regress all value-ensemble members at once on the shared dataset.
+
+    The members share their ``(observation, return)`` inputs, so the
+    stacked forward broadcasts one observation batch against every
+    member's weights; gradients and RMSProp states stay per-member.
+    Bitwise identical to :func:`repro.parallel.worker.train_value_member`
+    run per seed.
+    """
+    critics = [
+        CriticNetwork(num_bitrates, rng_from_seed(seed), filters=filters, hidden=hidden)
+        for seed in seeds
+    ]
+    stacked = StackedTrainingNetwork(critics)
+    optimizer = StackedRMSProp(stacked.params, learning_rate=learning_rate)
+    stacked_obs = np.broadcast_to(
+        observations, (len(seeds),) + observations.shape
+    )
+    for _ in range(epochs):
+        values = stacked.outputs(stacked_obs)[..., 0]
+        diff = values - targets[None, :]
+        stacked.zero_grads()
+        stacked.backward((2.0 * diff / targets.size)[..., None])
+        optimizer.step(stacked.grads)
+    stacked.write_back()
+    return [
+        PensieveValueFunction(critic, name=f"value-{seed}")
+        for critic, seed in zip(critics, seeds)
+    ]
+
+
 def train_value_ensemble(
     agent: PensieveAgent,
     manifest: VideoManifest,
@@ -111,19 +244,40 @@ def train_value_ensemble(
     qoe_metric: QoEMetric | None = None,
     root_seed: int = 0,
     max_workers: int | None = None,
+    cache: "ArtifactCache | None" = None,
 ) -> list[PensieveValueFunction]:
     """Train *size* value functions for one agent's policy.
 
     Each member regresses the same ``(observation, discounted return)``
     dataset with a differently initialized critic network, exactly the
     paper's recipe for ``U_V``.  Target collection walks one shared RNG
-    and stays in the calling process; only the independent per-member
-    regressions fan out to workers.
+    and stays in the calling process; the independent per-member
+    regressions run as one stacked pass when the fast paths are enabled,
+    and otherwise fan out to workers.
+
+    With *cache* set, the trained weights are stored under
+    :data:`VALUE_WEIGHTS_ARTIFACT`; a later call with the same
+    fingerprint skips both target collection and regression and loads
+    the critics from disk.
     """
     if size < 1:
         raise TrainingError(f"ensemble size must be >= 1, got {size}")
     if epochs < 1:
         raise TrainingError(f"epochs must be >= 1, got {epochs}")
+    seeds = spawn_seeds(root_seed + 1, size)
+    if cache is not None and cache.has_arrays(VALUE_WEIGHTS_ARTIFACT):
+        arrays = cache.load_arrays(VALUE_WEIGHTS_ARTIFACT)
+        members = []
+        for index, seed in enumerate(seeds):
+            critic = CriticNetwork(
+                manifest.num_bitrates,
+                rng_from_seed(seed),
+                filters=filters,
+                hidden=hidden,
+            )
+            critic.load_state_arrays(_subset(arrays, f"critic_{index}_"))
+            members.append(PensieveValueFunction(critic, name=f"value-{seed}"))
+        return members
     observations, targets = collect_value_targets(
         agent,
         manifest,
@@ -133,12 +287,8 @@ def train_value_ensemble(
         reward_scale=reward_scale,
         seed=root_seed,
     )
-    return parallel_map(
-        parallel_worker.train_value_member,
-        spawn_seeds(root_seed + 1, size),
-        max_workers=max_workers,
-        initializer=parallel_worker.init_value_training,
-        initargs=(
+    if fast_paths_enabled() and size > 1:
+        members = _train_value_members_lockstep(
             observations,
             targets,
             manifest.num_bitrates,
@@ -146,5 +296,28 @@ def train_value_ensemble(
             learning_rate,
             filters,
             hidden,
-        ),
-    )
+            seeds,
+        )
+    else:
+        members = parallel_map(
+            parallel_worker.train_value_member,
+            seeds,
+            max_workers=max_workers,
+            initializer=parallel_worker.init_value_training,
+            initargs=(
+                observations,
+                targets,
+                manifest.num_bitrates,
+                epochs,
+                learning_rate,
+                filters,
+                hidden,
+            ),
+        )
+    if cache is not None:
+        arrays = {}
+        for index, member in enumerate(members):
+            for key, value in member.critic.state_arrays().items():
+                arrays[f"critic_{index}_{key}"] = value
+        cache.store_arrays(VALUE_WEIGHTS_ARTIFACT, arrays)
+    return members

@@ -206,6 +206,25 @@ class PensieveTrunk:
         return _dense_relu(np.concatenate([ys, out, sizes], axis=1), self._merge)
 
 
+def _export_params(params: list[np.ndarray]) -> dict[str, np.ndarray]:
+    """Index-keyed parameter copies, the on-disk ``.npz`` weight layout."""
+    return {f"p{index}": param.copy() for index, param in enumerate(params)}
+
+
+def _import_params(params: list[np.ndarray], arrays) -> None:
+    """Shape-checked in-place load of an :func:`_export_params` mapping."""
+    for index, param in enumerate(params):
+        key = f"p{index}"
+        if key not in arrays:
+            raise ModelError(f"weight arrays missing parameter {key}")
+        value = np.asarray(arrays[key], dtype=float)
+        if value.shape != param.shape:
+            raise ModelError(
+                f"parameter {key} shape {value.shape} != expected {param.shape}"
+            )
+        param[...] = value
+
+
 def _dense_relu(x: np.ndarray, branch: Sequential) -> np.ndarray:
     """Fused Dense->ReLU with the exact arithmetic of the layer objects."""
     dense = branch.layers[0]
@@ -278,6 +297,15 @@ class ActorNetwork:
         """Backpropagate a gradient on the logits through head and trunk."""
         self.trunk.backward(self.head.backward(grad_logits))
 
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Index-keyed copies of every parameter, for ``.npz`` persistence
+        (see :meth:`repro.experiments.artifacts.ArtifactCache.store_arrays`)."""
+        return _export_params(self.params)
+
+    def load_state_arrays(self, arrays) -> None:
+        """Shape-checked in-place load of a :meth:`state_arrays` mapping."""
+        _import_params(self.params, arrays)
+
 
 class CriticNetwork:
     """Value network: trunk features -> scalar state value."""
@@ -321,3 +349,12 @@ class CriticNetwork:
         """Backpropagate a gradient on the scalar values."""
         grad = np.asarray(grad_values, dtype=float).reshape(-1, 1)
         self.trunk.backward(self.head.backward(grad))
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Index-keyed copies of every parameter, for ``.npz`` persistence
+        (see :meth:`repro.experiments.artifacts.ArtifactCache.store_arrays`)."""
+        return _export_params(self.params)
+
+    def load_state_arrays(self, arrays) -> None:
+        """Shape-checked in-place load of a :meth:`state_arrays` mapping."""
+        _import_params(self.params, arrays)

@@ -1,4 +1,4 @@
-"""Batched forward passes over an ensemble of identically shaped networks.
+"""Batched passes over an ensemble of identically shaped networks.
 
 The paper's ``U_pi``/``U_V`` signals query all five ensemble members at
 every decision step.  Looping over five :class:`Sequential` forwards pays
@@ -6,14 +6,25 @@ the full per-layer Python overhead five times for five tiny matmuls; here
 the member weights are stacked once at construction into ``(members, ...)``
 arrays so one fused pass answers for the whole ensemble.
 
+Two families live here:
+
+* :class:`StackedActorEnsemble` / :class:`StackedCriticEnsemble` —
+  *evaluation-time* snapshots for the per-step uncertainty signals
+  (forward only, weights copied at construction, :meth:`refresh` after
+  in-place mutation).
+* :class:`StackedTrainingNetwork` — the *training-time* stack behind the
+  lockstep ensemble trainer: trainable :class:`repro.nn.layers.StackedDense`
+  / :class:`repro.nn.layers.StackedConv1D` parameters with full batched
+  backward passes, a fused per-step ``lockstep_outputs`` forward for
+  synchronous rollouts, and :meth:`StackedTrainingNetwork.write_back` to
+  copy the trained weights into the member networks.
+
 Every operation is arranged so that member *m*'s slice goes through
 exactly the arithmetic of its own network — stacked ``matmul`` dispatches
-one GEMM per member slice, and the single-input-channel convolutions are
-one-term sums — so the stacked outputs are **bitwise identical** to the
-member-by-member loop (asserted by the regression tests).
-
-The stacked copies are snapshots: if member weights are mutated in place
-afterwards (e.g. by in-situ adaptation), call :meth:`refresh`.
+one GEMM per member slice, the convolution einsums keep their contraction
+order, and the single-input-channel convolutions are one-term sums — so
+both families are **bitwise identical** to the member-by-member loop
+(asserted by the regression tests).
 """
 
 from __future__ import annotations
@@ -22,10 +33,15 @@ import numpy as np
 
 from repro.abr.state import S_INFO, S_LEN
 from repro.errors import ModelError
+from repro.nn.layers import ReLU, StackedConv1D, StackedDense
 from repro.nn.losses import softmax
 from repro.pensieve.model import ActorNetwork, CriticNetwork, PensieveTrunk
 
-__all__ = ["StackedActorEnsemble", "StackedCriticEnsemble"]
+__all__ = [
+    "StackedActorEnsemble",
+    "StackedCriticEnsemble",
+    "StackedTrainingNetwork",
+]
 
 
 class _StackedTrunk:
@@ -200,3 +216,249 @@ class StackedCriticEnsemble:
         features = self._trunk.features(observation)
         values = np.matmul(features, self._head_w) + self._head_b[:, None, :]
         return values[:, 0, 0]
+
+
+class _StackedTrainingTrunk:
+    """Trainable member-stacked :class:`PensieveTrunk`.
+
+    Unlike :class:`_StackedTrunk` (an inference snapshot), this owns
+    trainable :class:`StackedDense` / :class:`StackedConv1D` parameters
+    initialized from the member trunks, runs full forward **and** backward
+    passes over ``(members, batch, 6, 8)`` observation stacks, and writes
+    the trained weights back into the member trunks on demand.  Layer
+    order, branch order, and every einsum/matmul mirror
+    :meth:`PensieveTrunk.forward` / :meth:`PensieveTrunk.backward`
+    member-for-member, so training through this trunk is bitwise identical
+    to training each member separately.
+    """
+
+    #: Observation rows feeding the three scalar branches, in branch order.
+    _SCALAR_ROWS = (0, 1, 5)
+
+    def __init__(self, trunks: list[PensieveTrunk]) -> None:
+        if not trunks:
+            raise ModelError("need at least one trunk to stack")
+        first = trunks[0]
+        for trunk in trunks[1:]:
+            if (
+                trunk.num_bitrates != first.num_bitrates
+                or trunk.filters != first.filters
+                or trunk.hidden != first.hidden
+            ):
+                raise ModelError("cannot stack trunks with different architectures")
+        self.trunks = list(trunks)
+        self.num_bitrates = first.num_bitrates
+        self.members = len(trunks)
+        self._scalar_layers = [
+            StackedDense.from_layers([t._branches[i].layers[0] for t in trunks])
+            for i in range(3)
+        ]
+        self._scalar_relus = [ReLU() for _ in range(3)]
+        self._conv_layers = [
+            StackedConv1D.from_layers([t._branches[i].layers[0] for t in trunks])
+            for i in range(3, 6)
+        ]
+        self._conv_relus = [ReLU() for _ in range(3)]
+        self._merge = StackedDense.from_layers([t._merge.layers[0] for t in trunks])
+        self._merge_relu = ReLU()
+        self._conv_shapes: list[tuple[int, ...]] = []
+        self._split_points: list[int] | None = None
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        """Stacked parameters, branches first, merge layer last (the same
+        order as :attr:`PensieveTrunk.params` per member)."""
+        params = [p for layer in self._scalar_layers for p in layer.params]
+        params += [p for layer in self._conv_layers for p in layer.params]
+        return params + self._merge.params
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        """Gradient accumulators aligned with :attr:`params`."""
+        grads = [g for layer in self._scalar_layers for g in layer.grads]
+        grads += [g for layer in self._conv_layers for g in layer.grads]
+        return grads + self._merge.grads
+
+    def zero_grads(self) -> None:
+        """Reset all gradient accumulators."""
+        for grad in self.grads:
+            grad[...] = 0.0
+
+    def forward(self, observations: np.ndarray) -> np.ndarray:
+        """Map ``(members, batch, 6, 8)`` stacks to ``(members, batch, hidden)``."""
+        obs = np.asarray(observations, dtype=float)
+        if obs.ndim != 4 or obs.shape[0] != self.members or obs.shape[2:] != (
+            S_INFO,
+            S_LEN,
+        ):
+            raise ModelError(
+                f"expected ({self.members}, batch, {S_INFO}, {S_LEN}) "
+                f"observations, got {obs.shape}"
+            )
+        outputs = []
+        for layer, relu, row in zip(
+            self._scalar_layers, self._scalar_relus, self._SCALAR_ROWS
+        ):
+            outputs.append(relu.forward(layer.forward(obs[:, :, row, -1:])))
+        conv_inputs = (
+            obs[:, :, 2, None, :],
+            obs[:, :, 3, None, :],
+            obs[:, :, 4, None, : self.num_bitrates],
+        )
+        self._conv_shapes = []
+        for layer, relu, x in zip(self._conv_layers, self._conv_relus, conv_inputs):
+            out = relu.forward(layer.forward(x))
+            self._conv_shapes.append(out.shape)
+            outputs.append(out.reshape(out.shape[0], out.shape[1], -1))
+        widths = [out.shape[2] for out in outputs]
+        self._split_points = list(np.cumsum(widths)[:-1])
+        return self._merge_relu.forward(
+            self._merge.forward(np.concatenate(outputs, axis=2))
+        )
+
+    def backward(self, grad_features: np.ndarray) -> None:
+        """Backpropagate through the merge layer and every branch.
+
+        Input gradients are not needed (observations are data), so nothing
+        is returned and the convolution branches skip their input-gradient
+        einsums entirely; parameter gradients accumulate in place.
+        """
+        if self._split_points is None:
+            raise ModelError("backward called before forward")
+        grad_concat = self._merge.backward(self._merge_relu.backward(grad_features))
+        pieces = np.split(grad_concat, self._split_points, axis=2)
+        for layer, relu, piece in zip(self._scalar_layers, self._scalar_relus, pieces[:3]):
+            layer.backward(relu.backward(piece))
+        for layer, relu, piece, shape in zip(
+            self._conv_layers, self._conv_relus, pieces[3:], self._conv_shapes
+        ):
+            layer.backward(relu.backward(piece.reshape(shape)), input_grad=False)
+
+    def write_back(self) -> None:
+        """Copy the trained stacked parameters into the member trunks."""
+        for index, layer in enumerate(self._scalar_layers):
+            layer.write_back([t._branches[index].layers[0] for t in self.trunks])
+        for offset, layer in enumerate(self._conv_layers):
+            layer.write_back([t._branches[3 + offset].layers[0] for t in self.trunks])
+        self._merge.write_back([t._merge.layers[0] for t in self.trunks])
+
+
+class StackedTrainingNetwork:
+    """Trainable member-stacked actor (or critic) networks.
+
+    The engine room of the lockstep ensemble trainer: wraps ``M``
+    structurally identical :class:`ActorNetwork`s or
+    :class:`CriticNetwork`s, copies their parameters into member-stacked
+    arrays, and exposes
+
+    * :meth:`outputs` / :meth:`backward` — full batched forward/backward
+      over ``(members, batch, 6, 8)`` observation stacks (one stacked
+      matmul or einsum per layer instead of ``M`` separate passes),
+    * :meth:`lockstep_outputs` — a fused, cache-free per-step forward for
+      synchronous rollouts, reading the live stacked weights,
+    * :meth:`write_back` — copy the trained weights into the member
+      networks when training finishes.
+
+    Member *m*'s slice goes through exactly the floats of its own network,
+    so stacked training is bitwise identical to the member-by-member loop
+    (asserted by the regression tests and ``tools/bench_training.py``).
+    """
+
+    def __init__(self, networks: list[ActorNetwork] | list[CriticNetwork]) -> None:
+        if not networks:
+            raise ModelError("need at least one network to stack")
+        self.networks = list(networks)
+        self._trunk = _StackedTrainingTrunk([n.trunk for n in self.networks])
+        self._head = StackedDense.from_layers([n.head for n in self.networks])
+
+    @property
+    def members(self) -> int:
+        """How many member networks are stacked."""
+        return len(self.networks)
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        """Stacked trainable parameters (trunk first, head last)."""
+        return self._trunk.params + self._head.params
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        """Gradient accumulators aligned with :attr:`params`."""
+        return self._trunk.grads + self._head.grads
+
+    def zero_grads(self) -> None:
+        """Reset all gradient accumulators."""
+        self._trunk.zero_grads()
+        for grad in self._head.grads:
+            grad[...] = 0.0
+
+    def outputs(self, observations: np.ndarray) -> np.ndarray:
+        """Head outputs for ``(members, batch, 6, 8)`` observation stacks:
+        ``(members, batch, num_actions)`` logits for actors, ``(members,
+        batch, 1)`` values for critics."""
+        return self._head.forward(self._trunk.forward(observations))
+
+    def backward(self, grad_outputs: np.ndarray) -> None:
+        """Backpropagate a gradient on the head outputs through head and
+        trunk, accumulating stacked parameter gradients in place."""
+        self._trunk.backward(self._head.backward(grad_outputs))
+
+    def lockstep_outputs(self, observations: np.ndarray) -> np.ndarray:
+        """Fused per-step forward: ``(members, 6, 8)`` — one current
+        observation per member — to ``(members, head_out)`` outputs.
+
+        Mirrors :meth:`PensieveTrunk.features_inference` per member (the
+        single-input-channel convolutions as broadcast multiplies, the
+        one-term scalar matmuls as multiply-adds, first-term accumulator
+        seeding) against the live stacked training weights, so the floats
+        equal each member's own inference forward — and therefore the
+        reference rollout's — exactly.
+        """
+        obs = np.asarray(observations, dtype=float)
+        trunk = self._trunk
+        if obs.ndim != 3 or obs.shape[0] != trunk.members or obs.shape[1:] != (
+            S_INFO,
+            S_LEN,
+        ):
+            raise ModelError(
+                f"expected ({trunk.members}, {S_INFO}, {S_LEN}) observations, "
+                f"got {obs.shape}"
+            )
+        parts = []
+        for layer, row in zip(trunk._scalar_layers, trunk._SCALAR_ROWS):
+            y = obs[:, row, -1, None] * layer.weight[:, 0, :] + layer.bias
+            parts.append(np.where(y > 0, y, 0.0))
+        conv_inputs = (
+            obs[:, 2, :],
+            obs[:, 3, :],
+            obs[:, 4, : trunk.num_bitrates],
+        )
+        for layer, x in zip(trunk._conv_layers, conv_inputs):
+            weight = layer.weight
+            out_length = x.shape[1] - layer.kernel_size + 1
+            # einsum("bcl,oc->bol") with c == 1 is a plain broadcast
+            # product; first-term seeding only affects zero signs, which
+            # the ReLU normalizes (same argument as features_inference).
+            out = x[:, None, 0:out_length] * weight[:, :, 0, 0, None]
+            for offset in range(1, layer.kernel_size):
+                out += (
+                    x[:, None, offset : offset + out_length]
+                    * weight[:, :, 0, offset, None]
+                )
+            out = out + layer.bias[:, :, None]
+            parts.append(np.where(out > 0, out, 0.0).reshape(obs.shape[0], -1))
+        merged = np.concatenate(parts, axis=1)
+        features = (
+            np.matmul(merged[:, None, :], trunk._merge.weight)[:, 0, :]
+            + trunk._merge.bias
+        )
+        features = np.where(features > 0, features, 0.0)
+        return (
+            np.matmul(features[:, None, :], self._head.weight)[:, 0, :]
+            + self._head.bias
+        )
+
+    def write_back(self) -> None:
+        """Copy the trained stacked parameters into the member networks."""
+        self._trunk.write_back()
+        self._head.write_back([n.head for n in self.networks])

@@ -14,6 +14,18 @@ single-process A2C is algorithmically equivalent:
   discounted return ``G_t``.
 
 Both networks are updated with RMSProp, as in the reference code.
+
+Two engines share this algorithm:
+
+* :class:`A2CTrainer` — the reference single-agent trainer,
+* :class:`LockstepEnsembleTrainer` — the batched engine that trains all
+  ``K`` seed-differing ensemble members of one dataset simultaneously,
+  stepping their rollout environments in lockstep and replacing ``K``
+  separate forward/backward/RMSProp passes with one stacked
+  ``(members, batch, ...)`` pass per layer.  Its trained weights are
+  bitwise identical to running :class:`A2CTrainer` per member (the
+  ``REPRO_DISABLE_FAST_PATHS=1`` reference), which
+  ``tools/bench_training.py`` gates on every full run.
 """
 
 from __future__ import annotations
@@ -23,19 +35,28 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.abr.env import ABREnv
+from repro.abr.state import S_INFO, S_LEN
 from repro.errors import TrainingError
 from repro.mdp.rollout import discounted_returns
 from repro.nn.losses import entropy as probs_entropy
 from repro.nn.losses import softmax
-from repro.nn.optim import RMSProp
+from repro.nn.optim import RMSProp, StackedRMSProp
 from repro.pensieve.agent import PensieveAgent
 from repro.pensieve.model import ActorNetwork, CriticNetwork
+from repro.pensieve.stacked import StackedTrainingNetwork
+from repro.perf import fast_paths_enabled
 from repro.traces.trace import Trace
 from repro.util.rng import rng_from_seed
 from repro.video.manifest import VideoManifest
 from repro.video.qoe import QoEMetric
 
-__all__ = ["TrainingConfig", "TrainingSummary", "A2CTrainer"]
+__all__ = [
+    "TrainingConfig",
+    "TrainingSummary",
+    "A2CTrainer",
+    "LockstepEnsembleTrainer",
+    "n_step_targets",
+]
 
 
 @dataclass(frozen=True)
@@ -101,6 +122,88 @@ class TrainingSummary:
             raise TrainingError("no epochs recorded")
         tail = max(len(self.episode_returns) // 10, 1)
         return float(np.mean(self.episode_returns[-tail:]))
+
+
+def _n_step_targets_reference(
+    rewards: np.ndarray, values: np.ndarray, gamma: float, n_step: int
+) -> np.ndarray:
+    """The reference nested-loop n-step targets (O(horizon x n_step)
+    Python iterations); kept as the ``REPRO_DISABLE_FAST_PATHS`` path and
+    as the equality oracle for the vectorized scan."""
+    horizon = len(rewards)
+    targets = np.empty(horizon)
+    for start in range(horizon):
+        end = min(start + n_step, horizon)
+        total = 0.0
+        for offset in range(end - start - 1, -1, -1):
+            total = rewards[start + offset] + gamma * total
+        if end < horizon:
+            total += gamma ** (end - start) * values[end]
+        targets[start] = total
+    return targets
+
+
+def _n_step_targets_fast(
+    rewards: np.ndarray, values: np.ndarray, gamma: float, n_step: int
+) -> np.ndarray:
+    """Vectorized n-step targets: an O(n_step) elementwise reverse scan.
+
+    Every start with a full ``n_step`` reward window ("interior" starts)
+    shares the same Horner recursion depth, so one reverse scan over the
+    kernel offsets computes all of them at once; each elementwise step is
+    ``r + gamma * total``, the exact float operation of the scalar loop,
+    and the bootstrap term is added afterwards just as the reference adds
+    it after its Horner loop.  Only the ``< n_step`` truncated tail starts
+    fall back to the scalar recursion.  Bitwise identical to
+    :func:`_n_step_targets_reference` (property-tested).
+    """
+    horizon = len(rewards)
+    targets = np.empty(horizon)
+    interior = horizon - n_step + 1
+    if interior > 0:
+        total = np.zeros(interior)
+        for offset in range(n_step - 1, -1, -1):
+            total = rewards[offset : offset + interior] + gamma * total
+        # All interior starts except the last one bootstrap with
+        # gamma^n_step * V(s_{start+n_step}); the last interior start's
+        # window ends exactly at the horizon.
+        total[: interior - 1] += gamma**n_step * values[n_step:]
+        targets[:interior] = total
+    for start in range(max(interior, 0), horizon):
+        total = 0.0
+        for offset in range(horizon - start - 1, -1, -1):
+            total = rewards[start + offset] + gamma * total
+        targets[start] = total
+    return targets
+
+
+def n_step_targets(
+    rewards: np.ndarray, values: np.ndarray, gamma: float, n_step: int
+) -> np.ndarray:
+    """Bootstrapped n-step return targets within one episode.
+
+    ``G_t = r_t + ... + gamma^{n-1} r_{t+n-1} + gamma^n V(s_{t+n})``,
+    truncating (no bootstrap) where the episode ends first.  Compared to
+    pure Monte-Carlo returns this slashes gradient variance, which is what
+    lets these small agents converge in hundreds rather than tens of
+    thousands of episodes.
+
+    Routed through the vectorized reverse scan when the fast paths are
+    enabled and the reference nested loop otherwise (see
+    :mod:`repro.perf`); both produce the same floats bit for bit.
+    """
+    rewards = np.asarray(rewards, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if rewards.shape != values.shape or rewards.ndim != 1:
+        raise TrainingError(
+            f"rewards {rewards.shape} and values {values.shape} must be "
+            "matching 1-D arrays"
+        )
+    if n_step < 1:
+        raise TrainingError(f"n_step must be >= 1, got {n_step}")
+    if fast_paths_enabled():
+        return _n_step_targets_fast(rewards, values, gamma, n_step)
+    return _n_step_targets_reference(rewards, values, gamma, n_step)
 
 
 class A2CTrainer:
@@ -208,24 +311,12 @@ class A2CTrainer:
     ) -> np.ndarray:
         """Bootstrapped n-step return targets within one episode.
 
-        ``G_t = r_t + ... + gamma^{n-1} r_{t+n-1} + gamma^n V(s_{t+n})``,
-        truncating (no bootstrap) where the episode ends first.  Compared
-        to pure Monte-Carlo returns this slashes gradient variance, which
-        is what lets these small agents converge in hundreds rather than
-        tens of thousands of episodes.
+        Delegates to the module-level :func:`n_step_targets` with this
+        trainer's ``gamma`` and ``n_step``.
         """
-        config = self.config
-        horizon = len(rewards)
-        targets = np.empty(horizon)
-        for start in range(horizon):
-            end = min(start + config.n_step, horizon)
-            total = 0.0
-            for offset in range(end - start - 1, -1, -1):
-                total = rewards[start + offset] + config.gamma * total
-            if end < horizon:
-                total += config.gamma ** (end - start) * values[end]
-            targets[start] = total
-        return targets
+        return n_step_targets(
+            rewards, values, self.config.gamma, self.config.n_step
+        )
 
     def _update(
         self,
@@ -277,3 +368,192 @@ class A2CTrainer:
         self._critic_opt.step(self.critic.grads)
         self.summary.mean_entropies.append(float(entropies.mean()))
         return critic_loss
+
+
+class LockstepEnsembleTrainer:
+    """Trains all ``K`` ensemble members of one dataset in lockstep.
+
+    The paper's ensemble members share traces and hyperparameters and
+    differ only in their initialization seed, so their training loops are
+    structurally identical.  This engine exploits that: it constructs one
+    :class:`A2CTrainer` per member (preserving each member's RNG stream
+    and network-initialization order exactly), stacks their actor and
+    critic parameters into ``(members, ...)`` arrays, and then
+
+    * steps the ``K`` rollout environments synchronously, batching each
+      per-step action-probability forward across members,
+    * runs one stacked forward/backward/RMSProp pass per layer instead of
+      ``K`` separate batch updates.
+
+    Every stacked operation applies the exact per-member floats, so the
+    trained weights are bitwise identical to running each
+    :class:`A2CTrainer` on its own (``tools/bench_training.py`` asserts
+    this for multiple root seeds).  Per-member summaries are filled in on
+    the member trainers just as their own ``train()`` would.
+    """
+
+    def __init__(
+        self,
+        manifest: VideoManifest,
+        training_traces: list[Trace] | tuple[Trace, ...],
+        seeds: list[int] | tuple[int, ...],
+        config: TrainingConfig | None = None,
+        qoe_metric: QoEMetric | None = None,
+    ) -> None:
+        if not seeds:
+            raise TrainingError("no member seeds supplied")
+        base_config = config if config is not None else TrainingConfig()
+        self.manifest = manifest
+        self.config = base_config
+        self.members = [
+            A2CTrainer(
+                manifest,
+                training_traces,
+                config=base_config.with_seed(seed),
+                qoe_metric=qoe_metric,
+            )
+            for seed in seeds
+        ]
+        self._actor = StackedTrainingNetwork([m.actor for m in self.members])
+        self._critic = StackedTrainingNetwork([m.critic for m in self.members])
+        self._actor_opt = StackedRMSProp(
+            self._actor.params, learning_rate=base_config.actor_learning_rate
+        )
+        self._critic_opt = StackedRMSProp(
+            self._critic.params, learning_rate=base_config.critic_learning_rate
+        )
+        # ABREnv episodes have a fixed horizon (every chunk after the first
+        # is one decision), so the members never fall out of step and the
+        # collection buffers can be preallocated once.
+        self._horizon = manifest.num_chunks - 1
+        if self._horizon < 1:
+            raise TrainingError("manifest too short for lockstep training")
+        members = len(self.members)
+        batch = base_config.episodes_per_epoch * self._horizon
+        self._observations = np.empty((members, batch, S_INFO, S_LEN))
+        self._actions = np.empty((members, batch), dtype=int)
+        self._rewards = np.empty((members, batch))
+        self._current = np.empty((members, S_INFO, S_LEN))
+
+    def train(self) -> list[PensieveAgent]:
+        """Run the configured epochs for every member and return their
+        greedy agents in seed order."""
+        config = self.config
+        for epoch in range(config.epochs):
+            fraction = epoch / max(config.epochs - 1, 1)
+            beta = (
+                config.entropy_weight_start
+                + fraction
+                * (config.entropy_weight_end - config.entropy_weight_start)
+            )
+            raw_returns = self._collect_lockstep()
+            critic_losses = self._update(beta)
+            for member, raw, loss in zip(self.members, raw_returns, critic_losses):
+                member.summary.episode_returns.append(raw)
+                member.summary.critic_losses.append(loss)
+        self._actor.write_back()
+        self._critic.write_back()
+        return [member.agent() for member in self.members]
+
+    def _collect_lockstep(self) -> list[float]:
+        """Roll out one epoch's episodes with all members stepping
+        synchronously, batching the per-step policy forward across
+        members.  Fills the preallocated buffers and returns each
+        member's mean raw episode return."""
+        config = self.config
+        members = len(self.members)
+        horizon = self._horizon
+        raw = np.empty((members, config.episodes_per_epoch))
+        for episode in range(config.episodes_per_epoch):
+            base = episode * horizon
+            envs = []
+            for index, member in enumerate(self.members):
+                trace = member.traces[
+                    int(member._rng.integers(len(member.traces)))
+                ]
+                env = ABREnv(self.manifest, trace, qoe_metric=member.qoe_metric)
+                self._current[index] = env.reset()
+                envs.append(env)
+            num_actions = self.manifest.num_bitrates
+            for t in range(horizon):
+                self._observations[:, base + t] = self._current
+                probabilities = softmax(
+                    self._actor.lockstep_outputs(self._current)
+                )
+                for index, (member, env) in enumerate(zip(self.members, envs)):
+                    action = int(
+                        member._rng.choice(num_actions, p=probabilities[index])
+                    )
+                    step = env.step(action)
+                    self._actions[index, base + t] = action
+                    self._rewards[index, base + t] = (
+                        step.reward * config.reward_scale
+                    )
+                    self._current[index] = step.observation
+                    if step.done != (t == horizon - 1):
+                        raise TrainingError(
+                            "ensemble member fell out of lockstep with the "
+                            "fixed episode horizon"
+                        )
+            for index in range(members):
+                raw[index, episode] = (
+                    float(np.sum(self._rewards[index, base : base + horizon]))
+                    / config.reward_scale
+                )
+        return [float(np.mean(raw[index])) for index in range(members)]
+
+    def _update(self, entropy_weight: float) -> list[float]:
+        """One stacked actor and critic gradient step on the collected
+        epoch, mirroring :meth:`A2CTrainer._update` member-row by
+        member-row."""
+        config = self.config
+        members = len(self.members)
+        batch = self._observations.shape[1]
+        values = self._critic.outputs(self._observations)[..., 0]
+        targets = np.empty_like(values)
+        for index in range(members):
+            for episode in range(config.episodes_per_epoch):
+                window = slice(
+                    episode * self._horizon, (episode + 1) * self._horizon
+                )
+                targets[index, window] = _n_step_targets_fast(
+                    self._rewards[index, window],
+                    values[index, window],
+                    config.gamma,
+                    config.n_step,
+                )
+        advantages = targets - values
+        if config.normalize_advantages:
+            advantages = (advantages - advantages.mean(axis=1, keepdims=True)) / (
+                advantages.std(axis=1, keepdims=True) + 1e-8
+            )
+        advantages = np.clip(
+            advantages, -config.advantage_clip, config.advantage_clip
+        )
+        logits = self._actor.outputs(self._observations)
+        probabilities = softmax(logits)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[
+            np.arange(members)[:, None],
+            np.arange(batch)[None, :],
+            self._actions,
+        ] = 1.0
+        policy_grad = advantages[..., None] * (probabilities - one_hot)
+        entropies = probs_entropy(probabilities)
+        entropy_grad = probabilities * (
+            np.log(probabilities + 1e-12) + entropies[..., None]
+        )
+        grad_logits = (policy_grad + entropy_weight * entropy_grad) / batch
+        self._actor.zero_grads()
+        self._actor.backward(grad_logits)
+        self._actor_opt.step(self._actor.grads)
+        diff = values - targets
+        critic_losses = np.mean(diff**2, axis=1)
+        if not np.all(np.isfinite(critic_losses)):
+            raise TrainingError("critic loss diverged to a non-finite value")
+        self._critic.zero_grads()
+        self._critic.backward((2.0 * diff / batch)[..., None])
+        self._critic_opt.step(self._critic.grads)
+        for index, member in enumerate(self.members):
+            member.summary.mean_entropies.append(float(entropies[index].mean()))
+        return [float(loss) for loss in critic_losses]

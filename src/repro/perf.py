@@ -1,13 +1,17 @@
-"""Global switch for the vectorized evaluation fast paths.
+"""Global switch for the vectorized fast paths.
 
 The batched ensemble forward, the fused single-agent inference forward,
-and the OC-SVM's cached-norm scoring are all *bitwise-identical*
-reimplementations of the straightforward loops they replace.  This module
-provides one switch that routes every such call site back to the
-reference implementation, so that
+the OC-SVM's cached-norm scoring, the vectorized n-step return scan, and
+the lockstep ensemble training engine (one stacked
+forward/backward/RMSProp pass over all members, see
+:class:`repro.pensieve.training.LockstepEnsembleTrainer`) are all
+*bitwise-identical* reimplementations of the straightforward loops they
+replace.  This module provides one switch that routes every such call
+site back to the reference implementation, so that
 
-* the benchmark gate (``tools/bench_parallel.py``) can time the legacy
-  path against the optimized path on the same process, and
+* the benchmark gates (``tools/bench_parallel.py``,
+  ``tools/bench_training.py``) can time the legacy path against the
+  optimized path in the same process, and
 * equality tests can assert that both paths produce the same floats.
 
 The switch defaults to *on*; set the ``REPRO_DISABLE_FAST_PATHS``

@@ -1,9 +1,10 @@
 """Tests for repro.experiments.artifacts: the config-hashed cache."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ArtifactError
-from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.artifacts import SCHEMA_VERSION, ArtifactCache
 
 
 class TestArtifactCache:
@@ -51,6 +52,64 @@ class TestArtifactCache:
         cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
         cache.store("x", 1)
         assert (cache.directory / "config.json").exists()
+
+
+class TestArrayArtifacts:
+    def test_store_and_load_arrays(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        weights = {"actor_0_p0": np.arange(6.0).reshape(2, 3), "actor_0_p1": np.ones(3)}
+        assert not cache.has_arrays("agent_weights")
+        cache.store_arrays("agent_weights", weights)
+        assert cache.has_arrays("agent_weights")
+        loaded = cache.load_arrays("agent_weights")
+        assert set(loaded) == set(weights)
+        for key in weights:
+            assert np.array_equal(loaded[key], weights[key])
+
+    def test_load_missing_arrays_raises(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        with pytest.raises(ArtifactError):
+            cache.load_arrays("missing")
+
+    def test_array_store_records_fingerprint(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        cache.store_arrays("weights", {"p0": np.zeros(2)})
+        assert (cache.directory / "config.json").exists()
+
+    def test_json_and_arrays_share_directory(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        cache.store("meta", {"k": 1})
+        cache.store_arrays("weights", {"p0": np.zeros(2)})
+        assert cache.path("meta").parent == cache.array_path("weights").parent
+
+
+class TestSchemaVersion:
+    def test_version_recorded_in_fingerprint(self, tmp_path):
+        cache = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        cache.store("x", 1)
+        import json
+
+        recorded = json.loads((cache.directory / "config.json").read_text())
+        assert recorded["artifact_schema_version"] == SCHEMA_VERSION
+
+    def test_bumping_version_misses_cache(self, tmp_path, monkeypatch):
+        # Stale .npz artifacts from an older on-disk layout must never be
+        # loaded: bumping SCHEMA_VERSION changes the directory hash, so a
+        # new cache with the same user fingerprint starts empty.
+        old = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        old.store_arrays("agent_weights", {"p0": np.zeros(2)})
+        monkeypatch.setattr(
+            "repro.experiments.artifacts.SCHEMA_VERSION", SCHEMA_VERSION + 1
+        )
+        bumped = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        assert bumped.key != old.key
+        assert not bumped.has_arrays("agent_weights")
+
+    def test_same_version_still_shares(self, tmp_path):
+        a = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        b = ArtifactCache({"tier": "fast"}, root=tmp_path)
+        a.store_arrays("w", {"p0": np.ones(1)})
+        assert b.has_arrays("w")
 
 
 class TestAtomicWrites:

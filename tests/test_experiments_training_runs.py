@@ -81,6 +81,102 @@ class TestRunTrainingDistribution:
         assert first == second
 
 
+class TestWeightCache:
+    @staticmethod
+    def _count_trainer_invocations(monkeypatch):
+        """Patch every training entry point with a counting wrapper."""
+        from repro.parallel import worker as parallel_worker
+        from repro.pensieve import ensemble as ensemble_module
+        from repro.pensieve.training import A2CTrainer, LockstepEnsembleTrainer
+
+        calls = {"count": 0}
+
+        def counting(real):
+            def wrapper(*args, **kwargs):
+                calls["count"] += 1
+                return real(*args, **kwargs)
+
+            return wrapper
+
+        monkeypatch.setattr(
+            LockstepEnsembleTrainer, "train", counting(LockstepEnsembleTrainer.train)
+        )
+        monkeypatch.setattr(A2CTrainer, "train", counting(A2CTrainer.train))
+        monkeypatch.setattr(
+            ensemble_module,
+            "_train_value_members_lockstep",
+            counting(ensemble_module._train_value_members_lockstep),
+        )
+        monkeypatch.setattr(
+            parallel_worker,
+            "train_value_member",
+            counting(parallel_worker.train_value_member),
+        )
+        return calls
+
+    def test_second_suite_build_trains_nothing(self, tiny_config, tmp_path, monkeypatch):
+        # The acceptance property of weight-level caching: rebuilding a
+        # safety suite with an unchanged configuration must invoke zero
+        # trainers — everything loads from the fingerprint-keyed .npz.
+        import numpy as np
+
+        from repro.core.osap import build_safety_suite
+        from repro.experiments.training_runs import _weight_fingerprint
+        from repro.policies.buffer_based import BufferBasedPolicy
+        from repro.traces.dataset import make_dataset
+        from repro.video.envivio import envivio_dash3_manifest
+
+        calls = self._count_trainer_invocations(monkeypatch)
+        manifest = envivio_dash3_manifest(repeats=tiny_config.video_repeats)
+        dataset = make_dataset(
+            "gamma_1_2",
+            num_traces=tiny_config.num_traces,
+            duration_s=tiny_config.trace_duration_s,
+            seed=tiny_config.dataset_seed,
+        )
+        split = dataset.split()
+
+        def build():
+            return build_safety_suite(
+                manifest,
+                split,
+                default_policy=BufferBasedPolicy(manifest.bitrates_kbps),
+                is_synthetic=dataset.is_synthetic,
+                training_config=tiny_config.training,
+                safety_config=tiny_config.safety,
+                value_epochs=tiny_config.value_epochs,
+                seed=tiny_config.suite_seed,
+                weight_cache=ArtifactCache(
+                    _weight_fingerprint(tiny_config, "gamma_1_2"), root=tmp_path
+                ),
+            )
+
+        first = build()
+        trained = calls["count"]
+        assert trained > 0
+        second = build()
+        assert calls["count"] == trained  # zero additional trainer runs
+        for a, b in zip(first.agents, second.agents):
+            for pa, pb in zip(a.actor.params, b.actor.params):
+                assert np.array_equal(pa, pb)
+        for a, b in zip(first.value_functions, second.value_functions):
+            assert a.name == b.name
+            for pa, pb in zip(a.critic.params, b.critic.params):
+                assert np.array_equal(pa, pb)
+
+    def test_run_training_distribution_persists_weights(self, tiny_config, tmp_path):
+        from repro.experiments.training_runs import _weight_fingerprint
+
+        run_training_distribution(
+            tiny_config, "gamma_1_2", weight_root=tmp_path
+        )
+        weight_cache = ArtifactCache(
+            _weight_fingerprint(tiny_config, "gamma_1_2"), root=tmp_path
+        )
+        assert weight_cache.has_arrays("agent_weights")
+        assert weight_cache.has_arrays("value_weights")
+
+
 class TestRunAllDistributions:
     def test_full_matrix(self, tiny_config, tmp_path):
         cache = ArtifactCache(tiny_config.describe(), root=tmp_path)

@@ -93,7 +93,10 @@ class TestParallelMap:
         )
         assert results == [42, 42]
 
-    def test_initializer_runs_in_every_worker(self):
+    def test_initializer_runs_in_every_worker(self, monkeypatch):
+        # The pool size is capped at os.cpu_count(); pretend this machine
+        # has enough cores so a real pool is exercised even on 1-CPU CI.
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 4)
         _INIT_STATE.clear()
         results = parallel_map(
             _read_init,
@@ -112,7 +115,8 @@ class TestParallelMap:
         with pytest.raises(ValueError, match="failed"):
             parallel_map(_fail, [1, 2], max_workers=1)
 
-    def test_in_worker_flag(self):
+    def test_in_worker_flag(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 4)
         assert not in_worker()
         flags = parallel_map(_report_worker_flag, [0, 1], max_workers=2)
         assert flags == [True, True]
@@ -124,6 +128,22 @@ class TestParallelMap:
     def test_env_variable_drives_default(self, monkeypatch):
         monkeypatch.setenv(MAX_WORKERS_ENV, "2")
         assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_worker_count_capped_at_cpu_count(self, monkeypatch):
+        # On a single-CPU machine a pool only adds fork overhead, so any
+        # requested width must degrade to the in-process serial fallback —
+        # observable through the in_worker flag staying False.
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 1)
+        flags = parallel_map(_report_worker_flag, [0, 1, 2], max_workers=8)
+        assert flags == [False, False, False]
+
+    def test_cpu_cap_keeps_results_identical(self, monkeypatch):
+        items = list(range(12))
+        expected = [x * x for x in items]
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 1)
+        assert parallel_map(_square, items, max_workers=6) == expected
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 2)
+        assert parallel_map(_square, items, max_workers=6) == expected
 
 
 class TestWorkerState:

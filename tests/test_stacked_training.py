@@ -1,0 +1,281 @@
+"""Tests for the batched ensemble training engine.
+
+The load-bearing property throughout is *bitwise* equality: every stacked
+layer, the stacked optimizer, the vectorized n-step scan, and the full
+lockstep trainer must reproduce the per-member reference computation
+float for float, because the safety-suite caches and the benchmark gate
+both rely on "fast path on/off changes nothing but the wall clock".
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, TrainingError
+from repro.nn.gradcheck import numerical_gradient, relative_error
+from repro.nn.layers import Conv1D, Dense, StackedConv1D, StackedDense
+from repro.nn.optim import RMSProp, StackedRMSProp
+from repro.nn.recurrent import GRU, StackedGRU
+from repro.pensieve.model import ActorNetwork, CriticNetwork
+from repro.pensieve.stacked import StackedTrainingNetwork
+from repro.pensieve.training import (
+    A2CTrainer,
+    LockstepEnsembleTrainer,
+    TrainingConfig,
+    _n_step_targets_fast,
+    _n_step_targets_reference,
+    n_step_targets,
+)
+from repro.perf import fast_paths
+from repro.util.rng import rng_from_seed, spawn_seeds
+
+MEMBERS = 3
+
+
+def _dense_members(rng):
+    return [Dense(5, 4, rng) for _ in range(MEMBERS)]
+
+
+def _conv_members(rng):
+    return [Conv1D(2, 3, 4, rng) for _ in range(MEMBERS)]
+
+
+class TestStackedDense:
+    def test_forward_backward_match_members(self):
+        rng = rng_from_seed(0)
+        members = _dense_members(rng)
+        stacked = StackedDense.from_layers(members)
+        x = rng.normal(size=(MEMBERS, 7, 5))
+        grad_out = rng.normal(size=(MEMBERS, 7, 4))
+        out = stacked.forward(x)
+        grad_x = stacked.backward(grad_out)
+        for index, member in enumerate(members):
+            ref_out = member.forward(x[index])
+            ref_grad_x = member.backward(grad_out[index])
+            assert np.array_equal(out[index], ref_out)
+            assert np.array_equal(grad_x[index], ref_grad_x)
+            assert np.array_equal(stacked.grad_weight[index], member.grad_weight)
+            assert np.array_equal(stacked.grad_bias[index], member.grad_bias)
+
+    def test_write_back_round_trips(self):
+        rng = rng_from_seed(1)
+        members = _dense_members(rng)
+        stacked = StackedDense.from_layers(members)
+        stacked.weight += 1.0
+        stacked.write_back(members)
+        for index, member in enumerate(members):
+            assert np.array_equal(member.weight, stacked.weight[index])
+
+    def test_shape_validation(self):
+        rng = rng_from_seed(2)
+        stacked = StackedDense.from_layers(_dense_members(rng))
+        with pytest.raises(ModelError):
+            stacked.forward(rng.normal(size=(MEMBERS, 7, 6)))
+        with pytest.raises(ModelError):
+            StackedDense.from_layers([Dense(5, 4, rng), Dense(5, 3, rng)])
+
+
+class TestStackedConv1D:
+    def test_forward_backward_match_members(self):
+        rng = rng_from_seed(3)
+        members = _conv_members(rng)
+        stacked = StackedConv1D.from_layers(members)
+        x = rng.normal(size=(MEMBERS, 6, 2, 8))
+        grad_shape = (MEMBERS, 6, 3, 8 - 4 + 1)
+        grad_out = rng.normal(size=grad_shape)
+        out = stacked.forward(x)
+        grad_x = stacked.backward(grad_out)
+        for index, member in enumerate(members):
+            ref_out = member.forward(x[index])
+            ref_grad_x = member.backward(grad_out[index])
+            assert np.array_equal(out[index], ref_out)
+            assert np.array_equal(grad_x[index], ref_grad_x)
+            assert np.array_equal(stacked.grad_weight[index], member.grad_weight)
+            assert np.array_equal(stacked.grad_bias[index], member.grad_bias)
+
+    def test_backward_can_skip_input_gradient(self):
+        rng = rng_from_seed(4)
+        stacked = StackedConv1D.from_layers(_conv_members(rng))
+        x = rng.normal(size=(MEMBERS, 6, 2, 8))
+        stacked.forward(x)
+        assert stacked.backward(np.ones((MEMBERS, 6, 3, 5)), input_grad=False) is None
+        assert np.any(stacked.grad_weight != 0.0)
+
+
+class TestStackedGRU:
+    def test_forward_backward_match_members(self):
+        rng = rng_from_seed(5)
+        members = [GRU(4, 6, rng) for _ in range(MEMBERS)]
+        stacked = StackedGRU.from_layers(members)
+        x = rng.normal(size=(MEMBERS, 5, 7, 4))
+        grad_out = rng.normal(size=(MEMBERS, 5, 6))
+        out = stacked.forward(x)
+        grad_x = stacked.backward(grad_out)
+        for index, member in enumerate(members):
+            ref_out = member.forward(x[index])
+            ref_grad_x = member.backward(grad_out[index])
+            assert np.array_equal(out[index], ref_out)
+            assert np.array_equal(grad_x[index], ref_grad_x)
+            for stacked_grad, member_grad in zip(stacked.grads, member.grads):
+                assert np.array_equal(stacked_grad[index], member_grad)
+
+    def test_write_back_round_trips(self):
+        rng = rng_from_seed(6)
+        members = [GRU(3, 4, rng) for _ in range(MEMBERS)]
+        stacked = StackedGRU.from_layers(members)
+        stacked.w_x *= 2.0
+        stacked.write_back(members)
+        for index, member in enumerate(members):
+            assert np.array_equal(member.w_x, stacked.w_x[index])
+
+
+class TestStackedRMSProp:
+    def test_matches_per_member_rmsprop(self):
+        rng = rng_from_seed(7)
+        member_params = [rng.normal(size=(4, 3)) for _ in range(MEMBERS)]
+        stacked_param = np.stack(member_params)
+        member_opts = [RMSProp([p], learning_rate=1e-2) for p in member_params]
+        stacked_opt = StackedRMSProp([stacked_param], learning_rate=1e-2)
+        for step in range(5):
+            grads = [rng.normal(size=(4, 3)) for _ in range(MEMBERS)]
+            stacked_opt.step([np.stack(grads)])
+            for opt, grad in zip(member_opts, grads):
+                opt.step([grad])
+        for index, param in enumerate(member_params):
+            assert np.array_equal(stacked_param[index], param)
+
+
+class TestStackedTrainingNetwork:
+    def test_outputs_and_backward_match_members(self):
+        rng = rng_from_seed(8)
+        actors = [ActorNetwork(6, rng_from_seed(s), filters=4, hidden=16) for s in range(MEMBERS)]
+        stacked = StackedTrainingNetwork(actors)
+        obs = rng.normal(size=(MEMBERS, 5, 6, 8))
+        grad = rng.normal(size=(MEMBERS, 5, 6))
+        out = stacked.outputs(obs)
+        stacked.zero_grads()
+        stacked.backward(grad)
+        for index, actor in enumerate(actors):
+            assert np.array_equal(out[index], actor.logits(obs[index]))
+            actor.zero_grads()
+            actor.backward(grad[index])
+            for stacked_grad, member_grad in zip(stacked.grads, actor.grads):
+                assert np.array_equal(stacked_grad[index], member_grad)
+
+    def test_lockstep_outputs_match_inference(self):
+        rng = rng_from_seed(9)
+        critics = [CriticNetwork(6, rng_from_seed(s), filters=4, hidden=16) for s in range(MEMBERS)]
+        stacked = StackedTrainingNetwork(critics)
+        obs = rng.normal(size=(MEMBERS, 6, 8))
+        out = stacked.lockstep_outputs(obs)
+        for index, critic in enumerate(critics):
+            expected = critic.values_inference(obs[index][None])
+            assert np.array_equal(out[index], expected)
+        with pytest.raises(ModelError):
+            stacked.lockstep_outputs(rng.normal(size=(MEMBERS, 6, 9)))
+
+    def test_stacked_backward_against_numerical_gradient(self):
+        # Gradcheck of the new stacked backward: perturb entries of the
+        # stacked parameters (a random sample keeps the O(params x
+        # forward) finite-difference cost manageable) and compare against
+        # the analytic gradients.
+        rng = rng_from_seed(10)
+        actors = [ActorNetwork(4, rng_from_seed(s), filters=3, hidden=8) for s in range(2)]
+        stacked = StackedTrainingNetwork(actors)
+        obs = rng.normal(size=(2, 3, 6, 8))
+        target = rng.normal(size=(2, 3, 4))
+
+        def loss() -> float:
+            return float(np.sum((stacked.outputs(obs) - target) ** 2))
+
+        stacked.zero_grads()
+        grad_out = 2.0 * (stacked.outputs(obs) - target)
+        stacked.backward(grad_out)
+        check_rng = rng_from_seed(11)
+        for param, analytic in zip(stacked.params, stacked.grads):
+            numeric = numerical_gradient(loss, param, sample=20, rng=check_rng)
+            mask = numeric != 0.0
+            if not np.any(mask):
+                continue
+            assert relative_error(numeric[mask], analytic[mask]) < 1e-4
+
+    def test_sampled_gradcheck_requires_rng(self):
+        array = np.ones(4)
+        with pytest.raises(ValueError):
+            numerical_gradient(lambda: 0.0, array, sample=2)
+        with pytest.raises(ValueError):
+            numerical_gradient(lambda: 0.0, array, sample=0, rng=rng_from_seed(0))
+
+
+class TestNStepTargetsVectorized:
+    def test_property_random_shapes_match_reference_exactly(self):
+        # Property test: for random rewards, values, horizons, and n_step,
+        # the O(n_step) reverse scan equals the nested reference loop
+        # bitwise (not just approximately).
+        rng = rng_from_seed(12)
+        for _ in range(300):
+            horizon = int(rng.integers(1, 60))
+            n_step = int(rng.integers(1, 16))
+            gamma = float(rng.uniform(0.0, 1.0))
+            rewards = rng.normal(size=horizon) * float(rng.uniform(0.1, 10.0))
+            values = rng.normal(size=horizon) * float(rng.uniform(0.1, 10.0))
+            reference = _n_step_targets_reference(rewards, values, gamma, n_step)
+            fast = _n_step_targets_fast(rewards, values, gamma, n_step)
+            assert np.array_equal(reference, fast)
+
+    def test_dispatch_follows_fast_path_switch(self):
+        rewards = np.arange(10.0)
+        values = np.ones(10)
+        with fast_paths(True):
+            fast = n_step_targets(rewards, values, 0.9, 4)
+        with fast_paths(False):
+            reference = n_step_targets(rewards, values, 0.9, 4)
+        assert np.array_equal(fast, reference)
+
+    def test_trainer_method_delegates(self, manifest, steady_trace):
+        config = TrainingConfig(epochs=1, gamma=0.9, n_step=4)
+        trainer = A2CTrainer(manifest, [steady_trace], config=config)
+        rewards = np.arange(6.0)
+        values = np.linspace(0.0, 1.0, 6)
+        expected = n_step_targets(rewards, values, config.gamma, config.n_step)
+        assert np.array_equal(trainer._n_step_targets(rewards, values), expected)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(TrainingError):
+            n_step_targets(np.ones(3), np.ones(4), 0.9, 2)
+        with pytest.raises(TrainingError):
+            n_step_targets(np.ones(3), np.ones(3), 0.9, 0)
+
+
+class TestLockstepEnsembleTrainer:
+    @pytest.mark.parametrize("root_seed", [0, 1])
+    def test_bitwise_identical_to_reference(
+        self, manifest, steady_trace, bursty_trace, root_seed
+    ):
+        config = TrainingConfig(
+            epochs=4, episodes_per_epoch=2, filters=4, hidden=16
+        )
+        traces = [steady_trace, bursty_trace]
+        seeds = spawn_seeds(root_seed, MEMBERS)
+        references = []
+        with fast_paths(False):
+            for seed in seeds:
+                trainer = A2CTrainer(
+                    manifest, traces, config=config.with_seed(seed)
+                )
+                trainer.train()
+                references.append(trainer)
+        lockstep = LockstepEnsembleTrainer(manifest, traces, seeds, config=config)
+        agents = lockstep.train()
+        assert len(agents) == MEMBERS
+        for reference, member in zip(references, lockstep.members):
+            for ref_param, param in zip(reference.actor.params, member.actor.params):
+                assert np.array_equal(ref_param, param)
+            for ref_param, param in zip(reference.critic.params, member.critic.params):
+                assert np.array_equal(ref_param, param)
+            assert reference.summary.episode_returns == member.summary.episode_returns
+            assert reference.summary.critic_losses == member.summary.critic_losses
+            assert reference.summary.mean_entropies == member.summary.mean_entropies
+
+    def test_requires_seeds(self, manifest, steady_trace):
+        with pytest.raises(TrainingError):
+            LockstepEnsembleTrainer(manifest, [steady_trace], [])
