@@ -7,10 +7,12 @@ aggregates the session QoE values.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.abr.env import ABREnv
 from repro.errors import SimulationError
 from repro.mdp.interfaces import Policy
@@ -116,6 +118,8 @@ def run_session(
     behaviour); the policy then decides every remaining chunk.  Returns the
     complete per-chunk record.
     """
+    watching = obs.enabled()
+    start = time.perf_counter() if watching else 0.0
     env = ABREnv(
         manifest=manifest,
         trace=trace,
@@ -154,4 +158,14 @@ def run_session(
             break
     if not result.chunks:
         raise SimulationError("session produced no agent-controlled chunks")
+    if watching:
+        wall = time.perf_counter() - start
+        obs.inc("session.runs", policy=result.policy_name)
+        obs.observe("session.wall_seconds", wall, policy=result.policy_name)
+        if wall > 0:
+            obs.observe(
+                "session.steps_per_second",
+                len(result.chunks) / wall,
+                policy=result.policy_name,
+            )
     return result

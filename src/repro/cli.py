@@ -17,6 +17,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.config import get_config
 from repro.errors import ReproError
 from repro.experiments import (
@@ -63,7 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
         ("shapes", "run the qualitative shape checks"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
-        sub.add_argument("--config", default="fast", choices=["fast", "paper"])
+        sub.add_argument(
+            "--config", default="fast", choices=["smoke", "fast", "paper"]
+        )
+        sub.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help=(
+                "collect runtime metrics/traces and export them as JSON "
+                f"Lines to PATH (also enabled by the {obs.METRICS_ENV} "
+                "environment variable); result payloads are unaffected"
+            ),
+        )
         if name in ("figures", "shapes"):
             sub.add_argument(
                 "--workers",
@@ -73,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "process-pool size for the experiment sweep (default: "
                     "the REPRO_MAX_WORKERS environment variable, else serial); "
                     "results are identical at any setting"
+                ),
+            )
+            sub.add_argument(
+                "--cache-root",
+                default=None,
+                metavar="DIR",
+                help=(
+                    "artifact cache directory (default: artifacts/ next to "
+                    "the repository root)"
                 ),
             )
     return parser
@@ -120,7 +142,7 @@ def _cmd_traces(args, out) -> int:
 
 def _cmd_figures(args, out) -> int:
     config = get_config(args.config)
-    cache = ArtifactCache(config.describe())
+    cache = ArtifactCache(config.describe(), root=args.cache_root)
     matrix = run_all_distributions(
         config, cache, max_workers=args.workers, weight_root=cache.root
     )
@@ -149,7 +171,7 @@ def _cmd_shapes(args, out) -> int:
     from repro.experiments.report import PRIMARY_CLAIMS
 
     config = get_config(args.config)
-    cache = ArtifactCache(config.describe())
+    cache = ArtifactCache(config.describe(), root=args.cache_root)
     matrix = run_all_distributions(
         config, cache, max_workers=args.workers, weight_root=cache.root
     )
@@ -169,6 +191,30 @@ def _cmd_shapes(args, out) -> int:
     return 0 if primary_ok else 1
 
 
+def _dispatch(args, out) -> int:
+    if args.command == "figures":
+        return _cmd_figures(args, out)
+    if args.command == "runtimes":
+        return _cmd_runtimes(args, out)
+    if args.command == "shapes":
+        return _cmd_shapes(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_with_metrics(args, out) -> int:
+    """Run an experiment command under metric collection when requested.
+
+    ``--metrics-out`` wins over the :data:`repro.obs.METRICS_ENV`
+    environment switch; either way the records are exported as JSONL and
+    a rendered run report follows the command's own output.
+    """
+    with obs.collecting(args.metrics_out) as run:
+        code = _dispatch(args, out)
+        print(f"\nrun report\n\n{obs.render_run_report(run)}", file=out)
+    print(f"wrote metrics to {args.metrics_out}", file=out)
+    return code
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -178,13 +224,16 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_datasets(out)
         if args.command == "traces":
             return _cmd_traces(args, out)
-        if args.command == "figures":
-            return _cmd_figures(args, out)
-        if args.command == "runtimes":
-            return _cmd_runtimes(args, out)
-        if args.command == "shapes":
-            return _cmd_shapes(args, out)
+        if getattr(args, "metrics_out", None) is None and obs.enabled():
+            # Collection switched on by the environment variable: reuse
+            # the already-active collector and export where it points.
+            code = _dispatch(args, out)
+            path = obs.export_jsonl(obs.default_export_path())
+            print(f"wrote metrics to {path}", file=out)
+            return code
+        if getattr(args, "metrics_out", None) is not None:
+            return _dispatch_with_metrics(args, out)
+        return _dispatch(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    raise AssertionError(f"unhandled command {args.command!r}")

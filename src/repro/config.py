@@ -3,13 +3,18 @@
 Training real Pensieve took the paper eight GPU-hours per agent; this
 reproduction exposes presets that trade fidelity for wall-clock time:
 
+* :data:`SMOKE` — the smallest config that still exercises every stage
+  (datasets, training, calibration, evaluation): CI smoke runs and
+  observability demos, seconds end-to-end.  Its numbers are meaningless;
+  only the plumbing is real.
 * :data:`FAST` — small traces, short training: the tier used by the test
   suite and the benchmark harness, minutes end-to-end.
 * :data:`PAPER` — the tier behind the numbers recorded in EXPERIMENTS.md:
   longer training, more traces, the full 5x-concatenated video.
 
-Both tiers keep the paper's *safety* parameters (ensemble size 5, trim 2,
-l = 3, k = 5/30) — only the substrate scale changes.
+The FAST and PAPER tiers keep the paper's *safety* parameters (ensemble
+size 5, trim 2, l = 3, k = 5/30) — only the substrate scale changes;
+SMOKE shrinks the ensemble too, trading meaning for speed.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from repro.errors import ConfigError
 from repro.pensieve.training import TrainingConfig
 from repro.traces.dataset import DATASET_NAMES
 
-__all__ = ["ExperimentConfig", "FAST", "PAPER", "get_config"]
+__all__ = ["ExperimentConfig", "SMOKE", "FAST", "PAPER", "get_config"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +100,28 @@ _SHARED_TRAINING = dict(
     critic_learning_rate=4e-3,
 )
 
+SMOKE = ExperimentConfig(
+    name="smoke",
+    num_traces=4,
+    trace_duration_s=120.0,
+    video_repeats=1,
+    training=TrainingConfig(epochs=2, filters=4, hidden=12, **_SHARED_TRAINING),
+    safety=SafetyConfig(
+        ensemble_size=3,
+        trim=1,
+        ocsvm_k_synthetic=5,
+        ocsvm_nu=0.2,
+        max_ocsvm_samples=200,
+    ),
+    value_epochs=3,
+    # Figure 2's panels require the belgium and gamma_2_2 trainings, and
+    # the figure-4 significance test needs >= 5 OOD pairs (so >= 3
+    # datasets); belgium is empirical and the others synthetic, which
+    # also exercises both OC-SVM window paths.
+    datasets=("belgium", "gamma_2_2", "exponential"),
+    random_eval_repeats=1,
+)
+
 FAST = ExperimentConfig(
     name="fast",
     num_traces=8,
@@ -116,7 +143,7 @@ PAPER = ExperimentConfig(
     value_epochs=300,
 )
 
-_CONFIGS = {"fast": FAST, "paper": PAPER}
+_CONFIGS = {"smoke": SMOKE, "fast": FAST, "paper": PAPER}
 
 
 def get_config(name: str) -> ExperimentConfig:

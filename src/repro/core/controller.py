@@ -13,8 +13,11 @@ trigger stops firing, for the extension experiments.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
+from repro import obs
 from repro.core.signals import UncertaintySignal
 from repro.core.thresholding import DefaultTrigger
 from repro.errors import SafetyError
@@ -49,6 +52,9 @@ class SafetyController:
         self.last_decision_defaulted = False
         self.default_steps = 0
         self.total_steps = 0
+        # Recent signal values for the observability default-event; only
+        # materialized while metric collection is on.
+        self._recent_signals: deque[float] | None = None
 
     def reset(self) -> None:
         """Reset the wrapped policies, the signal, and the trigger."""
@@ -60,6 +66,7 @@ class SafetyController:
         self.last_decision_defaulted = False
         self.default_steps = 0
         self.total_steps = 0
+        self._recent_signals = None
 
     def _active_policy(self, observation: np.ndarray) -> Policy:
         """Advance the signal/trigger one step and pick today's policy."""
@@ -71,8 +78,11 @@ class SafetyController:
             self.last_decision_defaulted = True
             self.total_steps += 1
             self.default_steps += 1
+            obs.inc("controller.decisions", controller=self.name, mode="default")
             return self.default
-        fired = self.trigger.update(self.signal.measure(observation))
+        value = self.signal.measure(observation)
+        fired = self.trigger.update(value)
+        was_defaulted = self._defaulted
         if self.allow_revert:
             self._defaulted = fired
         else:
@@ -81,8 +91,39 @@ class SafetyController:
         self.total_steps += 1
         if self._defaulted:
             self.default_steps += 1
-            return self.default
-        return self.learned
+        if obs.enabled():
+            self._observe_decision(value, was_defaulted)
+        return self.default if self._defaulted else self.learned
+
+    def _observe_decision(self, value: float, was_defaulted: bool) -> None:
+        """Record this decision's signal and mode, plus hand-off events
+        carrying the window of signal values that led to them.  Only
+        called while collection is on; never touches control flow."""
+        if self._recent_signals is None:
+            window = max(int(getattr(self.trigger, "k", 1)), 1)
+            self._recent_signals = deque(maxlen=window)
+        self._recent_signals.append(float(value))
+        obs.observe("controller.signal", float(value), controller=self.name)
+        obs.inc(
+            "controller.decisions",
+            controller=self.name,
+            mode="default" if self._defaulted else "learned",
+        )
+        if self._defaulted and not was_defaulted:
+            obs.event(
+                "controller.default",
+                controller=self.name,
+                step=self.total_steps,
+                signal=float(value),
+                window=list(self._recent_signals),
+            )
+        elif was_defaulted and not self._defaulted:
+            obs.event(
+                "controller.recover",
+                controller=self.name,
+                step=self.total_steps,
+                signal=float(value),
+            )
 
     def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
         """One decision: measure uncertainty, maybe default, then act."""

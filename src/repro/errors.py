@@ -55,3 +55,7 @@ class ArtifactError(ReproError):
 
 class ParallelError(ReproError):
     """The parallel executor was misconfigured or a worker failed."""
+
+
+class ObservabilityError(ReproError):
+    """The metrics/tracing layer was used or exported incorrectly."""

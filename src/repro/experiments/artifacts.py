@@ -29,6 +29,8 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from repro import obs
+from repro.errors import ArtifactError
 from repro.util.serialization import (
     load_arrays,
     load_json,
@@ -80,11 +82,17 @@ class ArtifactCache:
 
     def has(self, name: str) -> bool:
         """Whether the JSON artifact *name* is cached."""
-        return self.path(name).exists()
+        exists = self.path(name).exists()
+        if obs.enabled():
+            self._observe_request(name, "json", exists)
+        return exists
 
     def has_arrays(self, name: str) -> bool:
         """Whether the ``.npz`` artifact *name* is cached."""
-        return self.array_path(name).exists()
+        exists = self.array_path(name).exists()
+        if obs.enabled():
+            self._observe_request(name, "npz", exists)
+        return exists
 
     def load(self, name: str) -> Any:
         """Load a cached artifact (raises :class:`ArtifactError` if absent)."""
@@ -99,12 +107,14 @@ class ArtifactCache:
         """Persist *payload* under *name*, recording the fingerprint once."""
         self._record_fingerprint()
         save_json(self.path(name), payload)
+        obs.event("cache.store", artifact=name, kind="json", fingerprint=self.key)
 
     def store_arrays(self, name: str, arrays: Mapping[str, np.ndarray]) -> None:
         """Persist named arrays (e.g. trained network weights) under
         *name* as an ``.npz``, recording the fingerprint once."""
         self._record_fingerprint()
         save_arrays(self.array_path(name), arrays)
+        obs.event("cache.store", artifact=name, kind="npz", fingerprint=self.key)
 
     def get_or_compute(self, name: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value, computing and storing it on a miss."""
@@ -113,6 +123,60 @@ class ArtifactCache:
         value = compute()
         self.store(name, value)
         return value
+
+    #: Fingerprint fields that say *what* an artifact is rather than how
+    #: it was computed; siblings differing here are different artifacts,
+    #: not stale versions of this one.
+    _IDENTITY_FIELDS = ("artifact", "name", "train_name")
+
+    def _observe_request(self, name: str, kind: str, hit: bool) -> None:
+        """Record a lookup's outcome; on a miss, also surface sibling
+        cache directories holding the same artifact under a *different*
+        fingerprint — the "your config change invalidated this" signal.
+        Only called while collection is on."""
+        obs.inc(
+            "cache.requests",
+            artifact=name,
+            kind=kind,
+            outcome="hit" if hit else "miss",
+        )
+        if hit:
+            obs.event("cache.hit", artifact=name, kind=kind, fingerprint=self.key)
+            return
+        obs.event("cache.miss", artifact=name, kind=kind, fingerprint=self.key)
+        if not self.root.exists():
+            return
+        suffix = "json" if kind == "json" else "npz"
+        for path in sorted(self.root.glob(f"*/{name}.{suffix}")):
+            if path.parent.name == self.key or not self._same_identity(path.parent):
+                continue
+            obs.inc("cache.invalidated")
+            obs.event(
+                "cache.invalidated",
+                artifact=name,
+                kind=kind,
+                fingerprint=self.key,
+                stale_fingerprint=path.parent.name,
+            )
+
+    def _same_identity(self, sibling: Path) -> bool:
+        """Whether *sibling* caches the same artifact as this fingerprint
+        (so a hit there and a miss here means a config change invalidated
+        it).  Caches of genuinely different artifacts — another training
+        distribution's weights, a different experiment family — share the
+        root but differ in key set or identity fields."""
+        try:
+            fingerprint = load_json(sibling / "config.json")
+        except ArtifactError:
+            return False
+        if not isinstance(fingerprint, dict):
+            return False
+        if set(fingerprint) != set(self._fingerprint):
+            return False
+        return all(
+            fingerprint.get(field) == self._fingerprint.get(field)
+            for field in self._IDENTITY_FIELDS
+        )
 
     def _record_fingerprint(self) -> None:
         """Write the fingerprint (with its schema version) on first store."""

@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.config import ExperimentConfig
 from repro.core.osap import build_safety_suite
 from repro.errors import ArtifactError, ConfigError
@@ -142,13 +143,14 @@ def _sweep_sessions(
     Per-task results come back in task order, so the means run over the
     same float sequences as the nested serial loops they replace.
     """
-    results = parallel_map(
-        parallel_worker.evaluate_session,
-        tasks,
-        max_workers=max_workers,
-        initializer=parallel_worker.init_sessions,
-        initargs=(manifest, policies, trace_groups, None),
-    )
+    with obs.span("experiment.sweep_sessions", tasks=len(tasks), policies=len(policies)):
+        results = parallel_map(
+            parallel_worker.evaluate_session,
+            tasks,
+            max_workers=max_workers,
+            initializer=parallel_worker.init_sessions,
+            initargs=(manifest, policies, trace_groups, None),
+        )
     grouped: dict[tuple[str, str], list[tuple[float, float]]] = {}
     for (policy_key, group_key, _, _), outcome in zip(tasks, results):
         grouped.setdefault((policy_key, group_key), []).append(outcome)
@@ -251,18 +253,19 @@ def compute_training_distribution(
     datasets = _build_datasets(config)
     train_split: DatasetSplit = datasets[train_name].split()
     bb = BufferBasedPolicy(manifest.bitrates_kbps)
-    suite = build_safety_suite(
-        manifest,
-        train_split,
-        default_policy=bb,
-        is_synthetic=datasets[train_name].is_synthetic,
-        training_config=config.training,
-        safety_config=config.safety,
-        value_epochs=config.value_epochs,
-        seed=config.suite_seed,
-        max_workers=max_workers,
-        weight_cache=_weight_cache(config, train_name, weight_root),
-    )
+    with obs.span("experiment.build_suite", train=train_name):
+        suite = build_safety_suite(
+            manifest,
+            train_split,
+            default_policy=bb,
+            is_synthetic=datasets[train_name].is_synthetic,
+            training_config=config.training,
+            safety_config=config.safety,
+            value_epochs=config.value_epochs,
+            seed=config.suite_seed,
+            max_workers=max_workers,
+            weight_cache=_weight_cache(config, train_name, weight_root),
+        )
     policies = {"Pensieve": suite.agent, **suite.controllers()}
     trace_groups = {
         name: list(dataset.split().test) for name, dataset in datasets.items()
@@ -338,24 +341,26 @@ def run_all_distributions(
     weight-level caching of every distribution's trained ensembles.
     """
     matrix = EvaluationMatrix(datasets=tuple(config.datasets))
-    matrix.baselines = compute_baselines(config, cache, max_workers=max_workers)
+    with obs.span("experiment.baselines"):
+        matrix.baselines = compute_baselines(config, cache, max_workers=max_workers)
     pending = [
         name
         for name in config.datasets
         if cache is None or not cache.has(f"train_{name}")
     ]
-    built = dict(
-        zip(
-            pending,
-            parallel_map(
-                parallel_worker.build_distribution,
+    with obs.span("experiment.build_distributions", pending=len(pending)):
+        built = dict(
+            zip(
                 pending,
-                max_workers=max_workers,
-                initializer=parallel_worker.init_distributions,
-                initargs=(config, weight_root),
-            ),
+                parallel_map(
+                    parallel_worker.build_distribution,
+                    pending,
+                    max_workers=max_workers,
+                    initializer=parallel_worker.init_distributions,
+                    initargs=(config, weight_root),
+                ),
+            )
         )
-    )
     for train_name in config.datasets:
         if train_name in built:
             run = built[train_name]

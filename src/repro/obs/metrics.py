@@ -1,0 +1,245 @@
+"""Instrument primitives: counters, gauges, histograms, and events.
+
+A :class:`MetricsRegistry` is a plain in-process store of named
+instruments.  It never touches the wall clock — durations are measured by
+callers with the monotonic clock (:func:`time.perf_counter`) and fed into
+histograms, so identical runs export identical metric payloads and the
+observed computation stays bitwise untouched.
+
+Instruments are keyed by ``(name, sorted labels)``.  Labels are small
+string-ish dimensions (``engine="lockstep"``, ``outcome="hit"``); keep
+their cardinality low — every distinct combination is one instrument.
+
+Histograms are bounded: they track exact streaming aggregates (count,
+sum, min, max) plus a deterministically decimated sample reservoir for
+percentiles, so instrumenting a per-step hot loop cannot grow memory
+without bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Histogram reservoirs are halved (and their stride doubled) beyond this.
+_RESERVOIR_CAP = 1024
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total (tasks dispatched, cache hits)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (>= 0) to the running total."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self.value += amount
+
+    def record(self) -> dict:
+        """The exportable JSONL record for this counter."""
+        return {
+            "kind": "counter",
+            "name": self.name,
+            "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A last-value-wins measurement (pool size, worker utilization)."""
+
+    __slots__ = ("name", "labels", "value", "updates")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        self.value = float(value)
+        self.updates += 1
+
+    def record(self) -> dict:
+        """The exportable JSONL record for this gauge."""
+        return {
+            "kind": "gauge",
+            "name": self.name,
+            "labels": self.labels,
+            "value": self.value,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """A value distribution (epoch seconds, signal values, chunk walls).
+
+    Aggregates (count/sum/min/max) are exact.  Percentiles come from a
+    bounded reservoir decimated deterministically: when it fills past the
+    cap, every other sample is dropped and the sampling stride doubles —
+    no randomness, so identical runs export identical records.
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "_samples", "_stride")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+        self._stride = 1
+
+    def observe(self, value: float) -> None:
+        """Fold one measurement into the distribution."""
+        value = float(value)
+        if self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > _RESERVOIR_CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float | None:
+        """Approximate *q*-th percentile (0..100) from the reservoir."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.count else None
+
+    def record(self) -> dict:
+        """The exportable JSONL record for this histogram."""
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "labels": self.labels,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, histograms, and events.
+
+    Instruments are created on first use and shared thereafter, so call
+    sites never need registration ceremony.  Events are ordered
+    structured records (``controller.default`` with its triggering
+    window, ``cache.miss`` with its fingerprint) kept in emission order.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+        self._events: list[dict] = []
+
+    # -- instrument access ----------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter called *name* with these labels (created on miss)."""
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, dict(key[1]))
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge called *name* with these labels (created on miss)."""
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, dict(key[1]))
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram called *name* with these labels (created on miss)."""
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, dict(key[1]))
+        return instrument
+
+    # -- convenience recording ------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Increment the counter *name* by *amount*."""
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge *name* to *value*."""
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Fold *value* into the histogram *name*."""
+        self.histogram(name, **labels).observe(value)
+
+    def event(self, name: str, **data: Any) -> None:
+        """Append a structured event record (kept in emission order)."""
+        self._events.append(
+            {
+                "kind": "event",
+                "name": name,
+                "sequence": len(self._events),
+                "data": data,
+            }
+        )
+
+    # -- export ---------------------------------------------------------------
+
+    def events(self, name: str | None = None) -> list[dict]:
+        """All events, optionally filtered by *name*."""
+        if name is None:
+            return list(self._events)
+        return [event for event in self._events if event["name"] == name]
+
+    def instruments(self) -> Iterator[Counter | Gauge | Histogram]:
+        """Every instrument, ordered by (kind, name, labels)."""
+        for store in (self._counters, self._gauges, self._histograms):
+            for key in sorted(store):
+                yield store[key]
+
+    def records(self) -> list[dict]:
+        """All instrument and event records, JSONL-ready."""
+        records = [instrument.record() for instrument in self.instruments()]
+        records.extend(self._events)
+        return records

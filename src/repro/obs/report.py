@@ -1,0 +1,147 @@
+"""Structured run reports: a human-readable digest of one run's records.
+
+:func:`build_run_report` reduces a :class:`~repro.obs.runtime.RunCollector`
+to a JSON-able summary (counter totals, gauge values, histogram
+aggregates, event tallies, the slowest spans); :func:`render_run_report`
+renders that summary as monospace tables for the terminal.  Both consume
+only already-collected records — building a report never touches clocks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.obs.runtime import RunCollector
+from repro.util.tables import render_table
+
+__all__ = ["build_run_report", "render_run_report", "write_run_report"]
+
+#: How many spans the "slowest spans" section keeps.
+_TOP_SPANS = 10
+
+
+def _format_labels(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def build_run_report(collector: RunCollector) -> dict:
+    """Reduce a collector to a JSON-able summary dictionary."""
+    if collector is None:
+        raise ObservabilityError("no collector to report on (collection is off)")
+    counters = []
+    gauges = []
+    histograms = []
+    for record in collector.metrics.records():
+        kind = record.get("kind")
+        if kind == "counter":
+            counters.append(record)
+        elif kind == "gauge":
+            gauges.append(record)
+        elif kind == "histogram":
+            histograms.append(record)
+    events: dict[str, int] = {}
+    for event in collector.metrics.events():
+        events[event["name"]] = events.get(event["name"], 0) + 1
+    finished = [
+        span for span in collector.tracer.spans if span.duration_s is not None
+    ]
+    slowest = sorted(finished, key=lambda s: s.duration_s, reverse=True)
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "event_counts": dict(sorted(events.items())),
+        "span_count": len(collector.tracer.spans),
+        "slowest_spans": [
+            {
+                "name": span.name,
+                "duration_s": span.duration_s,
+                "depth": span.depth,
+                "attributes": span.attributes,
+            }
+            for span in slowest[:_TOP_SPANS]
+        ],
+    }
+
+
+def render_run_report(collector: RunCollector) -> str:
+    """Render a collector's summary as monospace tables."""
+    report = build_run_report(collector)
+    sections = []
+    if report["counters"]:
+        sections.append(
+            "counters\n"
+            + render_table(
+                ["name", "labels", "value"],
+                [
+                    [r["name"], _format_labels(r["labels"]), round(r["value"], 6)]
+                    for r in report["counters"]
+                ],
+            )
+        )
+    if report["gauges"]:
+        sections.append(
+            "gauges\n"
+            + render_table(
+                ["name", "labels", "value"],
+                [
+                    [
+                        r["name"],
+                        _format_labels(r["labels"]),
+                        "-" if r["value"] is None else round(r["value"], 6),
+                    ]
+                    for r in report["gauges"]
+                ],
+            )
+        )
+    if report["histograms"]:
+        sections.append(
+            "histograms\n"
+            + render_table(
+                ["name", "labels", "count", "mean", "p50", "p99", "max"],
+                [
+                    [
+                        r["name"],
+                        _format_labels(r["labels"]),
+                        r["count"],
+                        *(
+                            "-" if r[q] is None else round(r[q], 6)
+                            for q in ("mean", "p50", "p99", "max")
+                        ),
+                    ]
+                    for r in report["histograms"]
+                ],
+            )
+        )
+    if report["event_counts"]:
+        sections.append(
+            "events\n"
+            + render_table(
+                ["event", "count"],
+                [[name, count] for name, count in report["event_counts"].items()],
+            )
+        )
+    if report["slowest_spans"]:
+        sections.append(
+            f"slowest spans (of {report['span_count']})\n"
+            + render_table(
+                ["span", "depth", "seconds"],
+                [
+                    [s["name"], s["depth"], round(s["duration_s"], 4)]
+                    for s in report["slowest_spans"]
+                ],
+            )
+        )
+    if not sections:
+        return "no records collected\n"
+    return "\n\n".join(sections) + "\n"
+
+
+def write_run_report(collector: RunCollector, path: Path | str) -> Path:
+    """Persist the JSON summary atomically and return the path."""
+    from repro.util.serialization import save_json
+
+    path = Path(path)
+    save_json(path, build_run_report(collector))
+    return path

@@ -1,0 +1,87 @@
+"""Span-based tracing: nested monotonic-clock timings of a run's phases.
+
+A :class:`Tracer` records a tree of named spans (``cli.figures`` →
+``experiment.matrix`` → ``executor.parallel_map`` → …).  Spans carry only
+monotonic durations and structural position (parent, depth, order), never
+wall-clock timestamps, so traces from identical runs are identical.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) named timing."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    attributes: dict[str, Any] = field(default_factory=dict)
+    duration_s: float | None = None
+    error: str | None = None
+
+    def record(self) -> dict:
+        """The exportable JSONL record for this span."""
+        return {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "duration_s": self.duration_s,
+            "error": self.error,
+            "attributes": self.attributes,
+        }
+
+
+class Tracer:
+    """Collects spans; nesting follows the runtime call structure."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a span for the duration of the ``with`` block.
+
+        The span is appended to :attr:`spans` immediately (in opening
+        order) and its duration filled in when the block exits; a raised
+        exception is recorded on the span and re-raised.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=len(self.spans),
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack),
+            attributes=dict(attributes),
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        start = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.error = type(exc).__name__
+            raise
+        finally:
+            span.duration_s = time.perf_counter() - start
+            self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def records(self) -> list[dict]:
+        """All span records in opening order, JSONL-ready."""
+        return [span.record() for span in self.spans]

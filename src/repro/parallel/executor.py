@@ -15,6 +15,11 @@ evaluation layers build on.  Its contract:
   than two items, on platforms without ``fork``, or when already inside a
   worker process (no nested pools), the same function/items are executed
   in-process in order.
+* **Attributed failures** — a task that raises inside a worker re-raises
+  the *original* exception in the parent with a :class:`ParallelError`
+  cause naming the failing task; a worker that dies outright (segfault,
+  ``os._exit``) surfaces as a :class:`ParallelError` naming the tasks it
+  was running, never a hang or a bare ``BrokenProcessPool``.
 
 Worker-count resolution: an explicit ``max_workers`` argument wins,
 otherwise the ``REPRO_MAX_WORKERS`` environment variable, otherwise 1
@@ -24,15 +29,23 @@ is additionally capped at ``os.cpu_count()``: these are CPU-bound numpy
 tasks, so oversubscribing cores only adds fork and scheduling overhead
 (on a single-CPU machine every request degrades to the serial fallback,
 which benchmarking showed to be faster there than any pool).
+
+When metric collection is on (:mod:`repro.obs`), every call records task
+dispatch/completion counters, the pool width, per-chunk worker walls, and
+an end-of-pool worker-utilization gauge; serial fallbacks record which of
+the conditions above triggered them.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
+from repro import obs
 from repro.errors import ParallelError
 
 __all__ = ["parallel_map", "resolve_max_workers", "in_worker"]
@@ -67,11 +80,32 @@ def resolve_max_workers(max_workers: int | None = None) -> int:
             max_workers = int(env)
         except ValueError as exc:
             raise ParallelError(
-                f"{MAX_WORKERS_ENV} must be an integer, got {env!r}"
+                f"{MAX_WORKERS_ENV} must be a positive integer "
+                f"(e.g. {MAX_WORKERS_ENV}=4), got {env!r}"
             ) from exc
+        if max_workers < 1:
+            raise ParallelError(
+                f"{MAX_WORKERS_ENV} must be >= 1, got {max_workers}; "
+                f"unset it (or use {MAX_WORKERS_ENV}=1) to run serially"
+            )
     if max_workers < 1:
         raise ParallelError(f"max_workers must be >= 1, got {max_workers}")
     return max_workers
+
+
+class _TaskFailure(Exception):
+    """Picklable wrapper shipping a task's exception back with attribution.
+
+    All fields ride in ``args`` so the default exception pickling used by
+    the pool's result channel reconstructs the wrapper (and the original
+    exception inside it) in the parent process.
+    """
+
+    def __init__(self, index: int, item_repr: str, exception: BaseException) -> None:
+        super().__init__(index, item_repr, exception)
+        self.index = index
+        self.item_repr = item_repr
+        self.exception = exception
 
 
 def _worker_bootstrap(
@@ -85,6 +119,25 @@ def _worker_bootstrap(
         initializer(*initargs)
 
 
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: Sequence[Any], offset: int
+) -> tuple[list[Any], float]:
+    """Run one contiguous chunk of tasks inside a worker.
+
+    Returns ``(values, wall_seconds)`` — the worker-side wall time is what
+    the parent aggregates into the utilization gauge.  A failing task is
+    wrapped in :class:`_TaskFailure` carrying its global index.
+    """
+    start = time.perf_counter()
+    values: list[Any] = []
+    for position, item in enumerate(chunk):
+        try:
+            values.append(fn(item))
+        except BaseException as exc:
+            raise _TaskFailure(offset + position, repr(item), exc) from exc
+    return values, time.perf_counter() - start
+
+
 def _serial_map(
     fn: Callable[[Any], Any],
     items: Sequence[Any],
@@ -94,6 +147,19 @@ def _serial_map(
     if initializer is not None:
         initializer(*initargs)
     return [fn(item) for item in items]
+
+
+def _serial_reason(workers: int, n_items: int) -> str:
+    """Why this call is degrading to the serial fallback (metric label)."""
+    if n_items < 2:
+        return "few-items"
+    if in_worker():
+        return "nested-pool"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "no-fork"
+    if workers == 1 and (os.cpu_count() or 1) == 1:
+        return "cpu-cap"
+    return "serial-requested"
 
 
 def parallel_map(
@@ -115,6 +181,11 @@ def parallel_map(
     The pool size never exceeds ``os.cpu_count()``: more workers than
     cores cannot speed up CPU-bound tasks, and on a one-CPU machine the
     serial fallback avoids pure fork/pickle overhead.
+
+    A task exception re-raises in the parent with its original type; its
+    ``__cause__`` is a :class:`ParallelError` naming the task.  A worker
+    death raises :class:`ParallelError` naming the tasks the dead worker
+    held.
     """
     items = list(items)
     if chunk_size is not None and chunk_size < 1:
@@ -130,14 +201,79 @@ def parallel_map(
         or in_worker()
         or "fork" not in multiprocessing.get_all_start_methods()
     ):
-        return _serial_map(fn, items, initializer, initargs)
+        if obs.enabled():
+            obs.inc("executor.serial_fallback", reason=_serial_reason(workers, len(items)))
+            obs.inc("executor.tasks.dispatched", len(items), mode="serial")
+        values = _serial_map(fn, items, initializer, initargs)
+        if obs.enabled():
+            obs.inc("executor.tasks.completed", len(values), mode="serial")
+        return values
     if chunk_size is None:
         chunk_size = max(1, len(items) // (workers * 4))
+    return _parallel_map_pool(fn, items, workers, initializer, initargs, chunk_size)
+
+
+def _parallel_map_pool(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: int,
+    initializer: Callable[..., None] | None,
+    initargs: Sequence[Any],
+    chunk_size: int,
+) -> list[Any]:
+    """The real pool path: submit per-chunk, collect in order, attribute
+    failures, and (when collection is on) observe pool behaviour."""
+    watching = obs.enabled()
+    if watching:
+        obs.set_gauge("executor.pool.workers", workers)
+        obs.inc("executor.tasks.dispatched", len(items), mode="parallel")
     context = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=context,
-        initializer=_worker_bootstrap,
-        initargs=(initializer, tuple(initargs)),
-    ) as pool:
-        return list(pool.map(fn, items, chunksize=chunk_size))
+    pool_start = time.perf_counter()
+    busy_seconds = 0.0
+    results: list[Any] = [None] * len(items)
+    with obs.span(
+        "executor.parallel_map", tasks=len(items), workers=workers, chunk_size=chunk_size
+    ):
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_bootstrap,
+            initargs=(initializer, tuple(initargs)),
+        ) as pool:
+            submitted = [
+                (offset, pool.submit(_run_chunk, fn, items[offset : offset + chunk_size], offset))
+                for offset in range(0, len(items), chunk_size)
+            ]
+            for offset, future in submitted:
+                try:
+                    values, chunk_wall = future.result()
+                except _TaskFailure as failure:
+                    for _, pending in submitted:
+                        pending.cancel()
+                    raise failure.exception from ParallelError(
+                        f"task {failure.index} ({failure.item_repr}) raised "
+                        f"{type(failure.exception).__name__} in a worker process"
+                    )
+                except BrokenProcessPool as exc:
+                    for _, pending in submitted:
+                        pending.cancel()
+                    last = min(offset + chunk_size, len(items)) - 1
+                    raise ParallelError(
+                        f"a worker process died while running tasks "
+                        f"{offset}..{last} (first item: {items[offset]!r}); "
+                        "the pool cannot continue — rerun with "
+                        "max_workers=1 to debug the failing task in-process"
+                    ) from exc
+                results[offset : offset + len(values)] = values
+                busy_seconds += chunk_wall
+                if watching:
+                    obs.observe("executor.chunk_seconds", chunk_wall)
+                    obs.inc("executor.tasks.completed", len(values), mode="parallel")
+    if watching:
+        pool_wall = time.perf_counter() - pool_start
+        if pool_wall > 0:
+            obs.set_gauge(
+                "executor.worker_utilization",
+                min(1.0, busy_seconds / (pool_wall * workers)),
+            )
+    return results

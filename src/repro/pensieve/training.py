@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import obs
 from repro.abr.env import ABREnv
 from repro.abr.state import S_INFO, S_LEN
 from repro.errors import TrainingError
@@ -122,6 +123,12 @@ class TrainingSummary:
             raise TrainingError("no epochs recorded")
         tail = max(len(self.episode_returns) // 10, 1)
         return float(np.mean(self.episode_returns[-tail:]))
+
+
+def _grad_norm(grads: list[np.ndarray]) -> float:
+    """L2 norm over a parameter-gradient list (observability only —
+    never feeds back into training)."""
+    return float(np.sqrt(sum(float(np.sum(np.square(grad))) for grad in grads)))
 
 
 def _n_step_targets_reference(
@@ -246,17 +253,35 @@ class A2CTrainer:
     def train(self) -> PensieveAgent:
         """Run the configured number of epochs and return the greedy agent."""
         config = self.config
-        for epoch in range(config.epochs):
-            fraction = epoch / max(config.epochs - 1, 1)
-            beta = (
-                config.entropy_weight_start
-                + fraction
-                * (config.entropy_weight_end - config.entropy_weight_start)
-            )
-            episodes, raw_return = self._collect_batch()
-            critic_loss = self._update(episodes, beta)
-            self.summary.episode_returns.append(raw_return)
-            self.summary.critic_losses.append(critic_loss)
+        watching = obs.enabled()
+        with obs.span(
+            "trainer.train", engine="per-member", epochs=config.epochs,
+            seed=config.seed,
+        ):
+            for epoch in range(config.epochs):
+                fraction = epoch / max(config.epochs - 1, 1)
+                beta = (
+                    config.entropy_weight_start
+                    + fraction
+                    * (config.entropy_weight_end - config.entropy_weight_start)
+                )
+                with obs.timer("trainer.epoch_seconds", engine="per-member"):
+                    episodes, raw_return = self._collect_batch()
+                    critic_loss = self._update(episodes, beta)
+                self.summary.episode_returns.append(raw_return)
+                self.summary.critic_losses.append(critic_loss)
+                if watching:
+                    obs.inc("trainer.epochs", engine="per-member")
+                    obs.observe(
+                        "trainer.grad_norm.actor",
+                        _grad_norm(self.actor.grads),
+                        engine="per-member",
+                    )
+                    obs.observe(
+                        "trainer.grad_norm.critic",
+                        _grad_norm(self.critic.grads),
+                        engine="per-member",
+                    )
         return self.agent()
 
     def agent(self, greedy: bool = True) -> PensieveAgent:
@@ -439,18 +464,40 @@ class LockstepEnsembleTrainer:
         """Run the configured epochs for every member and return their
         greedy agents in seed order."""
         config = self.config
-        for epoch in range(config.epochs):
-            fraction = epoch / max(config.epochs - 1, 1)
-            beta = (
-                config.entropy_weight_start
-                + fraction
-                * (config.entropy_weight_end - config.entropy_weight_start)
-            )
-            raw_returns = self._collect_lockstep()
-            critic_losses = self._update(beta)
-            for member, raw, loss in zip(self.members, raw_returns, critic_losses):
-                member.summary.episode_returns.append(raw)
-                member.summary.critic_losses.append(loss)
+        watching = obs.enabled()
+        with obs.span(
+            "trainer.train", engine="lockstep", epochs=config.epochs,
+            members=len(self.members),
+        ):
+            for epoch in range(config.epochs):
+                fraction = epoch / max(config.epochs - 1, 1)
+                beta = (
+                    config.entropy_weight_start
+                    + fraction
+                    * (config.entropy_weight_end - config.entropy_weight_start)
+                )
+                with obs.timer("trainer.epoch_seconds", engine="lockstep"):
+                    raw_returns = self._collect_lockstep()
+                    critic_losses = self._update(beta)
+                for member, raw, loss in zip(self.members, raw_returns, critic_losses):
+                    member.summary.episode_returns.append(raw)
+                    member.summary.critic_losses.append(loss)
+                if watching:
+                    obs.inc("trainer.epochs", engine="lockstep")
+                    # The stacked gradients carry a leading member axis;
+                    # report each member's norm so the two engines emit
+                    # comparable streams.
+                    for index in range(len(self.members)):
+                        obs.observe(
+                            "trainer.grad_norm.actor",
+                            _grad_norm([grad[index] for grad in self._actor.grads]),
+                            engine="lockstep",
+                        )
+                        obs.observe(
+                            "trainer.grad_norm.critic",
+                            _grad_norm([grad[index] for grad in self._critic.grads]),
+                            engine="lockstep",
+                        )
         self._actor.write_back()
         self._critic.write_back()
         return [member.agent() for member in self.members]

@@ -21,6 +21,7 @@ from repro.errors import ArtifactError
 __all__ = [
     "stable_hash",
     "to_jsonable",
+    "save_text",
     "save_json",
     "load_json",
     "save_arrays",
@@ -51,13 +52,15 @@ def stable_hash(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
-def save_json(path: Path | str, payload: Any) -> None:
-    """Write *payload* as pretty-printed JSON, creating parent directories.
+def save_text(path: Path | str, text: str) -> None:
+    """Write *text* to *path* atomically, creating parent directories.
 
-    The write is atomic: the payload goes to a uniquely named temporary
+    The write is atomic: the text goes to a uniquely named temporary
     file in the target directory and is moved into place with
     :func:`os.replace`, so a reader (or a crash, or a concurrent writer
-    in another worker process) can never observe a half-written artifact.
+    in another worker process) can never observe a half-written file.
+    Every exported artifact — JSON results, metrics JSONL — goes through
+    this one helper.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -65,13 +68,17 @@ def save_json(path: Path | str, payload: Any) -> None:
         f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
     )
     try:
-        temporary.write_text(
-            json.dumps(to_jsonable(payload), indent=2, sort_keys=True)
-        )
+        temporary.write_text(text)
         os.replace(temporary, path)
     except BaseException:
         temporary.unlink(missing_ok=True)
         raise
+
+
+def save_json(path: Path | str, payload: Any) -> None:
+    """Write *payload* as pretty-printed JSON via the atomic
+    :func:`save_text` helper."""
+    save_text(path, json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
 
 
 def load_json(path: Path | str) -> Any:

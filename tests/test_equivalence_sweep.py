@@ -1,0 +1,168 @@
+"""The cross-path equivalence sweep.
+
+One parametrized test walks the full execution-mode matrix —
+
+    {fast paths on, off} x {workers 1, 2} x {lockstep, per-member trainer}
+
+— and asserts that every combination produces **bitwise identical**
+trained weights, session QoE, and uncertainty-signal streams as the
+reference combination (fast paths off, serial, per-member).  This is the
+single place the repository's "optimizations never change results"
+contract is enforced end-to-end; it replaces the scattered pairwise
+serial-vs-parallel checks that previously covered one axis each.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble_signals import PolicyEnsembleSignal
+from repro.core.monitor import MonitoredController
+from repro.core.thresholding import VarianceTrigger
+from repro.parallel import worker as parallel_worker
+from repro.parallel.executor import parallel_map
+from repro.pensieve.ensemble import train_value_ensemble
+from repro.pensieve.training import (
+    A2CTrainer,
+    LockstepEnsembleTrainer,
+    TrainingConfig,
+)
+from repro.perf import fast_paths
+from repro.policies.buffer_based import BufferBasedPolicy
+from repro.traces.dataset import make_dataset
+from repro.video.envivio import envivio_dash3_manifest
+
+SEEDS = (0, 1, 2)
+
+COMBOS = list(itertools.product([False, True], [1, 2], ["per-member", "lockstep"]))
+REFERENCE = (False, 1, "per-member")
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return envivio_dash3_manifest(repeats=1)
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_dataset("gamma_1_2", num_traces=4, duration_s=120.0, seed=0).split()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return TrainingConfig(epochs=2, gamma=0.9, n_step=4, filters=4, hidden=12)
+
+
+def _train_agents(engine: str, manifest, traces, config):
+    if engine == "lockstep":
+        return LockstepEnsembleTrainer(
+            manifest, traces, SEEDS, config=config
+        ).train()
+    return [
+        A2CTrainer(manifest, traces, config=config.with_seed(seed)).train()
+        for seed in SEEDS
+    ]
+
+
+def _weights(networks) -> list[np.ndarray]:
+    return [param.copy() for net in networks for param in net.params]
+
+
+def _controller(agents, manifest, allow_revert: bool):
+    return MonitoredController(
+        learned=agents[0],
+        default=BufferBasedPolicy(manifest.bitrates_kbps),
+        signal=PolicyEnsembleSignal(agents, trim=1),
+        trigger=VarianceTrigger(alpha=1e-4, k=3, l=1),
+        allow_revert=allow_revert,
+    )
+
+
+def _pooled_qoe(agents, manifest, test_traces, workers: int):
+    """Mean-free per-(policy, trace) outcomes through the real pool path:
+    the sticky safety controller and the bare agent on every test trace."""
+    policies = {
+        "safe": _controller(agents, manifest, allow_revert=False),
+        "agent": agents[0],
+    }
+    trace_groups = {"test": list(test_traces)}
+    tasks = [
+        (policy_key, "test", index, 0)
+        for policy_key in sorted(policies)
+        for index in range(len(test_traces))
+    ]
+    return parallel_map(
+        parallel_worker.evaluate_session,
+        tasks,
+        max_workers=workers,
+        initializer=parallel_worker.init_sessions,
+        initargs=(manifest, policies, trace_groups, None),
+    )
+
+
+def _signal_log(agents, manifest, trace):
+    """Per-decision signal values and actions from an in-process session.
+
+    Uses ``allow_revert=True`` so the signal is measured on *every* step
+    under both fast-path settings (the sticky controller deliberately
+    stops measuring after its hand-off when fast paths are on).
+    """
+    from repro.abr.session import run_session
+
+    controller = _controller(agents, manifest, allow_revert=True)
+    run_session(controller, manifest, trace, seed=0)
+    return (
+        [record.signal_value for record in controller.log],
+        [record.action for record in controller.log],
+    )
+
+
+def _run_combo(combo, manifest, split, config):
+    fast, workers, engine = combo
+    with fast_paths(fast):
+        agents = _train_agents(engine, manifest, split.train, config)
+        value_functions = train_value_ensemble(
+            agents[0],
+            manifest,
+            split.train,
+            size=3,
+            epochs=3,
+            filters=4,
+            hidden=12,
+            max_workers=workers,
+        )
+        return {
+            "agent_weights": _weights(
+                [net for agent in agents for net in (agent.actor, agent.critic)]
+            ),
+            "value_weights": _weights([vf.critic for vf in value_functions]),
+            "qoe": _pooled_qoe(agents, manifest, split.test, workers),
+            "signals": _signal_log(agents, manifest, split.test[0]),
+        }
+
+
+@pytest.fixture(scope="module")
+def reference(manifest, split, config):
+    return _run_combo(REFERENCE, manifest, split, config)
+
+
+@pytest.mark.parametrize("fast,workers,engine", COMBOS)
+def test_execution_mode_equivalence(
+    fast, workers, engine, manifest, split, config, reference, monkeypatch
+):
+    # The pool size is capped at os.cpu_count(); pretend this machine has
+    # enough cores so workers=2 exercises a real pool even on 1-CPU CI.
+    monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 4)
+    outcome = _run_combo((fast, workers, engine), manifest, split, config)
+
+    assert len(outcome["agent_weights"]) == len(reference["agent_weights"])
+    for ours, theirs in zip(outcome["agent_weights"], reference["agent_weights"]):
+        assert np.array_equal(ours, theirs)
+    for ours, theirs in zip(outcome["value_weights"], reference["value_weights"]):
+        assert np.array_equal(ours, theirs)
+    # Session outcomes: exact float equality, not approximate.
+    assert outcome["qoe"] == reference["qoe"]
+    assert outcome["signals"] == reference["signals"]

@@ -1,0 +1,138 @@
+"""Unit tests for the instrument primitives in :mod:`repro.obs.metrics`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import _RESERVOIR_CAP
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("tasks", {})
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("tasks", {})
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            counter.inc(-1)
+        assert counter.value == 0.0
+
+    def test_record_shape(self):
+        counter = Counter("tasks", {"mode": "serial"})
+        counter.inc(4)
+        assert counter.record() == {
+            "kind": "counter",
+            "name": "tasks",
+            "labels": {"mode": "serial"},
+            "value": 4.0,
+        }
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("pool.workers", {})
+        gauge.set(2)
+        gauge.set(4)
+        assert gauge.value == 4.0
+        assert gauge.updates == 2
+
+    def test_unset_gauge_records_none(self):
+        assert Gauge("pool.workers", {}).record()["value"] is None
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        histogram = Histogram("seconds", {})
+        for value in [3.0, 1.0, 2.0]:
+            histogram.observe(value)
+        record = histogram.record()
+        assert record["count"] == 3
+        assert record["sum"] == 6.0
+        assert record["min"] == 1.0
+        assert record["max"] == 3.0
+        assert record["mean"] == 2.0
+
+    def test_empty_histogram_records_none(self):
+        record = Histogram("seconds", {}).record()
+        assert record["count"] == 0
+        assert record["min"] is None
+        assert record["max"] is None
+        assert record["mean"] is None
+        assert record["p50"] is None
+
+    def test_reservoir_stays_bounded(self):
+        histogram = Histogram("seconds", {})
+        total = 10 * _RESERVOIR_CAP
+        for value in range(total):
+            histogram.observe(float(value))
+        assert histogram.count == total
+        assert len(histogram._samples) <= _RESERVOIR_CAP
+        # Exact aggregates are unaffected by decimation.
+        assert histogram.sum == float(total * (total - 1) // 2)
+        assert histogram.min == 0.0
+        assert histogram.max == float(total - 1)
+
+    def test_decimation_is_deterministic(self):
+        first = Histogram("seconds", {})
+        second = Histogram("seconds", {})
+        values = [((i * 37) % 100) / 7.0 for i in range(3 * _RESERVOIR_CAP)]
+        for value in values:
+            first.observe(value)
+            second.observe(value)
+        assert first.record() == second.record()
+
+    def test_percentiles_are_ordered(self):
+        histogram = Histogram("seconds", {})
+        for value in range(100):
+            histogram.observe(float(value))
+        p50, p90, p99 = (histogram.percentile(q) for q in (50, 90, 99))
+        assert p50 <= p90 <= p99 <= histogram.max
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_shared_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", kind="json")
+        registry.inc("hits", kind="json")
+        registry.inc("hits", kind="npz")
+        assert registry.counter("hits", kind="json").value == 2.0
+        assert registry.counter("hits", kind="npz").value == 1.0
+
+    def test_label_order_does_not_split_instruments(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", a="1", b="2")
+        registry.inc("hits", b="2", a="1")
+        assert registry.counter("hits", a="1", b="2").value == 2.0
+
+    def test_events_keep_emission_order(self):
+        registry = MetricsRegistry()
+        registry.event("cache.miss", artifact="x")
+        registry.event("cache.hit", artifact="y")
+        registry.event("cache.miss", artifact="z")
+        misses = registry.events("cache.miss")
+        assert [e["data"]["artifact"] for e in misses] == ["x", "z"]
+        assert [e["sequence"] for e in registry.events()] == [0, 1, 2]
+
+    def test_records_cover_every_instrument_kind(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 2.0)
+        registry.event("e")
+        kinds = [record["kind"] for record in registry.records()]
+        assert kinds == ["counter", "gauge", "histogram", "event"]
+
+    def test_instruments_are_sorted_for_stable_export(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a")
+        registry.inc("a", mode="x")
+        names = [
+            (i.name, i.labels) for i in registry.instruments()
+        ]
+        assert names == [("a", {}), ("a", {"mode": "x"}), ("b", {})]

@@ -1,0 +1,76 @@
+"""Unit tests for span tracing in :mod:`repro.obs.tracing`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestNesting:
+    def test_parent_and_depth_follow_call_structure(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        outer, inner, sibling = tracer.spans
+        assert (outer.parent_id, outer.depth) == (None, 0)
+        assert (inner.parent_id, inner.depth) == (outer.span_id, 1)
+        assert (sibling.parent_id, sibling.depth) == (outer.span_id, 1)
+
+    def test_spans_kept_in_opening_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [span.name for span in tracer.spans] == ["a", "b", "c"]
+        assert [span.span_id for span in tracer.spans] == [0, 1, 2]
+
+    def test_depth_property_tracks_open_spans(self):
+        tracer = Tracer()
+        assert tracer.depth == 0
+        with tracer.span("a"):
+            assert tracer.depth == 1
+            with tracer.span("b"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+
+
+class TestLifecycle:
+    def test_duration_filled_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            assert span.duration_s is None
+        assert span.duration_s is not None
+        assert span.duration_s >= 0.0
+
+    def test_attributes_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("work", tasks=12, engine="lockstep"):
+            pass
+        assert tracer.spans[0].attributes == {"tasks": 12, "engine": "lockstep"}
+
+    def test_exception_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("broken"):
+                raise ValueError("boom")
+        span = tracer.spans[0]
+        assert span.error == "ValueError"
+        assert span.duration_s is not None
+        # The stack unwound: a new span opens at the top level again.
+        assert tracer.depth == 0
+
+    def test_record_shape(self):
+        tracer = Tracer()
+        with tracer.span("work", n=1):
+            pass
+        record = tracer.records()[0]
+        assert record["kind"] == "span"
+        assert record["name"] == "work"
+        assert record["attributes"] == {"n": 1}
+        assert record["error"] is None

@@ -4,43 +4,30 @@ The executor's contract is that ``max_workers`` only changes wall-clock
 time: every parallel loop maps explicitly seeded task items in a fixed
 order, so the experiment pipeline produces the same floats at any pool
 size.
+
+The ensemble-level combinations (pool sizes x fast paths x training
+engines) are swept exhaustively in ``test_equivalence_sweep.py``; this
+module keeps the end-to-end check that the full experiment matrix —
+datasets, suites, calibration, evaluation — is identical at any pool
+size.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import FAST
 from repro.core.osap import SafetyConfig
 from repro.experiments.training_runs import run_all_distributions
-from repro.pensieve.ensemble import train_agent_ensemble, train_value_ensemble
 from repro.pensieve.training import TrainingConfig
-from repro.traces.dataset import make_dataset
-from repro.video.envivio import envivio_dash3_manifest
 
 
 @pytest.fixture(scope="module")
-def manifest():
-    return envivio_dash3_manifest(repeats=1)
-
-
-@pytest.fixture(scope="module")
-def train_traces():
-    return make_dataset("gamma_1_2", num_traces=4, duration_s=120.0, seed=0).split().train
-
-
-@pytest.fixture(scope="module")
-def tiny_training():
-    return TrainingConfig(epochs=2, gamma=0.9, n_step=4, filters=4, hidden=12)
-
-
-@pytest.fixture(scope="module")
-def tiny_config(tiny_training):
+def tiny_config():
     return FAST.scaled(
         name="tiny-parallel",
         num_traces=4,
         trace_duration_s=200.0,
         video_repeats=1,
-        training=tiny_training,
+        training=TrainingConfig(epochs=2, gamma=0.9, n_step=4, filters=4, hidden=12),
         safety=SafetyConfig(
             ensemble_size=3,
             trim=1,
@@ -52,43 +39,6 @@ def tiny_config(tiny_training):
         datasets=("gamma_1_2", "exponential"),
         random_eval_repeats=1,
     )
-
-
-@pytest.mark.parametrize("max_workers", [2, 4])
-def test_agent_ensemble_identical_across_pool_sizes(
-    manifest, train_traces, tiny_training, max_workers
-):
-    serial = train_agent_ensemble(
-        manifest, train_traces, size=3, config=tiny_training, max_workers=1
-    )
-    parallel = train_agent_ensemble(
-        manifest, train_traces, size=3, config=tiny_training, max_workers=max_workers
-    )
-    assert len(serial) == len(parallel) == 3
-    for a, b in zip(serial, parallel):
-        for p, q in zip(a.actor.params, b.actor.params):
-            assert np.array_equal(p, q)
-        for p, q in zip(a.critic.params, b.critic.params):
-            assert np.array_equal(p, q)
-
-
-def test_value_ensemble_identical_across_pool_sizes(
-    manifest, train_traces, tiny_training
-):
-    agent = train_agent_ensemble(
-        manifest, train_traces, size=1, config=tiny_training, max_workers=1
-    )[0]
-    kwargs = dict(size=3, epochs=3, filters=4, hidden=12)
-    serial = train_value_ensemble(
-        agent, manifest, train_traces, max_workers=1, **kwargs
-    )
-    parallel = train_value_ensemble(
-        agent, manifest, train_traces, max_workers=4, **kwargs
-    )
-    for a, b in zip(serial, parallel):
-        assert a.name == b.name
-        for p, q in zip(a.critic.params, b.critic.params):
-            assert np.array_equal(p, q)
 
 
 @pytest.mark.parametrize("max_workers", [4])

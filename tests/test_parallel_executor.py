@@ -46,18 +46,42 @@ class TestResolveMaxWorkers:
         monkeypatch.setenv(MAX_WORKERS_ENV, "4")
         assert resolve_max_workers() == 4
 
-    def test_non_integer_environment_rejected(self, monkeypatch):
-        monkeypatch.setenv(MAX_WORKERS_ENV, "many")
-        with pytest.raises(ParallelError):
+    @pytest.mark.parametrize("value", ["many", "2.5", "4x", "1 2"])
+    def test_non_integer_environment_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(MAX_WORKERS_ENV, value)
+        with pytest.raises(ParallelError) as excinfo:
             resolve_max_workers()
+        # The error must say which variable is broken, what it held, and
+        # what a valid setting looks like.
+        message = str(excinfo.value)
+        assert MAX_WORKERS_ENV in message
+        assert repr(value) in message
+        assert f"{MAX_WORKERS_ENV}=4" in message
 
-    def test_nonpositive_rejected(self, monkeypatch):
-        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
-        with pytest.raises(ParallelError):
-            resolve_max_workers(0)
-        monkeypatch.setenv(MAX_WORKERS_ENV, "-2")
-        with pytest.raises(ParallelError):
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_nonpositive_environment_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(MAX_WORKERS_ENV, value)
+        with pytest.raises(ParallelError) as excinfo:
             resolve_max_workers()
+        message = str(excinfo.value)
+        assert MAX_WORKERS_ENV in message
+        assert "unset it" in message
+
+    def test_nonpositive_argument_rejected(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        with pytest.raises(ParallelError, match="max_workers must be >= 1"):
+            resolve_max_workers(0)
+        with pytest.raises(ParallelError, match="max_workers must be >= 1"):
+            resolve_max_workers(-3)
+
+    @pytest.mark.parametrize("value", ["", "   "])
+    def test_blank_environment_means_serial(self, monkeypatch, value):
+        monkeypatch.setenv(MAX_WORKERS_ENV, value)
+        assert resolve_max_workers() == 1
+
+    def test_environment_tolerates_whitespace(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, " 4 ")
+        assert resolve_max_workers() == 4
 
 
 class TestParallelMap:

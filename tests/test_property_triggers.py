@@ -1,0 +1,171 @@
+"""Property-based edge cases: trigger boundaries and cache fingerprints.
+
+Hypothesis drives the defaulting triggers through their boundary
+behaviours — degenerate window sizes, signals landing *exactly* on the
+threshold, recovery straight after a fire — and checks that the artifact
+cache's fingerprint key responds to a change in **every** configuration
+field (a field the key ignored would silently serve stale results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SMOKE
+from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
+from repro.errors import SafetyError
+from repro.experiments.artifacts import ArtifactCache
+from repro.util.serialization import stable_hash
+
+signal_streams = st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60)
+window_sizes = st.integers(2, 6)
+
+
+class TestDegenerateWindows:
+    def test_variance_trigger_rejects_k1(self):
+        # A single sample has no variance; k=1 must be a loud error, not a
+        # trigger that silently never (or always) fires.
+        with pytest.raises(SafetyError, match="k must be >= 2"):
+            VarianceTrigger(alpha=0.1, k=1)
+
+    @pytest.mark.parametrize("k", [0, -3])
+    def test_variance_trigger_rejects_nonpositive_k(self, k):
+        with pytest.raises(SafetyError):
+            VarianceTrigger(alpha=0.1, k=k)
+
+    @pytest.mark.parametrize("l", [0, -1])
+    def test_triggers_reject_nonpositive_l(self, l):
+        with pytest.raises(SafetyError):
+            ConsecutiveTrigger(l=l)
+        with pytest.raises(SafetyError):
+            VarianceTrigger(alpha=0.1, k=3, l=l)
+
+
+class TestExactlyAtThreshold:
+    @settings(max_examples=60)
+    @given(signal_streams, window_sizes)
+    def test_variance_exactly_alpha_never_fires(self, stream, k):
+        """The rule is strictly ``variance > alpha``: set alpha to the
+        largest variance the stream actually attains and nothing fires."""
+        probe = VarianceTrigger(alpha=float("inf"), k=k, l=1)
+        variances = []
+        for value in stream:
+            probe.update(value)
+            variances.append(probe.window_variance())
+        trigger = VarianceTrigger(alpha=max(variances), k=k, l=1)
+        assert not any(trigger.update(value) for value in stream)
+
+    @given(st.integers(0, 100), window_sizes)
+    def test_constant_stream_never_fires_at_alpha_zero(self, level, k):
+        # Integer-valued levels keep the window mean exact, so the variance
+        # of a constant stream is exactly 0.0 — equal to alpha, not above it.
+        trigger = VarianceTrigger(alpha=0.0, k=k, l=1)
+        assert not any(trigger.update(float(level)) for _ in range(3 * k))
+
+    def test_consecutive_trigger_zero_is_not_uncertain(self):
+        # The binary rule is strictly ``value > 0``: an exactly-zero
+        # sample breaks the streak rather than extending it.
+        trigger = ConsecutiveTrigger(l=2)
+        assert [trigger.update(v) for v in [1.0, 0.0, 1.0, 1.0]] == [
+            False, False, False, True,
+        ]
+
+
+class TestImmediateBehaviour:
+    @settings(max_examples=60)
+    @given(signal_streams, window_sizes)
+    def test_l1_fires_exactly_when_variance_exceeds_alpha(self, stream, k):
+        alpha = 0.5
+        trigger = VarianceTrigger(alpha=alpha, k=k, l=1)
+        reference = VarianceTrigger(alpha=float("inf"), k=k, l=1)
+        for value in stream:
+            reference.update(value)
+            assert trigger.update(value) == (
+                reference.window_variance() > alpha
+            )
+
+    @settings(max_examples=60)
+    @given(signal_streams, window_sizes)
+    def test_recovery_within_k_steps_of_quiet_signal(self, stream, k):
+        """Immediately after any fire, a signal that goes quiet (constant)
+        stops the trigger within one window: the variance hits exactly 0
+        once the window refills, and the l-streak dies with it."""
+        trigger = VarianceTrigger(alpha=1e-6, k=k, l=1)
+        fired_somewhere = False
+        for value in stream:
+            if trigger.update(value):
+                fired_somewhere = True
+                decisions = [trigger.update(value) for _ in range(k)]
+                assert decisions[-1] is False
+        if not fired_somewhere:
+            # Streams too calm to fire still exercise the no-fire path.
+            assert trigger.window_variance() <= 1e-6 or len(stream) < k
+
+
+def _flatten(prefix: str, payload) -> list[tuple[str, object]]:
+    if isinstance(payload, dict):
+        return [
+            item
+            for key, value in payload.items()
+            for item in _flatten(f"{prefix}{key}.", value)
+        ]
+    return [(prefix[:-1], payload)]
+
+
+def _perturb(payload, path: str):
+    """A deep copy of *payload* with the field at dotted *path* changed."""
+    if isinstance(payload, dict):
+        head, _, rest = path.partition(".")
+        return {
+            key: _perturb(value, rest) if key == head else value
+            for key, value in payload.items()
+        }
+    if isinstance(payload, bool):
+        return not payload
+    if isinstance(payload, (int, float)):
+        return payload + 1
+    if isinstance(payload, str):
+        return payload + "-changed"
+    if isinstance(payload, (list, tuple)):
+        return list(payload) + ["changed"]
+    raise AssertionError(f"unhandled fingerprint field type {type(payload)}")
+
+
+FINGERPRINT_FIELDS = [path for path, _ in _flatten("", SMOKE.describe())]
+
+
+class TestCacheFingerprint:
+    @pytest.mark.parametrize("path", FINGERPRINT_FIELDS)
+    def test_every_config_field_invalidates_the_key(self, tmp_path, path):
+        base = SMOKE.describe()
+        cache = ArtifactCache(base, root=tmp_path)
+        perturbed = ArtifactCache(_perturb(base, path), root=tmp_path)
+        assert perturbed.key != cache.key, (
+            f"changing {path!r} did not change the cache key — stale "
+            "artifacts would be served after that config change"
+        )
+
+    def test_key_independent_of_field_order(self, tmp_path):
+        base = SMOKE.describe()
+        reversed_order = dict(reversed(list(base.items())))
+        assert (
+            ArtifactCache(base, root=tmp_path).key
+            == ArtifactCache(reversed_order, root=tmp_path).key
+        )
+
+    def test_stable_hash_handles_numpy_scalars(self):
+        assert stable_hash({"a": np.float64(1.5)}) == stable_hash({"a": 1.5})
+
+    def test_schema_version_is_part_of_the_key(self, tmp_path):
+        from repro.experiments import artifacts
+
+        base = SMOKE.describe()
+        original = ArtifactCache(base, root=tmp_path).key
+        try:
+            artifacts.SCHEMA_VERSION += 1
+            assert ArtifactCache(base, root=tmp_path).key != original
+        finally:
+            artifacts.SCHEMA_VERSION -= 1
