@@ -14,12 +14,15 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from repro import obs
-from repro.config import get_config
+from repro.config import ExperimentConfig, get_config
 from repro.errors import ReproError
+from repro.parallel import executor
+from repro.pensieve import checkpoint
 from repro.experiments import (
     measure_runtimes,
     render_report,
@@ -97,6 +100,30 @@ def build_parser() -> argparse.ArgumentParser:
                     "the repository root)"
                 ),
             )
+            sub.add_argument(
+                "--resume",
+                action="store_true",
+                help=(
+                    "checkpoint training at epoch boundaries and resume "
+                    "any interrupted suite build from its last checkpoint "
+                    f"(cadence: the {checkpoint.CHECKPOINT_EVERY_ENV} "
+                    "environment variable, else every epoch); resumed "
+                    "results are bitwise identical to uninterrupted runs"
+                ),
+            )
+            sub.add_argument(
+                "--task-timeout",
+                type=float,
+                default=None,
+                metavar="SECONDS",
+                help=(
+                    "per-task deadline for the experiment sweep's process "
+                    "pool (default: the "
+                    f"{executor.TASK_TIMEOUT_ENV} environment variable, "
+                    "else no deadline); a stalled worker is killed and its "
+                    "tasks retried or failed fast"
+                ),
+            )
     return parser
 
 
@@ -140,8 +167,26 @@ def _cmd_traces(args, out) -> int:
     return 0
 
 
-def _cmd_figures(args, out) -> int:
+def _experiment_config(args) -> ExperimentConfig:
+    """The configuration tier with the resilience flags applied.
+
+    ``--task-timeout`` is exported through the environment so forked
+    workers (which resolve their own executor knobs) inherit it;
+    ``--resume`` switches on epoch checkpointing, whose cadence rides on
+    the config object shipped to every worker.
+    """
     config = get_config(args.config)
+    if getattr(args, "task_timeout", None) is not None:
+        executor.resolve_task_timeout(args.task_timeout)  # validate early
+        os.environ[executor.TASK_TIMEOUT_ENV] = str(args.task_timeout)
+    if getattr(args, "resume", False):
+        every = checkpoint.resolve_checkpoint_every(None) or 1
+        config = config.scaled(checkpoint_every=every)
+    return config
+
+
+def _cmd_figures(args, out) -> int:
+    config = _experiment_config(args)
     cache = ArtifactCache(config.describe(), root=args.cache_root)
     matrix = run_all_distributions(
         config, cache, max_workers=args.workers, weight_root=cache.root
@@ -170,7 +215,7 @@ def _cmd_runtimes(args, out) -> int:
 def _cmd_shapes(args, out) -> int:
     from repro.experiments.report import PRIMARY_CLAIMS
 
-    config = get_config(args.config)
+    config = _experiment_config(args)
     cache = ArtifactCache(config.describe(), root=args.cache_root)
     matrix = run_all_distributions(
         config, cache, max_workers=args.workers, weight_root=cache.root

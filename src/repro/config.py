@@ -45,6 +45,12 @@ class ExperimentConfig:
     suite_seed: int = 0
     eval_seed: int = 0
     random_eval_repeats: int = 3
+    #: Training-checkpoint cadence in epochs (0 = off).  Deliberately
+    #: excluded from :meth:`describe` — checkpointing changes *how* a run
+    #: executes, never *what* it computes (resumed runs are bitwise
+    #: identical), so it must not invalidate caches or weight
+    #: fingerprints.
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.num_traces < 3:
@@ -67,6 +73,10 @@ class ExperimentConfig:
         if self.random_eval_repeats < 1:
             raise ConfigError(
                 f"random_eval_repeats must be >= 1, got {self.random_eval_repeats}"
+            )
+        if self.checkpoint_every < 0:
+            raise ConfigError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
 
     def describe(self) -> dict:

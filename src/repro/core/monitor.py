@@ -9,7 +9,7 @@ the safety controller with a full decision log; and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -150,6 +150,7 @@ def build_safety_suite(
     seed: int = 0,
     max_workers: int | None = None,
     weight_cache: "ArtifactCache | None" = None,
+    checkpoint_every: int | None = None,
 ) -> SafetySuite:
     """Run the full offline phase for one training distribution.
 
@@ -159,6 +160,11 @@ def build_safety_suite(
     keyed by the training fingerprint) persists both ensembles' trained
     weights as ``.npz`` artifacts, so rebuilding the suite with an
     unchanged configuration loads the networks instead of retraining.
+    *checkpoint_every* (or ``REPRO_CHECKPOINT_EVERY``) additionally
+    checkpoints both trainings every N epochs into the same cache, so a
+    suite build killed mid-ensemble resumes at the last epoch boundary
+    with bitwise-identical results (see
+    :mod:`repro.pensieve.checkpoint`).
     """
     safety = safety_config if safety_config is not None else SafetyConfig()
     training = training_config if training_config is not None else TrainingConfig()
@@ -174,6 +180,7 @@ def build_safety_suite(
         root_seed=seed,
         max_workers=max_workers,
         cache=weight_cache,
+        checkpoint_every=checkpoint_every,
     )
     # Standard model selection: deploy the ensemble member with the best
     # validation QoE.  (All members still feed the U_pi signal.)
@@ -198,6 +205,7 @@ def build_safety_suite(
         root_seed=seed,
         max_workers=max_workers,
         cache=weight_cache,
+        checkpoint_every=checkpoint_every,
     )
     k_ocsvm = safety.ocsvm_k(is_synthetic)
     throughputs = collect_training_throughputs(

@@ -59,3 +59,17 @@ class ParallelError(ReproError):
 
 class ObservabilityError(ReproError):
     """The metrics/tracing layer was used or exported incorrectly."""
+
+
+class ChaosError(ReproError):
+    """A fault deliberately injected by the chaos harness.
+
+    Raised (never caught) by :mod:`repro.parallel.chaos` so that tests and
+    the fault-smoke harness can distinguish injected failures from real
+    ones: seeing a ``ChaosError`` escape means the fault *propagated
+    correctly*, not that the pipeline is broken.
+    """
+
+
+class CheckpointError(ReproError):
+    """A training checkpoint is malformed or does not match its trainer."""

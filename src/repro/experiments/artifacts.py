@@ -116,6 +116,23 @@ class ArtifactCache:
         save_arrays(self.array_path(name), arrays)
         obs.event("cache.store", artifact=name, kind="npz", fingerprint=self.key)
 
+    def discard(self, name: str) -> bool:
+        """Remove the JSON artifact *name* if present; report whether it
+        existed.  Used by the checkpoint layer to drop intermediate state
+        once a run's final artifact is stored."""
+        path = self.path(name)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
+
+    def discard_arrays(self, name: str) -> bool:
+        """Remove the ``.npz`` artifact *name* if present; report whether
+        it existed."""
+        path = self.array_path(name)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
+
     def get_or_compute(self, name: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value, computing and storing it on a miss."""
         if self.has(name):

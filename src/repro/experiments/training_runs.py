@@ -265,6 +265,7 @@ def compute_training_distribution(
             seed=config.suite_seed,
             max_workers=max_workers,
             weight_cache=_weight_cache(config, train_name, weight_root),
+            checkpoint_every=config.checkpoint_every,
         )
     policies = {"Pensieve": suite.agent, **suite.controllers()}
     trace_groups = {

@@ -1,4 +1,4 @@
-"""A deterministic process-pool executor for embarrassingly parallel loops.
+"""A deterministic, fault-tolerant process-pool executor.
 
 :func:`parallel_map` is the single primitive the experiment, ensemble, and
 evaluation layers build on.  Its contract:
@@ -7,7 +7,9 @@ evaluation layers build on.  Its contract:
   an explicit, self-contained description of its work (callers put the
   per-item seed *inside* the item, fanned out with
   :func:`repro.util.rng.spawn_seeds`), so the output is bitwise-identical
-  whatever the worker count, including the serial fallback.
+  whatever the worker count, including the serial fallback — and whatever
+  faults were recovered from along the way, because a retried task is the
+  same pure function of the same item.
 * **One-time state shipping** — *initializer*/*initargs* run once per
   worker process (not once per task), which is where callers ship the
   manifest, traces, and trained policies; tasks themselves stay tiny.
@@ -15,11 +17,23 @@ evaluation layers build on.  Its contract:
   than two items, on platforms without ``fork``, or when already inside a
   worker process (no nested pools), the same function/items are executed
   in-process in order.
-* **Attributed failures** — a task that raises inside a worker re-raises
-  the *original* exception in the parent with a :class:`ParallelError`
-  cause naming the failing task; a worker that dies outright (segfault,
-  ``os._exit``) surfaces as a :class:`ParallelError` naming the tasks it
-  was running, never a hang or a bare ``BrokenProcessPool``.
+* **Fault tolerance** — a task that raises may be retried (``retries`` /
+  ``REPRO_TASK_RETRIES``) with bounded exponential backoff; a worker that
+  dies outright (segfault, OOM kill, ``os._exit``) triggers a pool
+  respawn that requeues *only* the unfinished tasks; a task that stalls
+  past its deadline (``task_timeout`` / ``REPRO_TASK_TIMEOUT``) has its
+  pool killed and is treated like a failed attempt.  When the pool keeps
+  breaking faster than its respawn budget (``REPRO_POOL_RESPAWNS``), the
+  remaining tasks degrade to in-process serial execution with a
+  structured reason, so the pipeline finishes rather than flapping.
+* **Attributed failures** — once a task exhausts its attempt budget, the
+  *original* exception re-raises in the parent with a
+  :class:`ParallelError` cause naming the failing task; a worker death
+  or deadline surfaces as a :class:`ParallelError` naming the tasks the
+  dead worker held, never a hang and never a bare ``BrokenProcessPool``.
+
+With the defaults (no retries, no deadline) the failure semantics are
+exactly the historical ones: the first fault is fatal and attributed.
 
 Worker-count resolution: an explicit ``max_workers`` argument wins,
 otherwise the ``REPRO_MAX_WORKERS`` environment variable, otherwise 1
@@ -31,9 +45,13 @@ tasks, so oversubscribing cores only adds fork and scheduling overhead
 which benchmarking showed to be faster there than any pool).
 
 When metric collection is on (:mod:`repro.obs`), every call records task
-dispatch/completion counters, the pool width, per-chunk worker walls, and
-an end-of-pool worker-utilization gauge; serial fallbacks record which of
-the conditions above triggered them.
+dispatch/completion counters, the pool width, per-chunk worker walls, an
+end-of-pool worker-utilization gauge, and — new with fault tolerance —
+retry/respawn/timeout counters plus structured events for every recovery
+action; serial fallbacks record which condition triggered them.  The
+chaos harness (:mod:`repro.parallel.chaos`) hooks each task's execution
+inside the worker, which is how the fault paths are tested
+deterministically.
 """
 
 from __future__ import annotations
@@ -41,17 +59,42 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
 from repro import obs
 from repro.errors import ParallelError
+from repro.parallel import chaos
 
-__all__ = ["parallel_map", "resolve_max_workers", "in_worker"]
+__all__ = [
+    "parallel_map",
+    "resolve_max_workers",
+    "resolve_task_retries",
+    "resolve_task_timeout",
+    "resolve_pool_respawns",
+    "backoff_delay",
+    "in_worker",
+]
 
 #: Environment variable consulted when ``max_workers`` is not given.
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+#: Environment variable consulted when ``retries`` is not given (default 0).
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+#: Environment variable consulted when ``task_timeout`` is not given
+#: (seconds per task; unset means no deadline).
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+#: Environment variable bounding pool respawns per call (default 2).
+POOL_RESPAWNS_ENV = "REPRO_POOL_RESPAWNS"
+
+#: First retry backoff; doubles per attempt up to :data:`BACKOFF_MAX_S`.
+BACKOFF_BASE_S = 0.05
+#: Upper bound of the exponential retry backoff.
+BACKOFF_MAX_S = 2.0
+#: Slack added to every deadline wait, absorbing fork/initializer/pickle
+#: overhead so ``task_timeout`` can be sized to the task alone.
+DEADLINE_GRACE_S = 0.5
 
 _IN_WORKER = False
 
@@ -93,19 +136,99 @@ def resolve_max_workers(max_workers: int | None = None) -> int:
     return max_workers
 
 
+def resolve_task_retries(retries: int | None = None) -> int:
+    """Resolve the per-task retry budget (attempts beyond the first).
+
+    Precedence: explicit argument, then ``REPRO_TASK_RETRIES``, then 0 —
+    i.e. fault tolerance is opt-in and the default behaviour is the
+    historical fail-fast one.
+    """
+    if retries is None:
+        env = os.environ.get(TASK_RETRIES_ENV, "").strip()
+        if not env:
+            return 0
+        try:
+            retries = int(env)
+        except ValueError as exc:
+            raise ParallelError(
+                f"{TASK_RETRIES_ENV} must be a non-negative integer, got {env!r}"
+            ) from exc
+    if retries < 0:
+        raise ParallelError(f"retries must be >= 0, got {retries}")
+    return retries
+
+
+def resolve_task_timeout(task_timeout: float | None = None) -> float | None:
+    """Resolve the per-task deadline in seconds (``None`` = no deadline).
+
+    Precedence: explicit argument, then ``REPRO_TASK_TIMEOUT``, then no
+    deadline.  The deadline must cover one task's work; pool startup and
+    result shipping ride on :data:`DEADLINE_GRACE_S`.
+    """
+    if task_timeout is None:
+        env = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
+        if not env:
+            return None
+        try:
+            task_timeout = float(env)
+        except ValueError as exc:
+            raise ParallelError(
+                f"{TASK_TIMEOUT_ENV} must be a positive number of seconds, "
+                f"got {env!r}"
+            ) from exc
+    if task_timeout <= 0:
+        raise ParallelError(
+            f"task_timeout must be positive, got {task_timeout}"
+        )
+    return task_timeout
+
+
+def resolve_pool_respawns() -> int:
+    """How many pool respawns one :func:`parallel_map` call may spend
+    before degrading to serial execution (``REPRO_POOL_RESPAWNS``,
+    default 2)."""
+    env = os.environ.get(POOL_RESPAWNS_ENV, "").strip()
+    if not env:
+        return 2
+    try:
+        respawns = int(env)
+    except ValueError as exc:
+        raise ParallelError(
+            f"{POOL_RESPAWNS_ENV} must be a non-negative integer, got {env!r}"
+        ) from exc
+    if respawns < 0:
+        raise ParallelError(f"pool respawns must be >= 0, got {respawns}")
+    return respawns
+
+
+def backoff_delay(attempt: int) -> float:
+    """Bounded exponential backoff before retry *attempt* (1-based):
+    ``BACKOFF_BASE_S * 2**(attempt-1)`` capped at :data:`BACKOFF_MAX_S`."""
+    return min(BACKOFF_BASE_S * (2.0 ** (attempt - 1)), BACKOFF_MAX_S)
+
+
 class _TaskFailure(Exception):
     """Picklable wrapper shipping a task's exception back with attribution.
 
     All fields ride in ``args`` so the default exception pickling used by
     the pool's result channel reconstructs the wrapper (and the original
-    exception inside it) in the parent process.
+    exception inside it) in the parent process.  ``completed`` carries the
+    chunk's already-finished ``(index, value)`` pairs so a retry requeues
+    only the failing task and its untouched successors.
     """
 
-    def __init__(self, index: int, item_repr: str, exception: BaseException) -> None:
-        super().__init__(index, item_repr, exception)
+    def __init__(
+        self,
+        index: int,
+        item_repr: str,
+        exception: BaseException,
+        completed: list[tuple[int, Any]],
+    ) -> None:
+        super().__init__(index, item_repr, exception, completed)
         self.index = index
         self.item_repr = item_repr
         self.exception = exception
+        self.completed = completed
 
 
 def _worker_bootstrap(
@@ -120,22 +243,25 @@ def _worker_bootstrap(
 
 
 def _run_chunk(
-    fn: Callable[[Any], Any], chunk: Sequence[Any], offset: int
-) -> tuple[list[Any], float]:
-    """Run one contiguous chunk of tasks inside a worker.
+    fn: Callable[[Any], Any], pairs: Sequence[tuple[int, Any]]
+) -> tuple[list[tuple[int, Any]], float]:
+    """Run one chunk of ``(index, item)`` tasks inside a worker.
 
-    Returns ``(values, wall_seconds)`` — the worker-side wall time is what
-    the parent aggregates into the utilization gauge.  A failing task is
-    wrapped in :class:`_TaskFailure` carrying its global index.
+    Returns ``(completed_pairs, wall_seconds)`` — the worker-side wall
+    time is what the parent aggregates into the utilization gauge.  A
+    failing task is wrapped in :class:`_TaskFailure` carrying its global
+    index and the chunk's completed prefix.  The chaos harness hooks each
+    task here (site ``"task"``, by global index).
     """
     start = time.perf_counter()
-    values: list[Any] = []
-    for position, item in enumerate(chunk):
+    completed: list[tuple[int, Any]] = []
+    for index, item in pairs:
         try:
-            values.append(fn(item))
+            chaos.maybe_fire("task", index)
+            completed.append((index, fn(item)))
         except BaseException as exc:
-            raise _TaskFailure(offset + position, repr(item), exc) from exc
-    return values, time.perf_counter() - start
+            raise _TaskFailure(index, repr(item), exc, completed) from exc
+    return completed, time.perf_counter() - start
 
 
 def _serial_map(
@@ -169,6 +295,8 @@ def parallel_map(
     initializer: Callable[..., None] | None = None,
     initargs: Sequence[Any] = (),
     chunk_size: int | None = None,
+    retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> list[Any]:
     """Map *fn* over *items*, optionally across a process pool.
 
@@ -178,18 +306,29 @@ def parallel_map(
     ``chunk_size`` controls scheduling granularity (default: about four
     chunks per worker).
 
+    ``retries`` bounds how many times one task may fail (by raising,
+    stalling past ``task_timeout``, or taking its worker down) before the
+    call gives up; retried attempts back off exponentially (bounded) and
+    rerun the identical item, so recovered runs return the same values.
+    Both knobs also resolve from ``REPRO_TASK_RETRIES`` /
+    ``REPRO_TASK_TIMEOUT`` and default to the historical fail-fast,
+    no-deadline behaviour.
+
     The pool size never exceeds ``os.cpu_count()``: more workers than
     cores cannot speed up CPU-bound tasks, and on a one-CPU machine the
     serial fallback avoids pure fork/pickle overhead.
 
-    A task exception re-raises in the parent with its original type; its
-    ``__cause__`` is a :class:`ParallelError` naming the task.  A worker
-    death raises :class:`ParallelError` naming the tasks the dead worker
+    A task exception that exhausts its attempts re-raises in the parent
+    with its original type; its ``__cause__`` is a :class:`ParallelError`
+    naming the task.  A worker death or missed deadline that exhausts its
+    attempts raises :class:`ParallelError` naming the tasks the worker
     held.
     """
     items = list(items)
     if chunk_size is not None and chunk_size < 1:
         raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
+    retries = resolve_task_retries(retries)
+    task_timeout = resolve_task_timeout(task_timeout)
     workers = min(
         resolve_max_workers(max_workers),
         max(len(items), 1),
@@ -210,7 +349,220 @@ def parallel_map(
         return values
     if chunk_size is None:
         chunk_size = max(1, len(items) // (workers * 4))
-    return _parallel_map_pool(fn, items, workers, initializer, initargs, chunk_size)
+    return _parallel_map_pool(
+        fn, items, workers, initializer, initargs, chunk_size, retries, task_timeout
+    )
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Forcibly terminate a pool's worker processes.
+
+    Used when a task stalls past its deadline: the stuck worker would
+    otherwise block shutdown forever.  Reaches into the executor's
+    process table (stable across CPython 3.10–3.12) but tolerates its
+    absence.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+
+
+class _PoolFault(Exception):
+    """Internal control flow: the current pool must be abandoned.
+
+    ``lost`` holds the index chunks whose results were not collected and
+    must be requeued on the next pool; ``kind`` is ``"death"`` or
+    ``"stall"`` (a stall additionally requires killing the stuck worker).
+    """
+
+    def __init__(self, kind: str, lost: list[tuple[int, ...]]) -> None:
+        super().__init__(kind)
+        self.kind = kind
+        self.lost = lost
+
+
+class _MapState:
+    """Bookkeeping shared across pool generations of one call."""
+
+    def __init__(self, items: Sequence[Any], retries: int) -> None:
+        self.items = items
+        self.retries = retries
+        self.results: list[Any] = [None] * len(items)
+        self.done = [False] * len(items)
+        self.attempts: dict[int, int] = {}
+        self.busy_seconds = 0.0
+
+    def store(self, completed: Sequence[tuple[int, Any]]) -> None:
+        for index, value in completed:
+            self.results[index] = value
+            self.done[index] = True
+        if completed and obs.enabled():
+            obs.inc("executor.tasks.completed", len(completed), mode="parallel")
+
+    def unfinished(self, chunk: Sequence[int]) -> tuple[int, ...]:
+        return tuple(index for index in chunk if not self.done[index])
+
+    def remaining(self) -> list[int]:
+        return [index for index, done in enumerate(self.done) if not done]
+
+    def charge(self, indices: Sequence[int], why: str, fail_fast: bool = True) -> int:
+        """Count one failed attempt against every task in *indices*;
+        returns the highest attempt count.  With *fail_fast* (the default)
+        raises the attributed :class:`ParallelError` once any task
+        exhausts its budget."""
+        worst = 0
+        for index in indices:
+            count = self.attempts.get(index, 0) + 1
+            self.attempts[index] = count
+            worst = max(worst, count)
+        if fail_fast and worst > self.retries and indices:
+            first, last = min(indices), max(indices)
+            if why == "stall":
+                raise ParallelError(
+                    f"tasks {first}..{last} (first item: "
+                    f"{self.items[first]!r}) exceeded the per-task deadline "
+                    f"and exhausted {self.retries + 1} attempt(s); raise "
+                    f"{TASK_TIMEOUT_ENV} or rerun with max_workers=1 to "
+                    "debug the stalling task in-process"
+                )
+            raise ParallelError(
+                f"a worker process died while running tasks {first}..{last} "
+                f"(first item: {self.items[first]!r}); the pool cannot "
+                "continue — rerun with max_workers=1 to debug the failing "
+                "task in-process"
+            )
+        return worst
+
+
+def _chunked(indices: Sequence[int], chunk_size: int) -> list[tuple[int, ...]]:
+    return [
+        tuple(indices[offset : offset + chunk_size])
+        for offset in range(0, len(indices), chunk_size)
+    ]
+
+
+def _harvest(
+    state: _MapState,
+    submitted: Sequence[tuple[tuple[int, ...], Future]],
+) -> list[tuple[int, ...]]:
+    """After a pool fault: collect every already-finished future's results
+    and return the unfinished chunks (to be requeued, uncharged)."""
+    lost: list[tuple[int, ...]] = []
+    for chunk, future in submitted:
+        future.cancel()
+        salvage: tuple[int, ...] | None = None
+        if future.done() and not future.cancelled():
+            try:
+                completed, chunk_wall = future.result(timeout=0)
+            except _TaskFailure as failure:
+                state.store(failure.completed)
+                salvage = state.unfinished(chunk)
+                # Budget the failure, but let the *next* attempt surface
+                # it with the proper attribution if it keeps failing.
+                state.charge([failure.index], "raise", fail_fast=False)
+            except BaseException:
+                salvage = state.unfinished(chunk)
+            else:
+                state.store(completed)
+                state.busy_seconds += chunk_wall
+        else:
+            salvage = state.unfinished(chunk)
+        if salvage:
+            lost.append(salvage)
+    return lost
+
+
+def _drain_generation(
+    pool: ProcessPoolExecutor,
+    fn: Callable[[Any], Any],
+    state: _MapState,
+    chunks: list[tuple[int, ...]],
+    task_timeout: float | None,
+) -> None:
+    """Run *chunks* (plus any retry waves) to completion on one pool.
+
+    Returns normally when every submitted task finished or permanently
+    failed fast; raises :class:`_PoolFault` when the pool must be
+    abandoned (worker death or deadline stall), carrying the chunks that
+    still need to run.
+    """
+    watching = obs.enabled()
+    wave = list(chunks)
+    while wave:
+        submitted = [
+            (
+                chunk,
+                pool.submit(
+                    _run_chunk, fn, tuple((i, state.items[i]) for i in chunk)
+                ),
+            )
+            for chunk in wave
+        ]
+        wave = []
+        backoff = 0.0
+        for position, (chunk, future) in enumerate(submitted):
+            timeout = (
+                None
+                if task_timeout is None
+                else task_timeout * len(chunk) + DEADLINE_GRACE_S
+            )
+            try:
+                completed, chunk_wall = future.result(timeout=timeout)
+            except _TaskFailure as failure:
+                state.store(failure.completed)
+                remainder = tuple(
+                    i for i in state.unfinished(chunk) if i != failure.index
+                )
+                attempt = state.attempts.get(failure.index, 0) + 1
+                if attempt > state.retries:
+                    for _, pending in submitted:
+                        pending.cancel()
+                    raise failure.exception from ParallelError(
+                        f"task {failure.index} ({failure.item_repr}) raised "
+                        f"{type(failure.exception).__name__} in a worker "
+                        f"process (attempt {attempt} of {state.retries + 1})"
+                    )
+                state.attempts[failure.index] = attempt
+                if remainder:
+                    wave.append(remainder)
+                wave.append((failure.index,))
+                backoff = max(backoff, backoff_delay(attempt))
+                if watching:
+                    obs.inc("executor.task_retries")
+                    obs.event(
+                        "executor.task_retry",
+                        task=failure.index,
+                        attempt=attempt,
+                        error=type(failure.exception).__name__,
+                        backoff_s=backoff_delay(attempt),
+                    )
+            except FuturesTimeoutError:
+                stalled = state.unfinished(chunk)
+                if watching:
+                    obs.inc("executor.task_timeouts")
+                    obs.event(
+                        "executor.task_timeout",
+                        tasks=list(stalled),
+                        deadline_s=task_timeout,
+                    )
+                state.charge(stalled, "stall")
+                lost = _harvest(state, submitted[position + 1 :])
+                raise _PoolFault("stall", [stalled] + lost + wave)
+            except BrokenProcessPool:
+                died = state.unfinished(chunk)
+                state.charge(died, "death")
+                lost = _harvest(state, submitted[position + 1 :])
+                raise _PoolFault("death", [died] + lost + wave)
+            else:
+                state.store(completed)
+                state.busy_seconds += chunk_wall
+                if watching:
+                    obs.observe("executor.chunk_seconds", chunk_wall)
+        if wave and backoff > 0:
+            time.sleep(backoff)
 
 
 def _parallel_map_pool(
@@ -220,60 +572,98 @@ def _parallel_map_pool(
     initializer: Callable[..., None] | None,
     initargs: Sequence[Any],
     chunk_size: int,
+    retries: int,
+    task_timeout: float | None,
 ) -> list[Any]:
-    """The real pool path: submit per-chunk, collect in order, attribute
-    failures, and (when collection is on) observe pool behaviour."""
+    """The real pool path: submit per-chunk, collect in order, retry and
+    respawn within budget, attribute failures, and (when collection is
+    on) observe pool behaviour."""
     watching = obs.enabled()
     if watching:
         obs.set_gauge("executor.pool.workers", workers)
         obs.inc("executor.tasks.dispatched", len(items), mode="parallel")
     context = multiprocessing.get_context("fork")
+    state = _MapState(items, retries)
+    respawn_budget = resolve_pool_respawns()
+    respawns = 0
+    pending = _chunked(list(range(len(items))), chunk_size)
     pool_start = time.perf_counter()
-    busy_seconds = 0.0
-    results: list[Any] = [None] * len(items)
     with obs.span(
-        "executor.parallel_map", tasks=len(items), workers=workers, chunk_size=chunk_size
+        "executor.parallel_map",
+        tasks=len(items),
+        workers=workers,
+        chunk_size=chunk_size,
+        retries=retries,
     ):
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=context,
-            initializer=_worker_bootstrap,
-            initargs=(initializer, tuple(initargs)),
-        ) as pool:
-            submitted = [
-                (offset, pool.submit(_run_chunk, fn, items[offset : offset + chunk_size], offset))
-                for offset in range(0, len(items), chunk_size)
-            ]
-            for offset, future in submitted:
-                try:
-                    values, chunk_wall = future.result()
-                except _TaskFailure as failure:
-                    for _, pending in submitted:
-                        pending.cancel()
-                    raise failure.exception from ParallelError(
-                        f"task {failure.index} ({failure.item_repr}) raised "
-                        f"{type(failure.exception).__name__} in a worker process"
-                    )
-                except BrokenProcessPool as exc:
-                    for _, pending in submitted:
-                        pending.cancel()
-                    last = min(offset + chunk_size, len(items)) - 1
-                    raise ParallelError(
-                        f"a worker process died while running tasks "
-                        f"{offset}..{last} (first item: {items[offset]!r}); "
-                        "the pool cannot continue — rerun with "
-                        "max_workers=1 to debug the failing task in-process"
-                    ) from exc
-                results[offset : offset + len(values)] = values
-                busy_seconds += chunk_wall
+        while pending:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_worker_bootstrap,
+                initargs=(initializer, tuple(initargs)),
+            )
+            try:
+                _drain_generation(pool, fn, state, pending, task_timeout)
+            except _PoolFault as fault:
+                if fault.kind == "stall":
+                    _kill_pool_processes(pool)
+                pool.shutdown(wait=False, cancel_futures=True)
+                respawns += 1
+                pending = fault.lost
+                if respawns > respawn_budget:
+                    _degrade_to_serial(state, fn, initializer, initargs, respawns)
+                    break
                 if watching:
-                    obs.observe("executor.chunk_seconds", chunk_wall)
-                    obs.inc("executor.tasks.completed", len(values), mode="parallel")
+                    obs.inc("executor.pool_respawns", kind=fault.kind)
+                    obs.event(
+                        "executor.pool_respawn",
+                        kind=fault.kind,
+                        respawn=respawns,
+                        lost_tasks=sum(len(chunk) for chunk in fault.lost),
+                    )
+                continue
+            except BaseException:
+                # Fail-fast path (budget exhausted or unexpected error):
+                # never leave a possibly-stuck worker holding the parent.
+                _kill_pool_processes(pool)
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool.shutdown(wait=True)
+            pending = []
     if watching:
         pool_wall = time.perf_counter() - pool_start
         if pool_wall > 0:
             obs.set_gauge(
                 "executor.worker_utilization",
-                min(1.0, busy_seconds / (pool_wall * workers)),
+                min(1.0, state.busy_seconds / (pool_wall * workers)),
             )
-    return results
+    return state.results
+
+
+def _degrade_to_serial(
+    state: _MapState,
+    fn: Callable[[Any], Any],
+    initializer: Callable[..., None] | None,
+    initargs: Sequence[Any],
+    respawns: int,
+) -> None:
+    """Last resort when the pool keeps breaking: finish the remaining
+    tasks in-process, in order, recording a structured reason.  The
+    caller's initializer runs in-process first, exactly like the normal
+    serial fallback."""
+    remaining = state.remaining()
+    if obs.enabled():
+        obs.inc("executor.serial_fallback", reason="pool-irrecoverable")
+        obs.event(
+            "executor.serial_degrade",
+            reason="pool-irrecoverable",
+            respawns=respawns,
+            remaining_tasks=len(remaining),
+        )
+    if initializer is not None:
+        initializer(*initargs)
+    for index in remaining:
+        state.results[index] = fn(state.items[index])
+        state.done[index] = True
+    if remaining and obs.enabled():
+        obs.inc("executor.tasks.completed", len(remaining), mode="serial")

@@ -37,15 +37,31 @@ _DISTRIBUTION_STATE: dict[str, Any] = {}
 
 # -- agent-ensemble training -------------------------------------------------
 
-def init_agent_training(manifest, traces, config, qoe_metric) -> None:
-    """Ship the training context for :func:`train_agent_member`."""
+def init_agent_training(
+    manifest, traces, config, qoe_metric, cache=None, checkpoint_every=0
+) -> None:
+    """Ship the training context for :func:`train_agent_member`.
+
+    With *cache* (an :class:`~repro.experiments.artifacts.ArtifactCache`)
+    and a positive *checkpoint_every*, each member checkpoints its
+    training into the cache and resumes from its own saved state — which
+    is how a retried or requeued member task continues instead of
+    restarting from epoch 0.
+    """
     _AGENT_STATE.update(
-        manifest=manifest, traces=traces, config=config, qoe_metric=qoe_metric
+        manifest=manifest,
+        traces=traces,
+        config=config,
+        qoe_metric=qoe_metric,
+        cache=cache,
+        checkpoint_every=checkpoint_every,
     )
 
 
 def train_agent_member(seed: int):
     """Train one ensemble member that differs only by its seed."""
+    from repro.pensieve.checkpoint import Checkpointer
+    from repro.pensieve.ensemble import agent_member_checkpoint_artifact
     from repro.pensieve.training import A2CTrainer
 
     state = _AGENT_STATE
@@ -55,13 +71,27 @@ def train_agent_member(seed: int):
         config=state["config"].with_seed(seed),
         qoe_metric=state["qoe_metric"],
     )
+    cache = state.get("cache")
+    every = state.get("checkpoint_every", 0)
+    if cache is not None and every > 0:
+        trainer.checkpointer = Checkpointer(
+            cache, agent_member_checkpoint_artifact(seed), every
+        )
     return trainer.train()
 
 
 # -- value-ensemble training -------------------------------------------------
 
 def init_value_training(
-    observations, targets, num_bitrates, epochs, learning_rate, filters, hidden
+    observations,
+    targets,
+    num_bitrates,
+    epochs,
+    learning_rate,
+    filters,
+    hidden,
+    cache=None,
+    checkpoint_every=0,
 ) -> None:
     """Ship the shared regression dataset for :func:`train_value_member`."""
     _VALUE_STATE.update(
@@ -72,19 +102,29 @@ def init_value_training(
         learning_rate=learning_rate,
         filters=filters,
         hidden=hidden,
+        cache=cache,
+        checkpoint_every=checkpoint_every,
     )
 
 
 def train_value_member(seed: int):
     """Train one value function on the shared (observation, return) data."""
     from repro.nn.optim import RMSProp
+    from repro.parallel import chaos
     from repro.pensieve.agent import PensieveValueFunction
+    from repro.pensieve.checkpoint import Checkpointer
+    from repro.pensieve.ensemble import (
+        _regression_checkpoint_payload,
+        _restore_regression_checkpoint,
+        value_member_checkpoint_artifact,
+    )
     from repro.pensieve.model import CriticNetwork
     from repro.util.rng import rng_from_seed
 
     state = _VALUE_STATE
     observations = state["observations"]
     targets = state["targets"]
+    epochs = state["epochs"]
     critic = CriticNetwork(
         state["num_bitrates"],
         rng_from_seed(seed),
@@ -92,12 +132,42 @@ def train_value_member(seed: int):
         hidden=state["hidden"],
     )
     optimizer = RMSProp(critic.params, learning_rate=state["learning_rate"])
-    for _ in range(state["epochs"]):
+    cache = state.get("cache")
+    every = state.get("checkpoint_every", 0)
+    checkpointer = None
+    start = 0
+    if cache is not None and every > 0:
+        checkpointer = Checkpointer(
+            cache, value_member_checkpoint_artifact(seed), every
+        )
+        loaded = checkpointer.load()
+        if loaded is not None:
+            start = _restore_regression_checkpoint(
+                *loaded,
+                engine="value-member",
+                seeds=[seed],
+                epochs_total=epochs,
+                params=critic.params,
+                optimizer=optimizer,
+            )
+    for epoch in range(start, epochs):
         values = critic.values(observations)
         diff = values - targets
         critic.zero_grads()
         critic.backward(2.0 * diff / diff.size)
         optimizer.step(critic.grads)
+        if checkpointer is not None and checkpointer.due(epoch + 1, epochs):
+            checkpointer.save(
+                *_regression_checkpoint_payload(
+                    "value-member",
+                    [seed],
+                    epochs,
+                    epoch + 1,
+                    critic.params,
+                    optimizer._mean_square,
+                )
+            )
+        chaos.maybe_fire("epoch", epoch)
     return PensieveValueFunction(critic, name=f"value-{seed}")
 
 

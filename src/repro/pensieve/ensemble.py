@@ -34,12 +34,21 @@ from repro.abr.session import run_session
 from repro.errors import TrainingError
 from repro.mdp.rollout import discounted_returns
 from repro.nn.optim import StackedRMSProp
-from repro.parallel import parallel_map
+from repro.parallel import chaos, parallel_map
 from repro.parallel import worker as parallel_worker
 from repro.pensieve.agent import PensieveAgent, PensieveValueFunction
+from repro.pensieve.checkpoint import (
+    Checkpointer,
+    require,
+    resolve_checkpoint_every,
+)
 from repro.pensieve.model import ActorNetwork, CriticNetwork
 from repro.pensieve.stacked import StackedTrainingNetwork
-from repro.pensieve.training import LockstepEnsembleTrainer, TrainingConfig
+from repro.pensieve.training import (
+    LockstepEnsembleTrainer,
+    TrainingConfig,
+    _restore_mean_squares,
+)
 from repro.perf import fast_paths_enabled
 from repro.traces.trace import Trace
 from repro.util.rng import rng_from_seed, spawn_seeds
@@ -54,12 +63,41 @@ __all__ = [
     "train_value_ensemble",
     "AGENT_WEIGHTS_ARTIFACT",
     "VALUE_WEIGHTS_ARTIFACT",
+    "AGENT_CHECKPOINT_ARTIFACT",
+    "VALUE_CHECKPOINT_ARTIFACT",
+    "agent_member_checkpoint_artifact",
+    "value_member_checkpoint_artifact",
 ]
 
 #: Cache name of the agent-ensemble weight ``.npz`` artifact.
 AGENT_WEIGHTS_ARTIFACT = "agent_weights"
 #: Cache name of the value-ensemble weight ``.npz`` artifact.
 VALUE_WEIGHTS_ARTIFACT = "value_weights"
+#: Cache name of the lockstep agent-ensemble training checkpoint.
+AGENT_CHECKPOINT_ARTIFACT = "agent_ckpt"
+#: Cache name of the lockstep value-ensemble training checkpoint.
+VALUE_CHECKPOINT_ARTIFACT = "value_ckpt"
+
+
+def agent_member_checkpoint_artifact(seed: int) -> str:
+    """Cache name of one per-member agent training checkpoint."""
+    return f"agent_member_ckpt_{seed}"
+
+
+def value_member_checkpoint_artifact(seed: int) -> str:
+    """Cache name of one per-member value training checkpoint."""
+    return f"value_member_ckpt_{seed}"
+
+
+def _discard_checkpoints(
+    cache: "ArtifactCache", ensemble_artifact: str, member_artifacts: list[str]
+) -> None:
+    """Drop every intermediate checkpoint of a completed ensemble run —
+    the final weight artifact now exists, so the checkpoints would only
+    shadow it (and waste cache space)."""
+    Checkpointer(cache, ensemble_artifact, every=1).discard()
+    for artifact in member_artifacts:
+        Checkpointer(cache, artifact, every=1).discard()
 
 
 def _member_networks(
@@ -95,6 +133,7 @@ def train_agent_ensemble(
     root_seed: int = 0,
     max_workers: int | None = None,
     cache: "ArtifactCache | None" = None,
+    checkpoint_every: int | None = None,
 ) -> list[PensieveAgent]:
     """Train *size* agents that differ only in initialization seed.
 
@@ -107,11 +146,17 @@ def train_agent_ensemble(
     With *cache* set, the trained weights are stored under
     :data:`AGENT_WEIGHTS_ARTIFACT` and later calls with the same
     fingerprint skip training entirely and load the networks from disk.
+    *checkpoint_every* (or ``REPRO_CHECKPOINT_EVERY``) additionally
+    checkpoints training every N epochs into the same cache, so an
+    interrupted build resumes at the last epoch boundary — bitwise
+    identical to an uninterrupted run; the checkpoints are discarded once
+    the final weights are stored.
     """
     if size < 1:
         raise TrainingError(f"ensemble size must be >= 1, got {size}")
     config = config if config is not None else TrainingConfig()
     seeds = spawn_seeds(root_seed, size)
+    every = resolve_checkpoint_every(checkpoint_every) if cache is not None else 0
     if cache is not None and cache.has_arrays(AGENT_WEIGHTS_ARTIFACT):
         arrays = cache.load_arrays(AGENT_WEIGHTS_ARTIFACT)
         agents = []
@@ -126,20 +171,32 @@ def train_agent_ensemble(
             )
         return agents
     if fast_paths_enabled() and size > 1:
-        agents = LockstepEnsembleTrainer(
+        trainer = LockstepEnsembleTrainer(
             manifest,
             training_traces,
             seeds,
             config=config,
             qoe_metric=qoe_metric,
-        ).train()
+        )
+        if every > 0:
+            trainer.checkpointer = Checkpointer(
+                cache, AGENT_CHECKPOINT_ARTIFACT, every
+            )
+        agents = trainer.train()
     else:
         agents = parallel_map(
             parallel_worker.train_agent_member,
             seeds,
             max_workers=max_workers,
             initializer=parallel_worker.init_agent_training,
-            initargs=(manifest, tuple(training_traces), config, qoe_metric),
+            initargs=(
+                manifest,
+                tuple(training_traces),
+                config,
+                qoe_metric,
+                cache if every > 0 else None,
+                every,
+            ),
         )
     if cache is not None:
         arrays: dict[str, np.ndarray] = {}
@@ -149,6 +206,12 @@ def train_agent_ensemble(
             for key, value in agent.critic.state_arrays().items():
                 arrays[f"critic_{index}_{key}"] = value
         cache.store_arrays(AGENT_WEIGHTS_ARTIFACT, arrays)
+        if every > 0:
+            _discard_checkpoints(
+                cache,
+                AGENT_CHECKPOINT_ARTIFACT,
+                [agent_member_checkpoint_artifact(seed) for seed in seeds],
+            )
     return agents
 
 
@@ -190,6 +253,58 @@ def collect_value_targets(
     return np.concatenate(observations), np.concatenate(returns)
 
 
+def _regression_checkpoint_payload(
+    engine: str,
+    seeds: list[int],
+    epochs_total: int,
+    epochs_completed: int,
+    params: list[np.ndarray],
+    mean_squares: list[np.ndarray],
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """``(meta, arrays)`` for a value-regression loop's complete state —
+    the critic parameters plus RMSProp accumulators (the deterministic
+    regression has no RNG or summaries to capture)."""
+    arrays: dict[str, np.ndarray] = {}
+    for index, param in enumerate(params):
+        arrays[f"critic_p{index}"] = param.copy()
+    for index, mean_square in enumerate(mean_squares):
+        arrays[f"critic_ms{index}"] = mean_square.copy()
+    meta = {
+        "engine": engine,
+        "seeds": list(seeds),
+        "epochs_total": epochs_total,
+        "epochs_completed": epochs_completed,
+    }
+    return meta, arrays
+
+
+def _restore_regression_checkpoint(
+    meta: dict,
+    arrays: dict[str, np.ndarray],
+    engine: str,
+    seeds: list[int],
+    epochs_total: int,
+    params: list[np.ndarray],
+    optimizer,
+) -> int:
+    """Validate and load a :func:`_regression_checkpoint_payload` state in
+    place; returns the epoch to continue from."""
+    require(meta, engine=engine, seeds=list(seeds), epochs_total=epochs_total)
+    for index, param in enumerate(params):
+        key = f"critic_p{index}"
+        if key not in arrays:
+            raise TrainingError(f"checkpoint missing parameter {key}")
+        value = np.asarray(arrays[key], dtype=float)
+        if value.shape != param.shape:
+            raise TrainingError(
+                f"checkpoint parameter {key} shape {value.shape} != "
+                f"expected {param.shape}"
+            )
+        param[...] = value
+    _restore_mean_squares(optimizer, arrays, "critic_ms")
+    return int(meta["epochs_completed"])
+
+
 def _train_value_members_lockstep(
     observations: np.ndarray,
     targets: np.ndarray,
@@ -199,6 +314,7 @@ def _train_value_members_lockstep(
     filters: int,
     hidden: int,
     seeds: list[int],
+    checkpointer: Checkpointer | None = None,
 ) -> list[PensieveValueFunction]:
     """Regress all value-ensemble members at once on the shared dataset.
 
@@ -206,7 +322,8 @@ def _train_value_members_lockstep(
     stacked forward broadcasts one observation batch against every
     member's weights; gradients and RMSProp states stay per-member.
     Bitwise identical to :func:`repro.parallel.worker.train_value_member`
-    run per seed.
+    run per seed.  With a *checkpointer*, the stacked regression resumes
+    from its last saved epoch boundary.
     """
     critics = [
         CriticNetwork(num_bitrates, rng_from_seed(seed), filters=filters, hidden=hidden)
@@ -214,15 +331,39 @@ def _train_value_members_lockstep(
     ]
     stacked = StackedTrainingNetwork(critics)
     optimizer = StackedRMSProp(stacked.params, learning_rate=learning_rate)
+    start = 0
+    if checkpointer is not None:
+        loaded = checkpointer.load()
+        if loaded is not None:
+            start = _restore_regression_checkpoint(
+                *loaded,
+                engine="value-lockstep",
+                seeds=seeds,
+                epochs_total=epochs,
+                params=stacked.params,
+                optimizer=optimizer,
+            )
     stacked_obs = np.broadcast_to(
         observations, (len(seeds),) + observations.shape
     )
-    for _ in range(epochs):
+    for epoch in range(start, epochs):
         values = stacked.outputs(stacked_obs)[..., 0]
         diff = values - targets[None, :]
         stacked.zero_grads()
         stacked.backward((2.0 * diff / targets.size)[..., None])
         optimizer.step(stacked.grads)
+        if checkpointer is not None and checkpointer.due(epoch + 1, epochs):
+            checkpointer.save(
+                *_regression_checkpoint_payload(
+                    "value-lockstep",
+                    seeds,
+                    epochs,
+                    epoch + 1,
+                    stacked.params,
+                    optimizer._mean_square,
+                )
+            )
+        chaos.maybe_fire("epoch", epoch)
     stacked.write_back()
     return [
         PensieveValueFunction(critic, name=f"value-{seed}")
@@ -245,6 +386,7 @@ def train_value_ensemble(
     root_seed: int = 0,
     max_workers: int | None = None,
     cache: "ArtifactCache | None" = None,
+    checkpoint_every: int | None = None,
 ) -> list[PensieveValueFunction]:
     """Train *size* value functions for one agent's policy.
 
@@ -258,13 +400,17 @@ def train_value_ensemble(
     With *cache* set, the trained weights are stored under
     :data:`VALUE_WEIGHTS_ARTIFACT`; a later call with the same
     fingerprint skips both target collection and regression and loads
-    the critics from disk.
+    the critics from disk.  *checkpoint_every* (or
+    ``REPRO_CHECKPOINT_EVERY``) additionally checkpoints the regression
+    every N epochs so an interrupted build resumes at the last epoch
+    boundary, bitwise identical to an uninterrupted run.
     """
     if size < 1:
         raise TrainingError(f"ensemble size must be >= 1, got {size}")
     if epochs < 1:
         raise TrainingError(f"epochs must be >= 1, got {epochs}")
     seeds = spawn_seeds(root_seed + 1, size)
+    every = resolve_checkpoint_every(checkpoint_every) if cache is not None else 0
     if cache is not None and cache.has_arrays(VALUE_WEIGHTS_ARTIFACT):
         arrays = cache.load_arrays(VALUE_WEIGHTS_ARTIFACT)
         members = []
@@ -297,6 +443,11 @@ def train_value_ensemble(
             filters,
             hidden,
             seeds,
+            checkpointer=(
+                Checkpointer(cache, VALUE_CHECKPOINT_ARTIFACT, every)
+                if every > 0
+                else None
+            ),
         )
     else:
         members = parallel_map(
@@ -312,6 +463,8 @@ def train_value_ensemble(
                 learning_rate,
                 filters,
                 hidden,
+                cache if every > 0 else None,
+                every,
             ),
         )
     if cache is not None:
@@ -320,4 +473,10 @@ def train_value_ensemble(
             for key, value in member.critic.state_arrays().items():
                 arrays[f"critic_{index}_{key}"] = value
         cache.store_arrays(VALUE_WEIGHTS_ARTIFACT, arrays)
+        if every > 0:
+            _discard_checkpoints(
+                cache,
+                VALUE_CHECKPOINT_ARTIFACT,
+                [value_member_checkpoint_artifact(seed) for seed in seeds],
+            )
     return members

@@ -38,7 +38,8 @@ from repro import obs
 from repro.abr.env import ABREnv
 from repro.abr.state import S_INFO, S_LEN
 from repro.errors import TrainingError
-from repro.mdp.rollout import discounted_returns
+from repro.parallel import chaos
+from repro.pensieve.checkpoint import Checkpointer, require
 from repro.nn.losses import entropy as probs_entropy
 from repro.nn.losses import softmax
 from repro.nn.optim import RMSProp, StackedRMSProp
@@ -129,6 +130,31 @@ def _grad_norm(grads: list[np.ndarray]) -> float:
     """L2 norm over a parameter-gradient list (observability only —
     never feeds back into training)."""
     return float(np.sqrt(sum(float(np.sum(np.square(grad))) for grad in grads)))
+
+
+def _checkpoint_subset(arrays: dict, prefix: str) -> dict:
+    """The checkpoint-array entries under one network's prefix."""
+    return {
+        key[len(prefix):]: value
+        for key, value in arrays.items()
+        if key.startswith(prefix)
+    }
+
+
+def _restore_mean_squares(optimizer: RMSProp, arrays: dict, prefix: str) -> None:
+    """Shape-checked in-place load of an optimizer's mean-square
+    accumulators from checkpoint arrays keyed ``{prefix}{index}``."""
+    for index, mean_square in enumerate(optimizer._mean_square):
+        key = f"{prefix}{index}"
+        if key not in arrays:
+            raise TrainingError(f"checkpoint missing optimizer state {key}")
+        value = np.asarray(arrays[key], dtype=float)
+        if value.shape != mean_square.shape:
+            raise TrainingError(
+                f"checkpoint optimizer state {key} shape {value.shape} != "
+                f"expected {mean_square.shape}"
+            )
+        mean_square[...] = value
 
 
 def _n_step_targets_reference(
@@ -249,16 +275,32 @@ class A2CTrainer:
             self.critic.params, learning_rate=self.config.critic_learning_rate
         )
         self.summary = TrainingSummary()
+        self.epochs_completed = 0
+        #: Optional :class:`~repro.pensieve.checkpoint.Checkpointer`; when
+        #: set, :meth:`train` resumes from its saved state and writes a
+        #: new checkpoint at every due epoch boundary.
+        self.checkpointer: Checkpointer | None = None
 
     def train(self) -> PensieveAgent:
-        """Run the configured number of epochs and return the greedy agent."""
+        """Run the configured number of epochs and return the greedy agent.
+
+        With a :attr:`checkpointer` attached, training first restores any
+        saved checkpoint (validated against this trainer's seed and epoch
+        count) and continues from its epoch; the resumed run's floats are
+        bitwise identical to an uninterrupted one because the checkpoint
+        captures the complete training state.
+        """
         config = self.config
         watching = obs.enabled()
+        if self.checkpointer is not None and self.epochs_completed == 0:
+            loaded = self.checkpointer.load()
+            if loaded is not None:
+                self.restore_checkpoint(*loaded)
         with obs.span(
             "trainer.train", engine="per-member", epochs=config.epochs,
             seed=config.seed,
         ):
-            for epoch in range(config.epochs):
+            for epoch in range(self.epochs_completed, config.epochs):
                 fraction = epoch / max(config.epochs - 1, 1)
                 beta = (
                     config.entropy_weight_start
@@ -282,7 +324,67 @@ class A2CTrainer:
                         _grad_norm(self.critic.grads),
                         engine="per-member",
                     )
+                self.epochs_completed = epoch + 1
+                if self.checkpointer is not None and self.checkpointer.due(
+                    self.epochs_completed, config.epochs
+                ):
+                    self.checkpointer.save(*self.checkpoint_payload())
+                # The epoch chaos site models a crash at an epoch boundary
+                # (after the checkpoint write, so resume is exercised).
+                chaos.maybe_fire("epoch", epoch)
         return self.agent()
+
+    def checkpoint_payload(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """This trainer's complete training state as ``(meta, arrays)``.
+
+        The arrays hold the network parameters and RMSProp mean-square
+        accumulators; the meta holds the RNG state, per-epoch summaries,
+        and the identity fields :meth:`restore_checkpoint` validates.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for key, value in self.actor.state_arrays().items():
+            arrays[f"actor_{key}"] = value
+        for key, value in self.critic.state_arrays().items():
+            arrays[f"critic_{key}"] = value
+        for index, mean_square in enumerate(self._actor_opt._mean_square):
+            arrays[f"actor_ms{index}"] = mean_square.copy()
+        for index, mean_square in enumerate(self._critic_opt._mean_square):
+            arrays[f"critic_ms{index}"] = mean_square.copy()
+        meta = {
+            "engine": "per-member",
+            "seed": self.config.seed,
+            "epochs_total": self.config.epochs,
+            "epochs_completed": self.epochs_completed,
+            "rng_state": self._rng.bit_generator.state,
+            "summary": {
+                "episode_returns": list(self.summary.episode_returns),
+                "mean_entropies": list(self.summary.mean_entropies),
+                "critic_losses": list(self.summary.critic_losses),
+            },
+        }
+        return meta, arrays
+
+    def restore_checkpoint(
+        self, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> None:
+        """Load a :meth:`checkpoint_payload` state in place (validated
+        against this trainer's identity)."""
+        require(
+            meta,
+            engine="per-member",
+            seed=self.config.seed,
+            epochs_total=self.config.epochs,
+        )
+        self.actor.load_state_arrays(_checkpoint_subset(arrays, "actor_"))
+        self.critic.load_state_arrays(_checkpoint_subset(arrays, "critic_"))
+        _restore_mean_squares(self._actor_opt, arrays, "actor_ms")
+        _restore_mean_squares(self._critic_opt, arrays, "critic_ms")
+        self._rng.bit_generator.state = meta["rng_state"]
+        summary = meta["summary"]
+        self.summary.episode_returns = list(summary["episode_returns"])
+        self.summary.mean_entropies = list(summary["mean_entropies"])
+        self.summary.critic_losses = list(summary["critic_losses"])
+        self.epochs_completed = int(meta["epochs_completed"])
 
     def agent(self, greedy: bool = True) -> PensieveAgent:
         """The current policy as an evaluation-ready agent."""
@@ -459,17 +561,26 @@ class LockstepEnsembleTrainer:
         self._actions = np.empty((members, batch), dtype=int)
         self._rewards = np.empty((members, batch))
         self._current = np.empty((members, S_INFO, S_LEN))
+        self.epochs_completed = 0
+        #: Optional :class:`~repro.pensieve.checkpoint.Checkpointer`; when
+        #: set, :meth:`train` resumes the whole stacked ensemble from its
+        #: saved state and checkpoints at every due epoch boundary.
+        self.checkpointer: Checkpointer | None = None
 
     def train(self) -> list[PensieveAgent]:
         """Run the configured epochs for every member and return their
         greedy agents in seed order."""
         config = self.config
         watching = obs.enabled()
+        if self.checkpointer is not None and self.epochs_completed == 0:
+            loaded = self.checkpointer.load()
+            if loaded is not None:
+                self.restore_checkpoint(*loaded)
         with obs.span(
             "trainer.train", engine="lockstep", epochs=config.epochs,
             members=len(self.members),
         ):
-            for epoch in range(config.epochs):
+            for epoch in range(self.epochs_completed, config.epochs):
                 fraction = epoch / max(config.epochs - 1, 1)
                 beta = (
                     config.entropy_weight_start
@@ -498,9 +609,85 @@ class LockstepEnsembleTrainer:
                             _grad_norm([grad[index] for grad in self._critic.grads]),
                             engine="lockstep",
                         )
+                self.epochs_completed = epoch + 1
+                if self.checkpointer is not None and self.checkpointer.due(
+                    self.epochs_completed, config.epochs
+                ):
+                    self.checkpointer.save(*self.checkpoint_payload())
+                # Crash-at-epoch-boundary injection site (after the save).
+                chaos.maybe_fire("epoch", epoch)
         self._actor.write_back()
         self._critic.write_back()
         return [member.agent() for member in self.members]
+
+    def checkpoint_payload(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The stacked ensemble's complete training state.
+
+        The arrays are the live ``(members, ...)`` stacked parameters and
+        the stacked RMSProp accumulators (member *m*'s state is slice
+        ``m``); the meta carries every member's RNG state and summaries.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for index, param in enumerate(self._actor.params):
+            arrays[f"actor_p{index}"] = param.copy()
+        for index, param in enumerate(self._critic.params):
+            arrays[f"critic_p{index}"] = param.copy()
+        for index, mean_square in enumerate(self._actor_opt._mean_square):
+            arrays[f"actor_ms{index}"] = mean_square.copy()
+        for index, mean_square in enumerate(self._critic_opt._mean_square):
+            arrays[f"critic_ms{index}"] = mean_square.copy()
+        meta = {
+            "engine": "lockstep",
+            "seeds": [member.config.seed for member in self.members],
+            "epochs_total": self.config.epochs,
+            "epochs_completed": self.epochs_completed,
+            "rng_states": [
+                member._rng.bit_generator.state for member in self.members
+            ],
+            "summaries": [
+                {
+                    "episode_returns": list(member.summary.episode_returns),
+                    "mean_entropies": list(member.summary.mean_entropies),
+                    "critic_losses": list(member.summary.critic_losses),
+                }
+                for member in self.members
+            ],
+        }
+        return meta, arrays
+
+    def restore_checkpoint(
+        self, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> None:
+        """Load a :meth:`checkpoint_payload` state in place (validated
+        against this ensemble's member seeds and epoch count)."""
+        require(
+            meta,
+            engine="lockstep",
+            seeds=[member.config.seed for member in self.members],
+            epochs_total=self.config.epochs,
+        )
+        for network, name in ((self._actor, "actor"), (self._critic, "critic")):
+            for index, param in enumerate(network.params):
+                key = f"{name}_p{index}"
+                if key not in arrays:
+                    raise TrainingError(f"checkpoint missing parameter {key}")
+                value = np.asarray(arrays[key], dtype=float)
+                if value.shape != param.shape:
+                    raise TrainingError(
+                        f"checkpoint parameter {key} shape {value.shape} != "
+                        f"expected {param.shape}"
+                    )
+                param[...] = value
+        _restore_mean_squares(self._actor_opt, arrays, "actor_ms")
+        _restore_mean_squares(self._critic_opt, arrays, "critic_ms")
+        for member, rng_state, summary in zip(
+            self.members, meta["rng_states"], meta["summaries"]
+        ):
+            member._rng.bit_generator.state = rng_state
+            member.summary.episode_returns = list(summary["episode_returns"])
+            member.summary.mean_entropies = list(summary["mean_entropies"])
+            member.summary.critic_losses = list(summary["critic_losses"])
+        self.epochs_completed = int(meta["epochs_completed"])
 
     def _collect_lockstep(self) -> list[float]:
         """Roll out one epoch's episodes with all members stepping

@@ -19,7 +19,6 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import ConfigError, TraceError
 from repro.traces.cellular import belgium_4g_trace, norway_3g_trace

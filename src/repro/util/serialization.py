@@ -93,10 +93,28 @@ def load_json(path: Path | str) -> Any:
 
 
 def save_arrays(path: Path | str, arrays: Mapping[str, np.ndarray]) -> None:
-    """Persist a named collection of arrays as an ``.npz`` file."""
+    """Persist a named collection of arrays as an ``.npz`` file.
+
+    Atomic exactly like :func:`save_text`: the archive is written to a
+    uniquely named temporary file and renamed into place, so a crash (or
+    an injected worker kill) mid-write can never leave a truncated
+    ``.npz`` behind — which is what makes training checkpoints safe to
+    take at any epoch boundary.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **{key: np.asarray(val) for key, val in arrays.items()})
+    temporary = path.with_name(
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    try:
+        with open(temporary, "wb") as handle:
+            np.savez(
+                handle, **{key: np.asarray(val) for key, val in arrays.items()}
+            )
+        os.replace(temporary, path)
+    except BaseException:
+        temporary.unlink(missing_ok=True)
+        raise
 
 
 def load_arrays(path: Path | str) -> dict[str, np.ndarray]:

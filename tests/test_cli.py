@@ -6,6 +6,7 @@ the trace-export paths end to end.
 """
 
 import io
+import os
 
 import pytest
 
@@ -111,3 +112,56 @@ class TestTracesCommand:
         a = next((tmp_path / "a").glob("*.csv")).read_text()
         b = next((tmp_path / "b").glob("*.csv")).read_text()
         assert a == b
+
+
+class TestResilienceFlags:
+    """``--resume`` and ``--task-timeout`` reach the pipeline's knobs."""
+
+    def _args(self, argv):
+        return build_parser().parse_args(argv)
+
+    def test_task_timeout_exported_to_environment(self, monkeypatch):
+        from repro.cli import _experiment_config
+        from repro.parallel.executor import TASK_TIMEOUT_ENV
+
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "")  # registers teardown restore
+        config = _experiment_config(
+            self._args(["figures", "--config", "smoke", "--task-timeout", "2.5"])
+        )
+        assert os.environ[TASK_TIMEOUT_ENV] == "2.5"
+        assert config.checkpoint_every == 0  # no --resume: untouched
+
+    def test_task_timeout_validated_before_running(self):
+        # An invalid deadline must fail fast with the CLI's error exit
+        # code, before any experiment work starts.
+        code = main(
+            ["figures", "--config", "smoke", "--task-timeout", "-1"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
+    def test_resume_switches_on_checkpointing(self, monkeypatch):
+        from repro.cli import _experiment_config
+        from repro.pensieve.checkpoint import CHECKPOINT_EVERY_ENV
+
+        monkeypatch.delenv(CHECKPOINT_EVERY_ENV, raising=False)
+        config = _experiment_config(
+            self._args(["shapes", "--config", "smoke", "--resume"])
+        )
+        assert config.checkpoint_every == 1
+
+    def test_resume_honours_cadence_env(self, monkeypatch):
+        from repro.cli import _experiment_config
+        from repro.pensieve.checkpoint import CHECKPOINT_EVERY_ENV
+
+        monkeypatch.setenv(CHECKPOINT_EVERY_ENV, "3")
+        config = _experiment_config(
+            self._args(["figures", "--config", "smoke", "--resume"])
+        )
+        assert config.checkpoint_every == 3
+
+    def test_checkpoint_cadence_never_invalidates_caches(self):
+        from repro.config import get_config
+
+        config = get_config("smoke")
+        assert config.scaled(checkpoint_every=5).describe() == config.describe()

@@ -124,7 +124,7 @@ class TestAtomicWrites:
         real_dumps = json.dumps
 
         def exploding_dumps(*args, **kwargs):
-            text = real_dumps(*args, **kwargs)
+            real_dumps(*args, **kwargs)  # serialize fully, then crash
             raise RuntimeError("crash mid-serialization")
 
         monkeypatch.setattr(serialization.json, "dumps", exploding_dumps)
@@ -136,8 +136,6 @@ class TestAtomicWrites:
         assert [p for p in cache.directory.iterdir() if p.suffix == ".tmp"] == []
 
     def test_interrupted_replace_never_yields_partial_json(self, tmp_path, monkeypatch):
-        import os as os_module
-
         from repro.util import serialization
 
         cache = ArtifactCache({"tier": "fast"}, root=tmp_path)

@@ -6,8 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mdp.gridworld import GridWorld
-from repro.mdp.rollout import Trajectory, Transition, discounted_returns, rollout
-from repro.policies.random_policy import RandomPolicy
+from repro.mdp.rollout import discounted_returns, rollout
 
 
 class _UniformGridPolicy:

@@ -1,0 +1,260 @@
+"""Fault tolerance of the process-pool executor.
+
+These tests drive real faults — raised exceptions, killed workers,
+stalled tasks — through the deterministic chaos harness and assert the
+executor's recovery contract: retried runs return exactly the values an
+undisturbed run would, a broken pool respawns and requeues only the lost
+tasks, a stalled task trips its deadline instead of hanging, and when the
+pool keeps dying the call degrades to in-process serial execution rather
+than failing.
+
+The chaos injector installed in the parent is fork-inherited by every
+worker; the file ledger (``state_dir``) is what makes "fail once, then
+succeed" scenarios deterministic across retries and pool respawns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import obs
+from repro.errors import ChaosError, ParallelError
+from repro.parallel import chaos
+from repro.parallel.executor import (
+    BACKOFF_MAX_S,
+    backoff_delay,
+    parallel_map,
+    resolve_pool_respawns,
+    resolve_task_retries,
+    resolve_task_timeout,
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="pool path requires the fork start method",
+)
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _pretend_multicore(monkeypatch):
+    # The pool size is capped at os.cpu_count(); pretend this machine has
+    # enough cores so a real pool is exercised even on 1-CPU CI.
+    monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 4)
+
+
+class TestKnobResolution:
+    def test_retries_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "3")
+        assert resolve_task_retries() == 3
+        assert resolve_task_retries(1) == 1  # explicit argument wins
+
+    def test_retries_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "many")
+        with pytest.raises(ParallelError, match="REPRO_TASK_RETRIES"):
+            resolve_task_retries()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ParallelError, match="retries must be >= 0"):
+            resolve_task_retries(-1)
+
+    def test_timeout_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2.5")
+        assert resolve_task_timeout() == 2.5
+        assert resolve_task_timeout(None) == 2.5
+
+    def test_timeout_default_is_no_deadline(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+        assert resolve_task_timeout() is None
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ParallelError, match="must be positive"):
+            resolve_task_timeout(0.0)
+
+    def test_respawns_env_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL_RESPAWNS", raising=False)
+        assert resolve_pool_respawns() == 2
+        monkeypatch.setenv("REPRO_POOL_RESPAWNS", "0")
+        assert resolve_pool_respawns() == 0
+
+    def test_backoff_doubles_and_caps(self):
+        assert backoff_delay(1) == 0.05
+        assert backoff_delay(2) == 0.1
+        assert backoff_delay(3) == 0.2
+        assert backoff_delay(50) == BACKOFF_MAX_S
+
+
+@needs_fork
+class TestRetryOnRaise:
+    def test_retry_recovers_and_matches_undisturbed_run(self, tmp_path):
+        events = [chaos.ChaosEvent(site="task", index=2, action="raise")]
+        with chaos.injected(events, state_dir=tmp_path):
+            result = parallel_map(
+                _square, list(range(6)), max_workers=2, chunk_size=1, retries=2
+            )
+        assert result == [_square(x) for x in range(6)]
+
+    def test_exhausted_retries_raise_original_exception(self, tmp_path):
+        # times=5 outlasts the 1+2 attempt budget, so the third attempt's
+        # ChaosError surfaces with the attributing ParallelError cause.
+        events = [
+            chaos.ChaosEvent(site="task", index=2, action="raise", times=5)
+        ]
+        with chaos.injected(events, state_dir=tmp_path):
+            with pytest.raises(ChaosError) as excinfo:
+                parallel_map(
+                    _square,
+                    list(range(6)),
+                    max_workers=2,
+                    chunk_size=1,
+                    retries=2,
+                )
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, ParallelError)
+        assert "task 2" in str(cause)
+        assert "attempt 3 of 3" in str(cause)
+
+    def test_zero_retries_preserves_fail_fast(self, tmp_path):
+        events = [chaos.ChaosEvent(site="task", index=2, action="raise")]
+        with chaos.injected(events, state_dir=tmp_path):
+            with pytest.raises(ChaosError):
+                parallel_map(_square, list(range(6)), max_workers=2)
+
+    def test_retry_counters_recorded(self, tmp_path):
+        events = [chaos.ChaosEvent(site="task", index=1, action="raise")]
+        with chaos.injected(events, state_dir=tmp_path):
+            with obs.collecting() as run:
+                parallel_map(
+                    _square,
+                    list(range(6)),
+                    max_workers=2,
+                    chunk_size=1,
+                    retries=1,
+                )
+        assert run.metrics.counter("executor.task_retries").value == 1
+        (event,) = run.metrics.events("executor.task_retry")
+        assert event["data"]["task"] == 1
+        assert event["data"]["error"] == "ChaosError"
+
+
+@needs_fork
+class TestWorkerDeath:
+    def test_respawn_requeues_lost_tasks(self, tmp_path):
+        events = [chaos.ChaosEvent(site="task", index=1, action="kill")]
+        with chaos.injected(events, state_dir=tmp_path):
+            result = parallel_map(
+                _square, list(range(6)), max_workers=2, chunk_size=1, retries=1
+            )
+        assert result == [_square(x) for x in range(6)]
+
+    def test_zero_retries_preserves_died_error(self, tmp_path):
+        events = [chaos.ChaosEvent(site="task", index=1, action="kill")]
+        with chaos.injected(events, state_dir=tmp_path):
+            with pytest.raises(ParallelError, match="died"):
+                parallel_map(_square, list(range(6)), max_workers=2)
+
+    def test_respawn_observability(self, tmp_path):
+        events = [chaos.ChaosEvent(site="task", index=0, action="kill")]
+        with chaos.injected(events, state_dir=tmp_path):
+            with obs.collecting() as run:
+                parallel_map(
+                    _square,
+                    list(range(6)),
+                    max_workers=2,
+                    chunk_size=1,
+                    retries=1,
+                )
+        assert (
+            run.metrics.counter("executor.pool_respawns", kind="death").value
+            == 1
+        )
+        (event,) = run.metrics.events("executor.pool_respawn")
+        assert event["data"]["kind"] == "death"
+
+    def test_budget_exhaustion_degrades_to_serial(self, tmp_path, monkeypatch):
+        # Three kills overrun a respawn budget of two; the call must
+        # still complete — in-process — with the structured reason.
+        monkeypatch.setenv("REPRO_POOL_RESPAWNS", "2")
+        events = [
+            chaos.ChaosEvent(site="task", index=0, action="kill", times=5)
+        ]
+        with chaos.injected(events, state_dir=tmp_path):
+            with obs.collecting() as run:
+                result = parallel_map(
+                    _square,
+                    list(range(6)),
+                    max_workers=2,
+                    chunk_size=1,
+                    retries=10,
+                )
+        assert result == [_square(x) for x in range(6)]
+        assert (
+            run.metrics.counter(
+                "executor.serial_fallback", reason="pool-irrecoverable"
+            ).value
+            == 1
+        )
+        (event,) = run.metrics.events("executor.serial_degrade")
+        assert event["data"]["respawns"] == 3
+
+
+@needs_fork
+class TestStalls:
+    def test_stalled_task_retries_within_deadline(self, tmp_path):
+        # First attempt sleeps 5 s against a ~0.7 s deadline: the pool is
+        # killed and respawned; the ledger spends the delay budget, so the
+        # retry completes instantly.
+        events = [
+            chaos.ChaosEvent(site="task", index=0, action="delay", delay_s=5.0)
+        ]
+        with chaos.injected(events, state_dir=tmp_path):
+            result = parallel_map(
+                _square,
+                list(range(4)),
+                max_workers=2,
+                chunk_size=1,
+                retries=1,
+                task_timeout=0.2,
+            )
+        assert result == [_square(x) for x in range(4)]
+
+    def test_stall_without_retries_fails_fast(self, tmp_path):
+        events = [
+            chaos.ChaosEvent(site="task", index=0, action="delay", delay_s=5.0)
+        ]
+        with chaos.injected(events, state_dir=tmp_path):
+            with pytest.raises(ParallelError) as excinfo:
+                parallel_map(
+                    _square,
+                    list(range(4)),
+                    max_workers=2,
+                    chunk_size=1,
+                    task_timeout=0.2,
+                )
+        message = str(excinfo.value)
+        assert "deadline" in message
+        assert "REPRO_TASK_TIMEOUT" in message
+        assert "max_workers=1" in message
+
+    def test_timeout_observability(self, tmp_path):
+        events = [
+            chaos.ChaosEvent(site="task", index=0, action="delay", delay_s=5.0)
+        ]
+        with chaos.injected(events, state_dir=tmp_path):
+            with obs.collecting() as run:
+                parallel_map(
+                    _square,
+                    list(range(4)),
+                    max_workers=2,
+                    chunk_size=1,
+                    retries=1,
+                    task_timeout=0.2,
+                )
+        assert run.metrics.counter("executor.task_timeouts").value == 1
+        (event,) = run.metrics.events("executor.task_timeout")
+        assert 0 in event["data"]["tasks"]

@@ -9,7 +9,6 @@ from repro.errors import ConfigError
 from repro.policies.bola import BolaPolicy
 from repro.policies.predictive import PredictiveMPCPolicy
 from repro.predictors.classic import HarmonicMeanPredictor, LastSamplePredictor
-from repro.traces.trace import Trace
 
 BITRATES = np.array([300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0])
 

@@ -72,7 +72,9 @@ class TestSplit:
 
     def test_no_overlap(self):
         split = self._dataset(10).split()
-        names = lambda group: {t.name for t in group}
+        def names(group):
+            return {t.name for t in group}
+
         assert not names(split.train) & names(split.test)
         assert not names(split.validation) & names(split.test)
         assert not names(split.train) & names(split.validation)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Assert invariants over an exported run-metrics JSONL file.
+
+The observability layer (:mod:`repro.obs`) exports counters, gauges,
+histograms, events, and spans as JSON Lines.  This gate reads one such
+file and enforces the caching contract CI cares about:
+
+* ``--forbid-misses`` — no ``cache.requests`` counter with
+  ``outcome=miss`` may have fired.  A warm re-run of an unchanged
+  configuration must be served entirely from the artifact cache; any
+  miss means a fingerprint changed between identical runs (a silent
+  cache invalidation bug).
+* ``--min-hits N`` — at least N ``cache.requests`` hits must have fired,
+  proving the run actually consulted the cache (guards against the
+  degenerate "no misses because no lookups" pass).
+* ``--expect-event NAME`` (repeatable) — at least one event record with
+  that name must be present; the fault-smoke job uses it to prove a
+  resumed run really restored from a checkpoint
+  (``--expect-event checkpoint.resume``).
+
+Usage::
+
+    python tools/check_metrics.py metrics-warm.jsonl --forbid-misses --min-hits 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(path: Path) -> list[dict]:
+    records = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"{path}:{line_number}: malformed JSONL: {exc}")
+        records.append(record)
+    if not records:
+        raise SystemExit(f"{path}: no records — was metric collection on?")
+    return records
+
+
+def cache_requests(records: list[dict], outcome: str) -> list[dict]:
+    return [
+        record
+        for record in records
+        if record.get("kind") == "counter"
+        and record.get("name") == "cache.requests"
+        and record.get("labels", {}).get("outcome") == outcome
+        and record.get("value", 0) > 0
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("metrics", type=Path, help="exported metrics JSONL file")
+    parser.add_argument(
+        "--forbid-misses",
+        action="store_true",
+        help="fail if any cache.requests counter recorded a miss",
+    )
+    parser.add_argument(
+        "--min-hits",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fail unless at least N cache.requests hits were recorded",
+    )
+    parser.add_argument(
+        "--expect-event",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless at least one event with NAME is present (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    records = load_records(args.metrics)
+    failures = []
+
+    misses = cache_requests(records, "miss")
+    hits = cache_requests(records, "hit")
+    hit_total = int(sum(record["value"] for record in hits))
+    miss_total = int(sum(record["value"] for record in misses))
+    print(f"{args.metrics}: {len(records)} records, "
+          f"{hit_total} cache hit(s), {miss_total} cache miss(es)")
+
+    if args.forbid_misses and misses:
+        for record in misses:
+            labels = record.get("labels", {})
+            failures.append(
+                f"cache miss: artifact={labels.get('artifact')!r} "
+                f"kind={labels.get('kind')!r} count={int(record['value'])}"
+            )
+    if hit_total < args.min_hits:
+        failures.append(
+            f"expected >= {args.min_hits} cache hit(s), saw {hit_total}"
+        )
+    for name in args.expect_event:
+        count = sum(
+            1
+            for record in records
+            if record.get("kind") == "event" and record.get("name") == name
+        )
+        if count == 0:
+            failures.append(f"expected >= 1 {name!r} event, saw none")
+        else:
+            print(f"  event {name!r}: {count} occurrence(s)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("metrics checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
