@@ -20,7 +20,7 @@ import pytest
 from repro.config import FAST
 from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
 from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
-from repro.core.osap import collect_training_throughputs
+from repro.abr.suite import collect_training_throughputs
 from repro.experiments.artifacts import ArtifactCache
 from repro.experiments.training_runs import EvaluationMatrix, run_all_distributions
 from repro.novelty.ocsvm import OneClassSVM

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core.novelty_signal import throughput_window_samples
-from repro.core.osap import collect_training_throughputs
+from repro.abr.suite import collect_training_throughputs
 from repro.novelty.kde import KDEDetector
 from repro.novelty.mahalanobis import MahalanobisDetector
 from repro.novelty.ocsvm import OneClassSVM

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.abr.session import run_session
 from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
-from repro.core.osap import collect_training_throughputs
+from repro.abr.suite import collect_training_throughputs
 from repro.novelty.ocsvm import OneClassSVM
 from repro.pensieve.online import fine_tune
 from repro.pensieve.training import TrainingConfig

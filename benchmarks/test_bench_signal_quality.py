@@ -11,7 +11,7 @@ best TPR at comparable FPR.
 import numpy as np
 import pytest
 
-from repro.core.calibration import collect_window_variances
+from repro.abr.calibration import collect_window_variances
 from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
 from repro.experiments.detection import signal_detection_report
 from repro.traces.dataset import make_dataset

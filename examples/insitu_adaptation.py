@@ -23,8 +23,8 @@ from repro import (
     make_dataset,
     run_session,
 )
+from repro.abr.suite import collect_training_throughputs
 from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
-from repro.core.osap import collect_training_throughputs
 from repro.pensieve import A2CTrainer, fine_tune
 from repro.util.tables import render_table
 

@@ -25,15 +25,16 @@ Quickstart::
 """
 
 from repro.abr import ABREnv, SessionResult, run_session
+from repro.abr.session import run_monitored_session
+from repro.abr.suite import SafetySuite, build_safety_suite
 from repro.config import FAST, PAPER, ExperimentConfig, get_config
 from repro.core import (
     PolicyEnsembleSignal,
     SafetyConfig,
     SafetyController,
-    SafetySuite,
+    SafetyMonitor,
     StateNoveltySignal,
     ValueEnsembleSignal,
-    build_safety_suite,
 )
 from repro.errors import ReproError
 from repro.novelty import KDEDetector, MahalanobisDetector, OneClassSVM
@@ -49,6 +50,7 @@ from repro.policies import (
     RateBasedPolicy,
     RobustMPCPolicy,
 )
+from repro.serve import ServeEngine, SessionSpec, serve_sessions
 from repro.traces import Dataset, Trace, make_dataset
 from repro.video import LinearQoE, LogQoE, VideoManifest, envivio_dash3_manifest
 
@@ -78,8 +80,11 @@ __all__ = [
     "RobustMPCPolicy",
     "SafetyConfig",
     "SafetyController",
+    "SafetyMonitor",
     "SafetySuite",
+    "ServeEngine",
     "SessionResult",
+    "SessionSpec",
     "StateNoveltySignal",
     "Trace",
     "TrainingConfig",
@@ -93,6 +98,8 @@ __all__ = [
     "make_dataset",
     "parallel_map",
     "resolve_max_workers",
+    "run_monitored_session",
     "run_session",
+    "serve_sessions",
     "set_fast_paths",
 ]

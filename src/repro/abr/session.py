@@ -2,18 +2,25 @@
 
 :func:`run_session` is the evaluation primitive everything above it builds
 on — the figure harness runs it over every (policy, test trace) pair and
-aggregates the session QoE values.
+aggregates the session QoE values.  :func:`run_monitored_session` is the
+same loop driven through the explicit
+:class:`~repro.core.monitor.SafetyMonitor` API — the monitor decides who
+acts at every step — and is bitwise-identical to wrapping the policies in
+a :class:`~repro.core.monitor.SafetyController` (asserted by the
+equivalence sweep).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro import obs
 from repro.abr.env import ABREnv
+from repro.core.monitor import SafetyMonitor
 from repro.errors import SimulationError
 from repro.mdp.interfaces import Policy
 from repro.traces.trace import Trace
@@ -21,7 +28,7 @@ from repro.util.rng import rng_from_seed
 from repro.video.manifest import VideoManifest
 from repro.video.qoe import QoEMetric
 
-__all__ = ["ChunkRecord", "SessionResult", "run_session"]
+__all__ = ["ChunkRecord", "SessionResult", "run_monitored_session", "run_session"]
 
 
 @dataclass(frozen=True)
@@ -103,20 +110,20 @@ class SessionResult:
         return sum(1 for r in self.chunks if r.defaulted) / len(self.chunks)
 
 
-def run_session(
-    policy: Policy,
+def _stream_session(
+    select: Callable[[np.ndarray, np.random.Generator], tuple[int, bool | None]],
     manifest: VideoManifest,
     trace: Trace,
-    qoe_metric: QoEMetric | None = None,
-    seed: int | np.random.Generator | None = 0,
-    policy_name: str | None = None,
-    start_offset_s: float = 0.0,
+    qoe_metric: QoEMetric | None,
+    seed: int | np.random.Generator | None,
+    policy_name: str,
+    start_offset_s: float,
 ) -> SessionResult:
-    """Stream the whole video through *trace* under *policy*.
+    """The shared session loop behind both entry points.
 
-    The environment fetches the first chunk at the lowest rung (reference
-    behaviour); the policy then decides every remaining chunk.  Returns the
-    complete per-chunk record.
+    *select* makes one decision: it receives the observation and the
+    session RNG and returns ``(action, defaulted)``, where ``defaulted``
+    may be ``None`` to fall back to the environment's own flag.
     """
     watching = obs.enabled()
     start = time.perf_counter() if watching else 0.0
@@ -127,19 +134,14 @@ def run_session(
         start_offset_s=start_offset_s,
     )
     rng = rng_from_seed(seed)
-    policy.reset()
     observation = env.reset()
-    result = SessionResult(
-        trace_name=trace.name,
-        policy_name=policy_name or type(policy).__name__,
-    )
+    result = SessionResult(trace_name=trace.name, policy_name=policy_name)
     for _ in range(manifest.num_chunks - 1):
-        action = policy.act(observation, rng)
+        action, defaulted = select(observation, rng)
         result.observation_list.append(np.asarray(observation, dtype=float).copy())
         step = env.step(action)
-        defaulted = bool(step.info.get("defaulted", False))
-        if hasattr(policy, "last_decision_defaulted"):
-            defaulted = bool(policy.last_decision_defaulted)
+        if defaulted is None:
+            defaulted = bool(step.info.get("defaulted", False))
         result.chunks.append(
             ChunkRecord(
                 chunk_index=step.info["chunk_index"],
@@ -169,3 +171,80 @@ def run_session(
                 policy=result.policy_name,
             )
     return result
+
+
+def run_session(
+    policy: Policy,
+    manifest: VideoManifest,
+    trace: Trace,
+    qoe_metric: QoEMetric | None = None,
+    seed: int | np.random.Generator | None = 0,
+    policy_name: str | None = None,
+    start_offset_s: float = 0.0,
+) -> SessionResult:
+    """Stream the whole video through *trace* under *policy*.
+
+    The environment fetches the first chunk at the lowest rung (reference
+    behaviour); the policy then decides every remaining chunk.  Returns the
+    complete per-chunk record.
+    """
+    policy.reset()
+
+    def select(
+        observation: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, bool | None]:
+        action = policy.act(observation, rng)
+        if hasattr(policy, "last_decision_defaulted"):
+            return action, bool(policy.last_decision_defaulted)
+        return action, None
+
+    return _stream_session(
+        select,
+        manifest,
+        trace,
+        qoe_metric,
+        seed,
+        policy_name or type(policy).__name__,
+        start_offset_s,
+    )
+
+
+def run_monitored_session(
+    learned: Policy,
+    default: Policy,
+    monitor: SafetyMonitor,
+    manifest: VideoManifest,
+    trace: Trace,
+    qoe_metric: QoEMetric | None = None,
+    seed: int | np.random.Generator | None = 0,
+    policy_name: str | None = None,
+    start_offset_s: float = 0.0,
+) -> SessionResult:
+    """Stream one session with the monitor deciding who acts at each step.
+
+    The explicit form of wrapping *learned*/*default* in a
+    :class:`~repro.core.monitor.SafetyController`: the monitor observes
+    every step, and the policy it picks makes the decision.  Bitwise
+    identical to the controller path (asserted by the equivalence sweep);
+    the serve engine multiplexes many of these loops concurrently.
+    """
+    learned.reset()
+    default.reset()
+    monitor.reset()
+
+    def select(
+        observation: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, bool | None]:
+        decision = monitor.observe(observation)
+        policy = default if decision.defaulted else learned
+        return policy.act(observation, rng), decision.defaulted
+
+    return _stream_session(
+        select,
+        manifest,
+        trace,
+        qoe_metric,
+        seed,
+        policy_name or monitor.name,
+        start_offset_s,
+    )

@@ -9,6 +9,8 @@ Commands:
 * ``runtimes`` — measure the Section 3.1 running-time remark.
 * ``shapes``   — run the qualitative shape checks and exit non-zero on
   failure (CI-friendly).
+* ``serve-demo`` — build one safety suite and serve N concurrent
+  monitored sessions through the :mod:`repro.serve` engine.
 """
 
 from __future__ import annotations
@@ -60,6 +62,49 @@ def build_parser() -> argparse.ArgumentParser:
     traces.add_argument("--count", type=int, default=5)
     traces.add_argument("--duration", type=float, default=600.0)
     traces.add_argument("--seed", type=int, default=0)
+
+    serve = subparsers.add_parser(
+        "serve-demo",
+        help="serve N concurrent monitored sessions through one engine",
+    )
+    serve.add_argument(
+        "--config", default="smoke", choices=["smoke", "fast", "paper"]
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=16, help="number of concurrent sessions"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "process-pool size for session sharding (default: the "
+            "REPRO_MAX_WORKERS environment variable, else in-process); "
+            "results are identical at any setting"
+        ),
+    )
+    serve.add_argument(
+        "--scheme",
+        default="A-ensemble",
+        choices=["ND", "A-ensemble", "V-ensemble"],
+        help="which safety scheme's controller serves the sessions",
+    )
+    serve.add_argument(
+        "--dataset",
+        default=None,
+        choices=DATASET_NAMES,
+        help="training/test distribution (default: the config's first)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect serving metrics (serve.batch_size, "
+            "serve.steps_per_second, ...) and export them as JSON Lines "
+            "to PATH"
+        ),
+    )
 
     for name, help_text in (
         ("figures", "regenerate the paper's figures"),
@@ -236,6 +281,85 @@ def _cmd_shapes(args, out) -> int:
     return 0 if primary_ok else 1
 
 
+def _cmd_serve_demo(args, out) -> int:
+    from repro.abr.suite import build_safety_suite
+    from repro.policies.buffer_based import BufferBasedPolicy
+    from repro.serve import SessionSpec, serve_sessions
+    from repro.video.envivio import envivio_dash3_manifest
+
+    if args.sessions < 1:
+        raise ReproError(f"--sessions must be >= 1, got {args.sessions}")
+    config = get_config(args.config)
+    dataset_name = args.dataset or config.datasets[0]
+    manifest = envivio_dash3_manifest(repeats=config.video_repeats)
+    dataset = make_dataset(
+        dataset_name,
+        num_traces=config.num_traces,
+        duration_s=config.trace_duration_s,
+        seed=config.dataset_seed,
+    )
+    split = dataset.split()
+    print(
+        f"building {args.scheme} suite on {dataset_name} "
+        f"({config.name} config) ...",
+        file=out,
+    )
+    suite = build_safety_suite(
+        manifest,
+        split,
+        BufferBasedPolicy(manifest.bitrates_kbps),
+        is_synthetic=dataset.is_synthetic,
+        training_config=config.training,
+        safety_config=config.safety,
+        value_epochs=config.value_epochs,
+        seed=config.suite_seed,
+        max_workers=args.workers,
+    )
+    controller = suite.controllers()[args.scheme]
+    # Each session replays one of the held-out test traces (cycling when
+    # there are more sessions than traces) under its own eval seed.
+    specs = [
+        SessionSpec(
+            trace=split.test[index % len(split.test)],
+            seed=config.eval_seed + index,
+            name=f"session-{index:03d}",
+        )
+        for index in range(args.sessions)
+    ]
+    print(
+        f"serving {args.sessions} concurrent sessions "
+        f"({len(split.test)} test traces, workers={args.workers or 'in-process'}) ...",
+        file=out,
+    )
+    results = serve_sessions(
+        controller, manifest, specs, max_workers=args.workers
+    )
+    rows = [
+        [
+            spec.name,
+            result.trace_name,
+            round(result.qoe, 3),
+            round(result.default_fraction, 3),
+        ]
+        for spec, result in zip(specs, results)
+    ]
+    print(
+        render_table(
+            ["session", "trace", "mean QoE", "default fraction"], rows
+        ),
+        file=out,
+    )
+    qoes = [result.qoe for result in results]
+    fractions = [result.default_fraction for result in results]
+    print(
+        f"\n{args.scheme} over {len(results)} sessions: "
+        f"mean QoE {sum(qoes) / len(qoes):.3f}, "
+        f"mean default fraction {sum(fractions) / len(fractions):.3f}",
+        file=out,
+    )
+    return 0
+
+
 def _dispatch(args, out) -> int:
     if args.command == "figures":
         return _cmd_figures(args, out)
@@ -243,6 +367,8 @@ def _dispatch(args, out) -> int:
         return _cmd_runtimes(args, out)
     if args.command == "shapes":
         return _cmd_shapes(args, out)
+    if args.command == "serve-demo":
+        return _cmd_serve_demo(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -3,34 +3,60 @@
 Detect, in real time, when a learning-augmented agent is operating outside
 its training distribution, and default to a safe policy when it is:
 
-* :mod:`repro.core.signals` — the uncertainty-signal interface.
+* :mod:`repro.core.signals` — the uncertainty-signal protocol and the
+  string-keyed registries of signals, novelty detectors, and triggers.
 * :mod:`repro.core.novelty_signal` — ``U_S``: state uncertainty via
-  one-class-SVM novelty detection over windows of throughput statistics.
+  novelty detection over windows of throughput statistics.
 * :mod:`repro.core.ensemble_signals` — ``U_pi`` (agent-ensemble KL
   disagreement) and ``U_V`` (value-ensemble disagreement), with the
   paper's top-2 outlier trimming.
 * :mod:`repro.core.thresholding` — the k-window variance and l-consecutive
   defaulting rules.
-* :mod:`repro.core.controller` — :class:`~repro.core.controller.SafetyController`,
-  the policy wrapper that switches from the learned policy to the default.
-* :mod:`repro.core.calibration` — threshold calibration so all schemes
-  match the ND scheme's in-distribution performance (Section 2.5).
-* :mod:`repro.core.osap` — one-call construction of the paper's three
-  safety-enhanced Pensieve variants from trained artifacts.
+* :mod:`repro.core.monitor` — :class:`~repro.core.monitor.SafetyMonitor`,
+  the serializable step-stream state machine, and
+  :class:`~repro.core.monitor.SafetyController`, its policy-facing
+  adapter (re-exported from :mod:`repro.core.controller`).
+* :mod:`repro.core.calibration` — the domain-agnostic threshold-selection
+  rule (Section 2.5); the session-running half lives in
+  :mod:`repro.abr.calibration`.
+* :mod:`repro.core.osap` — :class:`~repro.core.osap.SafetyConfig`, the
+  validated parameter set; suite construction lives in
+  :mod:`repro.abr.suite`.
+
+This layer never imports the ABR substrate, the serving engine, or the
+experiment harness (enforced by ``tools/check_layers.py``): anything that
+streams observations can be monitored.
 """
 
-from repro.core.calibration import CalibrationResult, calibrate_variance_threshold
-from repro.core.controller import SafetyController
-from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
+from repro.core.calibration import CalibrationResult, select_threshold
+from repro.core.ensemble_signals import (
+    PolicyEnsembleSignal,
+    ValueEnsembleSignal,
+    policy_disagreement,
+    trim_by_distance,
+    value_disagreement,
+)
 from repro.core.monitor import (
     DecisionRecord,
+    MonitorDecision,
     MonitoredController,
+    SafetyController,
+    SafetyMonitor,
     SignalRecorder,
     explain_default,
 )
 from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
-from repro.core.osap import SafetyConfig, SafetySuite, build_safety_suite
-from repro.core.signals import UncertaintySignal
+from repro.core.osap import SafetyConfig
+from repro.core.signals import (
+    DETECTORS,
+    SIGNALS,
+    TRIGGERS,
+    ComponentRegistry,
+    UncertaintySignal,
+    make_detector,
+    make_signal,
+    make_trigger,
+)
 from repro.core.thresholding import (
     ConsecutiveTrigger,
     DefaultTrigger,
@@ -39,21 +65,31 @@ from repro.core.thresholding import (
 
 __all__ = [
     "CalibrationResult",
+    "ComponentRegistry",
     "ConsecutiveTrigger",
+    "DETECTORS",
     "DecisionRecord",
     "DefaultTrigger",
+    "MonitorDecision",
     "MonitoredController",
     "PolicyEnsembleSignal",
+    "SIGNALS",
     "SafetyConfig",
     "SafetyController",
-    "SafetySuite",
+    "SafetyMonitor",
     "SignalRecorder",
     "StateNoveltySignal",
+    "TRIGGERS",
     "UncertaintySignal",
     "ValueEnsembleSignal",
     "VarianceTrigger",
-    "build_safety_suite",
-    "calibrate_variance_threshold",
     "explain_default",
+    "make_detector",
+    "make_signal",
+    "make_trigger",
+    "policy_disagreement",
+    "select_threshold",
     "throughput_window_samples",
+    "trim_by_distance",
+    "value_disagreement",
 ]

@@ -1,4 +1,4 @@
-"""Threshold calibration (Section 2.5).
+"""Threshold calibration (Section 2.5) — the domain-agnostic half.
 
 "Online safety assurance with respect to U_S, U_pi, and U_V is calibrated
 to attain the same performance when mu_train = mu_test": the ND scheme
@@ -6,31 +6,24 @@ uses a fixed rule (l consecutive OOD flags), and the variance thresholds
 ``alpha`` of the ensemble schemes are then chosen so each scheme's
 in-distribution QoE matches the ND scheme's.
 
-The procedure: collect the candidate signal's window-variance values on
-in-distribution sessions (to get a data-driven grid of plausible
-``alpha``), evaluate the safety-enhanced agent's mean QoE at each
-candidate, and pick the candidate whose QoE is closest to the target.
+This module holds the calibration *decision*: given the candidate
+``(alpha, performance)`` table, pick the threshold
+(:func:`select_threshold`).  Producing that table requires running
+sessions, which is domain work — the ABR-specific candidate collection
+and evaluation live in :mod:`repro.abr.calibration`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.abr.session import run_session
-from repro.core.controller import SafetyController
-from repro.core.signals import UncertaintySignal
-from repro.core.thresholding import VarianceTrigger
 from repro.errors import CalibrationError
-from repro.mdp.interfaces import Policy
-from repro.traces.trace import Trace
-from repro.video.manifest import VideoManifest
-from repro.video.qoe import QoEMetric
 
-__all__ = ["CalibrationResult", "calibrate_variance_threshold"]
+__all__ = ["CalibrationResult", "select_threshold"]
 
-_CANDIDATE_QUANTILES = (
+#: Quantiles of the observed in-distribution window variances used as the
+#: data-driven candidate grid.
+CANDIDATE_QUANTILES = (
     0.1, 0.25, 0.5, 0.7, 0.8, 0.9, 0.95, 0.98, 0.99, 0.995, 0.999,
 )
 
@@ -50,113 +43,25 @@ class CalibrationResult:
         return abs(self.achieved_qoe - self.target_qoe)
 
 
-def evaluate_mean_qoe(
-    policy: Policy,
-    manifest: VideoManifest,
-    traces: tuple[Trace, ...] | list[Trace],
-    qoe_metric: QoEMetric | None = None,
-    seed: int = 0,
-) -> float:
-    """Mean session QoE of *policy* over *traces*."""
-    if not traces:
-        raise CalibrationError("no traces to evaluate on")
-    scores = [
-        run_session(policy, manifest, trace, qoe_metric=qoe_metric, seed=seed).qoe
-        for trace in traces
-    ]
-    return float(np.mean(scores))
-
-
-def collect_window_variances(
-    signal: UncertaintySignal,
-    policy: Policy,
-    manifest: VideoManifest,
-    traces: tuple[Trace, ...] | list[Trace],
-    k: int,
-    qoe_metric: QoEMetric | None = None,
-    seed: int = 0,
-) -> np.ndarray:
-    """Observe the signal's k-window variance along in-distribution sessions.
-
-    Runs *policy* (without any defaulting) while feeding the signal, and
-    records the rolling variance a :class:`VarianceTrigger` would see —
-    the empirical distribution the candidate thresholds are drawn from.
-    """
-    variances: list[float] = []
-    for trace in traces:
-        signal.reset()
-        probe = VarianceTrigger(alpha=np.inf, k=k, l=1)
-        session = run_session(
-            policy, manifest, trace, qoe_metric=qoe_metric, seed=seed
-        )
-        for observation in session.observation_list:
-            probe.update(signal.measure(observation))
-            variances.append(probe.window_variance())
-    if not variances:
-        raise CalibrationError("no signal observations collected")
-    return np.asarray(variances)
-
-
-def calibrate_variance_threshold(
-    signal: UncertaintySignal,
-    learned: Policy,
-    default: Policy,
-    manifest: VideoManifest,
-    traces: tuple[Trace, ...] | list[Trace],
+def select_threshold(
+    candidates: list[tuple[float, float]],
     target_qoe: float,
-    k: int = 5,
-    l: int = 3,
-    qoe_metric: QoEMetric | None = None,
-    seed: int = 0,
-    candidate_alphas: list[float] | None = None,
     tolerance_fraction: float = 0.02,
 ) -> CalibrationResult:
-    """Choose ``alpha`` so the safety-enhanced agent matches *target_qoe*.
+    """Pick ``alpha`` from a ``(alpha, achieved_qoe)`` candidate table.
 
-    *traces* must be in-distribution (the paper calibrates on the training
-    distribution; we use the validation split).  Among candidates whose
-    in-distribution QoE is within ``tolerance_fraction`` of the target,
-    the *smallest* (most sensitive) threshold wins: equal in-distribution
-    performance should buy as much out-of-distribution sensitivity as
-    possible.  If no candidate reaches the tolerance band, the closest
-    one is used.  Returns the chosen threshold together with the full
-    candidate/QoE table for inspection.
+    Among candidates whose performance is within ``tolerance_fraction``
+    of the target, the *smallest* (most sensitive) threshold wins: equal
+    in-distribution performance should buy as much out-of-distribution
+    sensitivity as possible.  If no candidate reaches the tolerance band,
+    the closest one is used.
     """
     if tolerance_fraction < 0:
         raise CalibrationError(
             f"tolerance_fraction must be >= 0, got {tolerance_fraction}"
         )
-    if signal.binary:
-        raise CalibrationError(
-            "binary signals use the fixed consecutive rule; only continuous "
-            "signals are calibrated"
-        )
-    if not traces:
-        raise CalibrationError("no calibration traces supplied")
-    if candidate_alphas is None:
-        observed = collect_window_variances(
-            signal, learned, manifest, traces, k=k, qoe_metric=qoe_metric, seed=seed
-        )
-        positive = observed[observed > 0]
-        if positive.size == 0:
-            # The signal never varies in-distribution: any tiny bar works.
-            candidate_alphas = [1e-12]
-        else:
-            quantiles = np.quantile(positive, _CANDIDATE_QUANTILES)
-            candidate_alphas = sorted(set(float(q) for q in quantiles))
-            candidate_alphas.append(float(positive.max()) * 2.0)
-    candidates: list[tuple[float, float]] = []
-    for alpha in candidate_alphas:
-        controller = SafetyController(
-            learned=learned,
-            default=default,
-            signal=signal,
-            trigger=VarianceTrigger(alpha=alpha, k=k, l=l),
-        )
-        qoe = evaluate_mean_qoe(
-            controller, manifest, traces, qoe_metric=qoe_metric, seed=seed
-        )
-        candidates.append((float(alpha), qoe))
+    if not candidates:
+        raise CalibrationError("no calibration candidates supplied")
     tolerance = max(tolerance_fraction * abs(target_qoe), 1.0)
     qualifying = [
         pair for pair in candidates if abs(pair[1] - target_qoe) <= tolerance
@@ -168,8 +73,8 @@ def calibrate_variance_threshold(
             candidates, key=lambda pair: (abs(pair[1] - target_qoe), -pair[0])
         )
     return CalibrationResult(
-        alpha=best_alpha,
+        alpha=float(best_alpha),
         target_qoe=float(target_qoe),
         achieved_qoe=float(best_qoe),
-        candidates=candidates,
+        candidates=[(float(a), float(q)) for a, q in candidates],
     )

@@ -1,147 +1,12 @@
-"""The safety controller: a learned policy with a safety net.
+"""Backward-compatible home of :class:`SafetyController`.
 
-Wraps a learned policy and a default policy behind the standard policy
-interface.  Every decision step it feeds the observation to the
-uncertainty signal, the signal value to the trigger, and — once the
-trigger fires — hands control to the default policy.
-
-By default the hand-off is *sticky* for the rest of the session, matching
-the paper's "defaulting" language (the enhanced system "defaults to BB");
-``allow_revert=True`` switches back to the learned policy as soon as the
-trigger stops firing, for the extension experiments.
+The controller's window/trigger bookkeeping used to live here,
+duplicated against the telemetry in :mod:`repro.core.monitor`; the one
+implementation is now the :class:`~repro.core.monitor.SafetyMonitor`
+state machine, with the controller as its policy-facing adapter.  This
+module re-exports the adapter so historical imports keep working.
 """
 
-from __future__ import annotations
-
-from collections import deque
-
-import numpy as np
-
-from repro import obs
-from repro.core.signals import UncertaintySignal
-from repro.core.thresholding import DefaultTrigger
-from repro.errors import SafetyError
-from repro.mdp.interfaces import Policy
-from repro.perf import fast_paths_enabled
+from repro.core.monitor import SafetyController
 
 __all__ = ["SafetyController"]
-
-
-class SafetyController:
-    """A policy that is ``learned`` inside its comfort zone, ``default``
-    outside it."""
-
-    def __init__(
-        self,
-        learned: Policy,
-        default: Policy,
-        signal: UncertaintySignal,
-        trigger: DefaultTrigger,
-        allow_revert: bool = False,
-        name: str = "safe",
-    ) -> None:
-        if learned is default:
-            raise SafetyError("learned and default policies must be distinct")
-        self.learned = learned
-        self.default = default
-        self.signal = signal
-        self.trigger = trigger
-        self.allow_revert = allow_revert
-        self.name = name
-        self._defaulted = False
-        self.last_decision_defaulted = False
-        self.default_steps = 0
-        self.total_steps = 0
-        # Recent signal values for the observability default-event; only
-        # materialized while metric collection is on.
-        self._recent_signals: deque[float] | None = None
-
-    def reset(self) -> None:
-        """Reset the wrapped policies, the signal, and the trigger."""
-        self.learned.reset()
-        self.default.reset()
-        self.signal.reset()
-        self.trigger.reset()
-        self._defaulted = False
-        self.last_decision_defaulted = False
-        self.default_steps = 0
-        self.total_steps = 0
-        self._recent_signals = None
-
-    def _active_policy(self, observation: np.ndarray) -> Policy:
-        """Advance the signal/trigger one step and pick today's policy."""
-        if self._defaulted and not self.allow_revert and fast_paths_enabled():
-            # Sticky hand-off: the signal can never change another decision
-            # this session, so skip measuring it.  QoE and default_fraction
-            # are untouched; only the (reset-per-session) signal/trigger
-            # internals stop advancing.
-            self.last_decision_defaulted = True
-            self.total_steps += 1
-            self.default_steps += 1
-            obs.inc("controller.decisions", controller=self.name, mode="default")
-            return self.default
-        value = self.signal.measure(observation)
-        fired = self.trigger.update(value)
-        was_defaulted = self._defaulted
-        if self.allow_revert:
-            self._defaulted = fired
-        else:
-            self._defaulted = self._defaulted or fired
-        self.last_decision_defaulted = self._defaulted
-        self.total_steps += 1
-        if self._defaulted:
-            self.default_steps += 1
-        if obs.enabled():
-            self._observe_decision(value, was_defaulted)
-        return self.default if self._defaulted else self.learned
-
-    def _observe_decision(self, value: float, was_defaulted: bool) -> None:
-        """Record this decision's signal and mode, plus hand-off events
-        carrying the window of signal values that led to them.  Only
-        called while collection is on; never touches control flow."""
-        if self._recent_signals is None:
-            window = max(int(getattr(self.trigger, "k", 1)), 1)
-            self._recent_signals = deque(maxlen=window)
-        self._recent_signals.append(float(value))
-        obs.observe("controller.signal", float(value), controller=self.name)
-        obs.inc(
-            "controller.decisions",
-            controller=self.name,
-            mode="default" if self._defaulted else "learned",
-        )
-        if self._defaulted and not was_defaulted:
-            obs.event(
-                "controller.default",
-                controller=self.name,
-                step=self.total_steps,
-                signal=float(value),
-                window=list(self._recent_signals),
-            )
-        elif was_defaulted and not self._defaulted:
-            obs.event(
-                "controller.recover",
-                controller=self.name,
-                step=self.total_steps,
-                signal=float(value),
-            )
-
-    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
-        """One decision: measure uncertainty, maybe default, then act."""
-        return self._active_policy(observation).act(observation, rng)
-
-    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
-        """The active policy's action distribution.
-
-        Reads the controller's current mode without advancing the signal —
-        only :meth:`act` consumes a decision step, so rollout bookkeeping
-        that inspects probabilities does not double-count.
-        """
-        policy = self.default if self._defaulted else self.learned
-        return policy.action_probabilities(observation)
-
-    @property
-    def default_fraction(self) -> float:
-        """Fraction of this session's decisions made by the default policy."""
-        if self.total_steps == 0:
-            return 0.0
-        return self.default_steps / self.total_steps

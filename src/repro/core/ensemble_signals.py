@@ -15,12 +15,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.signals import UncertaintySignal
+from repro.core.signals import SIGNALS, UncertaintySignal
 from repro.errors import ReproError, SafetyError
 from repro.nn.losses import kl_divergence
 from repro.perf import fast_paths_enabled
 
-__all__ = ["PolicyEnsembleSignal", "ValueEnsembleSignal", "trim_by_distance"]
+__all__ = [
+    "PolicyEnsembleSignal",
+    "ValueEnsembleSignal",
+    "policy_disagreement",
+    "trim_by_distance",
+    "value_disagreement",
+]
 
 
 def _try_stack_actors(agents: list):
@@ -69,6 +75,41 @@ def trim_by_distance(
     return outputs[np.sort(keep)]
 
 
+def policy_disagreement(distributions: np.ndarray, trim: int) -> float:
+    """``U_pi`` of one decision step, from the members' distributions.
+
+    *distributions* is ``(members, num_actions)`` — each member's action
+    distribution for the same observation.  This is the whole signal
+    computation minus the forward passes, so any caller that already has
+    the distributions (the serve engine batches them across sessions)
+    produces bitwise-identical values to :class:`PolicyEnsembleSignal`.
+    """
+    mean = distributions.mean(axis=0)
+    distances = kl_divergence(
+        distributions, np.broadcast_to(mean, distributions.shape)
+    )
+    survivors = trim_by_distance(distributions, distances, trim)
+    survivor_mean = survivors.mean(axis=0)
+    return float(
+        kl_divergence(
+            survivors, np.broadcast_to(survivor_mean, survivors.shape)
+        ).sum()
+    )
+
+
+def value_disagreement(values: np.ndarray, trim: int) -> float:
+    """``U_V`` of one decision step, from the members' value estimates.
+
+    *values* is ``(members,)``.  Same contract as
+    :func:`policy_disagreement`: the math behind
+    :class:`ValueEnsembleSignal`, reusable on externally batched values.
+    """
+    distances = np.abs(values - values.mean())
+    survivors = trim_by_distance(values[:, None], distances, trim)[:, 0]
+    return float(np.abs(survivors - survivors.mean()).sum())
+
+
+@SIGNALS.register("U_pi")
 class PolicyEnsembleSignal(UncertaintySignal):
     """``U_pi``: KL disagreement within an agent ensemble.
 
@@ -80,6 +121,7 @@ class PolicyEnsembleSignal(UncertaintySignal):
     """
 
     binary = False
+    stateless = True
 
     def __init__(self, agents: list, trim: int = 2) -> None:
         if len(agents) < 2:
@@ -101,17 +143,29 @@ class PolicyEnsembleSignal(UncertaintySignal):
             distributions = np.stack(
                 [agent.action_probabilities(observation) for agent in self.agents]
             )
-        mean = distributions.mean(axis=0)
-        distances = kl_divergence(distributions, np.broadcast_to(mean, distributions.shape))
-        survivors = trim_by_distance(distributions, distances, self.trim)
-        survivor_mean = survivors.mean(axis=0)
-        return float(
-            kl_divergence(
-                survivors, np.broadcast_to(survivor_mean, survivors.shape)
-            ).sum()
+        return policy_disagreement(distributions, self.trim)
+
+    def measure_batch(self, observations: np.ndarray) -> np.ndarray:
+        """``U_pi`` for one observation per concurrent session.
+
+        With a stackable ensemble and fast paths on, all members answer
+        for all sessions in one fused forward — the serve engine's
+        cross-session batch.  Values match :meth:`measure` up to BLAS
+        batch-shape accumulation (see
+        :meth:`repro.pensieve.stacked.StackedActorEnsemble.probabilities_batch`).
+        """
+        if self._stacked is None or not fast_paths_enabled():
+            return super().measure_batch(observations)
+        distributions = self._stacked.probabilities_batch(observations)
+        return np.array(
+            [
+                policy_disagreement(distributions[:, index, :], self.trim)
+                for index in range(distributions.shape[1])
+            ]
         )
 
 
+@SIGNALS.register("U_V")
 class ValueEnsembleSignal(UncertaintySignal):
     """``U_V``: disagreement within a value-function ensemble.
 
@@ -121,6 +175,7 @@ class ValueEnsembleSignal(UncertaintySignal):
     """
 
     binary = False
+    stateless = True
 
     def __init__(self, value_functions: list, trim: int = 2) -> None:
         if len(value_functions) < 2:
@@ -143,6 +198,17 @@ class ValueEnsembleSignal(UncertaintySignal):
             values = np.array(
                 [vf.value(observation) for vf in self.value_functions]
             )
-        distances = np.abs(values - values.mean())
-        survivors = trim_by_distance(values[:, None], distances, self.trim)[:, 0]
-        return float(np.abs(survivors - survivors.mean()).sum())
+        return value_disagreement(values, self.trim)
+
+    def measure_batch(self, observations: np.ndarray) -> np.ndarray:
+        """``U_V`` for one observation per concurrent session (same
+        contract as :meth:`PolicyEnsembleSignal.measure_batch`)."""
+        if self._stacked is None or not fast_paths_enabled():
+            return super().measure_batch(observations)
+        values = self._stacked.values_batch(observations)
+        return np.array(
+            [
+                value_disagreement(values[:, index], self.trim)
+                for index in range(values.shape[1])
+            ]
+        )

@@ -1,31 +1,375 @@
-"""Session telemetry: record what the safety machinery saw and did.
+"""The streaming safety monitor: OSAP as a step-stream state machine.
 
-A production safety net must be auditable — when the system defaults, the
-operator asks *why now?*.  :class:`SignalRecorder` wraps any uncertainty
-signal and logs its per-step values; :class:`MonitoredController` extends
-the safety controller with a full decision log; and
-:func:`explain_default` renders the moments around a hand-off as text.
+This module is the single home of the paper's online decision rule.
+:class:`SafetyMonitor` consumes one observation per decision step
+(:meth:`~SafetyMonitor.observe`) and answers with a
+:class:`MonitorDecision` — measure the uncertainty signal, fold it into
+the trigger, and track the default/recover mode — without knowing
+anything about policies, environments, or sessions.  Because its full
+state (signal windows, trigger counters, mode, step counters) is
+serializable (:meth:`~SafetyMonitor.state_dict` /
+:meth:`~SafetyMonitor.load_state_dict`), a monitored session can be
+suspended, shipped to another worker, and resumed with bitwise-identical
+subsequent decisions.
+
+:class:`SafetyController` is the policy-facing adapter: the same object
+the paper calls the safety-enhanced agent — ``learned`` inside its
+comfort zone, ``default`` outside — now a thin wrapper that lets the
+monitor decide and the chosen policy act.  (It is re-exported from
+:mod:`repro.core.controller` for backward compatibility; the bookkeeping
+lives only here.)
+
+The telemetry layer rides on top: :class:`SignalRecorder` logs per-step
+signal values, :class:`MonitoredController` keeps a full decision log,
+and :func:`explain_default` renders the moments around a hand-off.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.controller import SafetyController
+from repro import obs
 from repro.core.signals import UncertaintySignal
 from repro.core.thresholding import DefaultTrigger
 from repro.errors import SafetyError
 from repro.mdp.interfaces import Policy
+from repro.perf import fast_paths_enabled
 from repro.util.tables import render_table
 
 __all__ = [
     "DecisionRecord",
-    "SignalRecorder",
+    "MonitorDecision",
     "MonitoredController",
+    "SafetyController",
+    "SafetyMonitor",
+    "SignalRecorder",
     "explain_default",
 ]
+
+#: Schema version of the monitor state mapping (bump on layout changes).
+_STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MonitorDecision:
+    """What the monitor concluded about one decision step."""
+
+    #: 0-based decision index within the session.
+    step: int
+    #: The measured signal value; NaN when the sticky fast path skipped
+    #: measuring (the value could not change this session's decisions).
+    signal_value: float
+    #: Whether the trigger fired at this step.
+    fired: bool
+    #: The mode after folding this step in: decide with the default policy?
+    defaulted: bool
+    #: True exactly at the learned-to-default hand-off step.
+    handoff: bool
+    #: True exactly at a default-to-learned recovery step (revertible
+    #: monitors only).
+    recovered: bool
+
+    @property
+    def mode(self) -> str:
+        """``"default"`` or ``"learned"`` — who decides this step."""
+        return "default" if self.defaulted else "learned"
+
+
+class SafetyMonitor:
+    """The OSAP decision rule over a step stream, free of any domain.
+
+    Feed it one observation per decision step; it measures the
+    uncertainty signal, updates the trigger, and tracks whether the
+    system should be deciding with the default policy.  By default the
+    hand-off is *sticky* for the rest of the session, matching the
+    paper's "defaulting" language (the enhanced system "defaults to
+    BB"); ``allow_revert=True`` switches back as soon as the trigger
+    stops firing, for the extension experiments.
+    """
+
+    def __init__(
+        self,
+        signal: UncertaintySignal,
+        trigger: DefaultTrigger,
+        allow_revert: bool = False,
+        name: str = "monitor",
+    ) -> None:
+        self.signal = signal
+        self.trigger = trigger
+        self.allow_revert = allow_revert
+        self.name = name
+        self._defaulted = False
+        self.last_decision_defaulted = False
+        self.default_steps = 0
+        self.total_steps = 0
+        self._last_decision: MonitorDecision | None = None
+        # Recent signal values for the observability default-event; only
+        # materialized while metric collection is on.
+        self._recent_signals: deque[float] | None = None
+
+    def reset(self) -> None:
+        """Reset the signal, the trigger, and all session state."""
+        self.signal.reset()
+        self.trigger.reset()
+        self._defaulted = False
+        self.last_decision_defaulted = False
+        self.default_steps = 0
+        self.total_steps = 0
+        self._last_decision = None
+        self._recent_signals = None
+
+    @property
+    def defaulted(self) -> bool:
+        """Current mode: is the default policy deciding?"""
+        return self._defaulted
+
+    @property
+    def last_decision(self) -> MonitorDecision | None:
+        """The most recent decision, or ``None`` before the first step."""
+        return self._last_decision
+
+    @property
+    def default_fraction(self) -> float:
+        """Fraction of this session's decisions made in default mode."""
+        if self.total_steps == 0:
+            return 0.0
+        return self.default_steps / self.total_steps
+
+    def will_measure(self) -> bool:
+        """Whether the next :meth:`observe` call will measure the signal.
+
+        False only on the sticky fast path: once defaulted without
+        revert, the signal can never change another decision this
+        session, so measuring is skipped while fast paths are on.  The
+        serve engine uses this to exclude settled sessions from its
+        batched forwards.
+        """
+        return not (
+            self._defaulted and not self.allow_revert and fast_paths_enabled()
+        )
+
+    def observe(
+        self, observation: np.ndarray, signal_value: float | None = None
+    ) -> MonitorDecision:
+        """Fold one decision step in and say who should decide it.
+
+        *signal_value*, when given, is used instead of measuring the
+        signal — for callers that computed the identical value through a
+        batched path (the serve engine).  Only valid for stateless
+        signals: a stateful signal skipped this way would desynchronize
+        from the stream.
+        """
+        if not self.will_measure():
+            # Sticky hand-off: the signal can never change another decision
+            # this session, so skip measuring it.  QoE and default_fraction
+            # are untouched; only the (reset-per-session) signal/trigger
+            # internals stop advancing.
+            self.last_decision_defaulted = True
+            self.total_steps += 1
+            self.default_steps += 1
+            obs.inc("controller.decisions", controller=self.name, mode="default")
+            decision = MonitorDecision(
+                step=self.total_steps - 1,
+                signal_value=float("nan"),
+                fired=False,
+                defaulted=True,
+                handoff=False,
+                recovered=False,
+            )
+            self._last_decision = decision
+            return decision
+        if signal_value is None:
+            value = self.signal.measure(observation)
+        else:
+            value = float(signal_value)
+        fired = self.trigger.update(value)
+        was_defaulted = self._defaulted
+        if self.allow_revert:
+            self._defaulted = fired
+        else:
+            self._defaulted = self._defaulted or fired
+        self.last_decision_defaulted = self._defaulted
+        self.total_steps += 1
+        if self._defaulted:
+            self.default_steps += 1
+        if obs.enabled():
+            self._observe_decision(value, was_defaulted)
+        decision = MonitorDecision(
+            step=self.total_steps - 1,
+            signal_value=float(value),
+            fired=bool(fired),
+            defaulted=self._defaulted,
+            handoff=self._defaulted and not was_defaulted,
+            recovered=was_defaulted and not self._defaulted,
+        )
+        self._last_decision = decision
+        return decision
+
+    def _observe_decision(self, value: float, was_defaulted: bool) -> None:
+        """Record this decision's signal and mode, plus hand-off events
+        carrying the window of signal values that led to them.  Only
+        called while collection is on; never touches control flow."""
+        if self._recent_signals is None:
+            window = max(int(getattr(self.trigger, "k", 1)), 1)
+            self._recent_signals = deque(maxlen=window)
+        self._recent_signals.append(float(value))
+        obs.observe("controller.signal", float(value), controller=self.name)
+        obs.inc(
+            "controller.decisions",
+            controller=self.name,
+            mode="default" if self._defaulted else "learned",
+        )
+        if self._defaulted and not was_defaulted:
+            obs.event(
+                "controller.default",
+                controller=self.name,
+                step=self.total_steps,
+                signal=float(value),
+                window=list(self._recent_signals),
+            )
+        elif was_defaulted and not self._defaulted:
+            obs.event(
+                "controller.recover",
+                controller=self.name,
+                step=self.total_steps,
+                signal=float(value),
+            )
+
+    def state_dict(self) -> dict:
+        """The monitor's full session state as a JSON-able mapping.
+
+        Covers the mode, the step counters, and the signal's and
+        trigger's rolling windows — everything needed so that a restored
+        monitor produces bitwise-identical decisions on the same
+        observation tail.
+        """
+        return {
+            "version": _STATE_VERSION,
+            "name": self.name,
+            "allow_revert": bool(self.allow_revert),
+            "defaulted": bool(self._defaulted),
+            "last_decision_defaulted": bool(self.last_decision_defaulted),
+            "default_steps": int(self.default_steps),
+            "total_steps": int(self.total_steps),
+            "signal": self.signal.state_dict(),
+            "trigger": self.trigger.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore session state captured by :meth:`state_dict`.
+
+        The monitor must already be built with the same signal/trigger
+        configuration; only *session* state travels in the mapping.
+        """
+        version = state.get("version")
+        if version != _STATE_VERSION:
+            raise SafetyError(
+                f"monitor state version {version!r} is not {_STATE_VERSION}"
+            )
+        if bool(state["allow_revert"]) != bool(self.allow_revert):
+            raise SafetyError(
+                "cannot restore state captured with "
+                f"allow_revert={state['allow_revert']} into a monitor with "
+                f"allow_revert={self.allow_revert}"
+            )
+        self._defaulted = bool(state["defaulted"])
+        self.last_decision_defaulted = bool(state["last_decision_defaulted"])
+        self.default_steps = int(state["default_steps"])
+        self.total_steps = int(state["total_steps"])
+        self.signal.load_state_dict(state["signal"])
+        self.trigger.load_state_dict(state["trigger"])
+        self._last_decision = None
+        self._recent_signals = None
+
+
+class SafetyController:
+    """A policy that is ``learned`` inside its comfort zone, ``default``
+    outside — the monitor decides, the chosen policy acts."""
+
+    def __init__(
+        self,
+        learned: Policy,
+        default: Policy,
+        signal: UncertaintySignal,
+        trigger: DefaultTrigger,
+        allow_revert: bool = False,
+        name: str = "safe",
+    ) -> None:
+        if learned is default:
+            raise SafetyError("learned and default policies must be distinct")
+        self.learned = learned
+        self.default = default
+        self.monitor = SafetyMonitor(
+            signal, trigger, allow_revert=allow_revert, name=name
+        )
+
+    # The monitor owns every piece of OSAP bookkeeping; these delegating
+    # accessors keep the controller's historical surface intact.
+    @property
+    def signal(self) -> UncertaintySignal:
+        return self.monitor.signal
+
+    @property
+    def trigger(self) -> DefaultTrigger:
+        return self.monitor.trigger
+
+    @property
+    def allow_revert(self) -> bool:
+        return self.monitor.allow_revert
+
+    @property
+    def name(self) -> str:
+        return self.monitor.name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self.monitor.name = value
+
+    @property
+    def _defaulted(self) -> bool:
+        return self.monitor.defaulted
+
+    @property
+    def last_decision_defaulted(self) -> bool:
+        return self.monitor.last_decision_defaulted
+
+    @property
+    def default_steps(self) -> int:
+        return self.monitor.default_steps
+
+    @property
+    def total_steps(self) -> int:
+        return self.monitor.total_steps
+
+    @property
+    def default_fraction(self) -> float:
+        """Fraction of this session's decisions made by the default policy."""
+        return self.monitor.default_fraction
+
+    def reset(self) -> None:
+        """Reset the wrapped policies and the monitor."""
+        self.learned.reset()
+        self.default.reset()
+        self.monitor.reset()
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        """One decision: measure uncertainty, maybe default, then act."""
+        decision = self.monitor.observe(observation)
+        policy = self.default if decision.defaulted else self.learned
+        return policy.act(observation, rng)
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """The active policy's action distribution.
+
+        Reads the monitor's current mode without advancing the signal —
+        only :meth:`act` consumes a decision step, so rollout bookkeeping
+        that inspects probabilities does not double-count.
+        """
+        policy = self.default if self.monitor.defaulted else self.learned
+        return policy.action_probabilities(observation)
 
 
 @dataclass(frozen=True)
@@ -55,6 +399,16 @@ class SignalRecorder(UncertaintySignal):
         value = self.inner.measure(observation)
         self.values.append(float(value))
         return value
+
+    def state_dict(self) -> dict:
+        return {
+            "inner": self.inner.state_dict(),
+            "values": [float(v) for v in self.values],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.inner.load_state_dict(state["inner"])
+        self.values = [float(v) for v in state["values"]]
 
 
 class MonitoredController(SafetyController):

@@ -15,18 +15,36 @@ training sessions, producing the OC-SVM's training set.
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
 import numpy as np
 
-from repro.abr.state import ObservationView
-from repro.core.signals import UncertaintySignal
-from repro.errors import SafetyError
+from repro.core.signals import SIGNALS, UncertaintySignal
+from repro.errors import SafetyError, SimulationError
 from repro.novelty.base import NoveltyDetector
 from repro.util.stats import mean_std_window
 
 __all__ = ["StateNoveltySignal", "throughput_window_samples"]
 
 _DEFAULT_THROUGHPUT_WINDOW = 10
+
+#: Row 2 of the ABR observation matrix is measured throughput normalized
+#: by this constant.  It restates the observation contract of
+#: ``repro.abr.state`` (``_THROUGHPUT_NORM_MBPS``) so the core layer can
+#: read the stream without importing the ABR substrate; a sync test
+#: asserts the two constants (and the extracted values) agree.
+_THROUGHPUT_NORM_MBPS = 8.0
+_THROUGHPUT_ROW = 2
+
+
+def _latest_throughput_mbps(observation: np.ndarray) -> float:
+    """The newest measured throughput in an ABR observation (Mbit/s)."""
+    observation = np.asarray(observation, dtype=float)
+    if observation.ndim != 2:
+        raise SimulationError(
+            f"expected a 2-d observation matrix, got shape {observation.shape}"
+        )
+    return float(observation[_THROUGHPUT_ROW, -1] * _THROUGHPUT_NORM_MBPS)
 
 
 def throughput_window_samples(
@@ -80,6 +98,7 @@ def throughput_window_samples(
     return stacked
 
 
+@SIGNALS.register("U_S")
 class StateNoveltySignal(UncertaintySignal):
     """Per-step OOD flag from a fitted novelty detector.
 
@@ -87,6 +106,12 @@ class StateNoveltySignal(UncertaintySignal):
     outlier with respect to the training distribution, else 0.0.  During
     warm-up (before *k* windows have been observed) it emits 0.0 — the
     paper's system likewise cannot flag before it has a full sample.
+
+    Any fitted :class:`~repro.novelty.base.NoveltyDetector` works as the
+    backend (the registry in :mod:`repro.core.signals` lists them under
+    ``novelty/*``); the paper's choice is the one-class SVM.  The signal
+    reads the latest measured throughput from the ABR observation row by
+    default; *throughput_of* swaps that extraction for other domains.
     """
 
     binary = True
@@ -97,6 +122,7 @@ class StateNoveltySignal(UncertaintySignal):
         bitrates_kbps: np.ndarray,
         k: int,
         throughput_window: int = _DEFAULT_THROUGHPUT_WINDOW,
+        throughput_of: Callable[[np.ndarray], float] | None = None,
     ) -> None:
         if k <= 0:
             raise SafetyError(f"k must be positive, got {k}")
@@ -108,6 +134,7 @@ class StateNoveltySignal(UncertaintySignal):
         self.bitrates_kbps = np.asarray(bitrates_kbps, dtype=float)
         self.k = k
         self.throughput_window = throughput_window
+        self.throughput_of = throughput_of or _latest_throughput_mbps
         self._throughputs: deque[float] = deque(maxlen=max(throughput_window, 1))
         self._pairs: deque[tuple[float, float]] = deque(maxlen=k)
 
@@ -115,10 +142,29 @@ class StateNoveltySignal(UncertaintySignal):
         self._throughputs.clear()
         self._pairs.clear()
 
+    def state_dict(self) -> dict:
+        return {
+            "throughputs": [float(v) for v in self._throughputs],
+            "pairs": [[float(m), float(s)] for m, s in self._pairs],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        throughputs = [float(v) for v in state["throughputs"]]
+        pairs = [(float(m), float(s)) for m, s in state["pairs"]]
+        if len(throughputs) > self._throughputs.maxlen:
+            raise SafetyError(
+                f"restored {len(throughputs)} throughputs into a window "
+                f"of {self._throughputs.maxlen}"
+            )
+        if len(pairs) > self.k:
+            raise SafetyError(
+                f"restored {len(pairs)} pairs into a window of {self.k}"
+            )
+        self._throughputs = deque(throughputs, maxlen=self._throughputs.maxlen)
+        self._pairs = deque(pairs, maxlen=self.k)
+
     def measure(self, observation: np.ndarray) -> float:
-        view = ObservationView(observation, self.bitrates_kbps)
-        history = view.throughput_history_mbps
-        latest = float(history[-1])
+        latest = self.throughput_of(observation)
         if latest > 0:
             self._throughputs.append(latest)
         # Warm-up: wait for a full throughput window before producing

@@ -1,53 +1,24 @@
-"""One-call construction of the paper's safety-enhanced Pensieve variants.
+"""The paper's safety-assurance parameters (Section 3.1).
 
-:func:`build_safety_suite` performs the full offline phase for one
-training distribution:
+:class:`SafetyConfig` collects every knob of the three OSAP schemes —
+ensemble size and trimming, the l-consecutive and k-window-variance
+trigger lengths, the OC-SVM window sizes and nu — and validates them at
+construction, so an invalid combination fails loudly at configuration
+time instead of deep inside calibration or a training run.
 
-1. train the Pensieve agent ensemble (member 0 is "the" deployed agent),
-2. train the value-function ensemble for member 0's policy,
-3. fit the OC-SVM on throughput-window samples from member 0's training
-   sessions,
-4. build the three uncertainty signals and calibrate the ensemble
-   signals' thresholds to the ND scheme's in-distribution QoE.
-
-The result is a :class:`SafetySuite`: the vanilla agent plus the three
-safety-enhanced controllers (ND, A-ensemble, V-ensemble), ready to be
-evaluated on any test distribution.
+Suite *construction* — training the ensembles and wiring the three
+safety-enhanced controllers — is domain work and lives in
+:mod:`repro.abr.suite` (:func:`repro.abr.suite.build_safety_suite`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
 
-import numpy as np
+from repro.core.signals import DETECTORS, make_detector
+from repro.errors import ConfigError
 
-from repro.abr.session import run_session
-from repro.core.calibration import (
-    CalibrationResult,
-    calibrate_variance_threshold,
-    evaluate_mean_qoe,
-)
-from repro.core.controller import SafetyController
-from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
-from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
-from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
-from repro.errors import ConfigError, SafetyError
-from repro.novelty.ocsvm import OneClassSVM
-from repro.pensieve.agent import PensieveAgent, PensieveValueFunction
-from repro.pensieve.ensemble import train_agent_ensemble, train_value_ensemble
-from repro.pensieve.training import TrainingConfig
-from repro.policies.base import ABRPolicy
-from repro.traces.dataset import DatasetSplit
-from repro.traces.trace import Trace
-from repro.util.rng import rng_from_seed
-from repro.video.manifest import VideoManifest
-from repro.video.qoe import QoEMetric
-
-if TYPE_CHECKING:  # imported lazily to avoid a package-import cycle
-    from repro.experiments.artifacts import ArtifactCache
-
-__all__ = ["SafetyConfig", "SafetySuite", "build_safety_suite"]
+__all__ = ["SafetyConfig"]
 
 
 @dataclass(frozen=True)
@@ -64,18 +35,36 @@ class SafetyConfig:
     ocsvm_nu: float = 0.10
     max_ocsvm_samples: int = 1500
     allow_revert: bool = False
+    #: Registry key of the ``U_S`` novelty backend (see
+    #: :data:`repro.core.signals.DETECTORS`).  The paper's choice is the
+    #: one-class SVM; the orphaned detectors (``novelty/kde``,
+    #: ``novelty/knn``, ``novelty/mahalanobis``) drop in here.
+    detector: str = "novelty/ocsvm"
 
     def __post_init__(self) -> None:
         if self.ensemble_size < 3:
             raise ConfigError(
                 f"ensemble_size must be >= 3, got {self.ensemble_size}"
             )
-        if not 0 <= self.trim <= self.ensemble_size - 2:
+        if self.trim < 0:
+            raise ConfigError(f"trim must be >= 0, got {self.trim}")
+        if self.trim >= self.ensemble_size:
+            raise ConfigError(
+                f"trim={self.trim} must be < ensemble_size={self.ensemble_size}"
+            )
+        if self.trim > self.ensemble_size - 2:
             raise ConfigError(
                 f"trim={self.trim} must leave >= 2 of {self.ensemble_size} members"
             )
-        if self.l < 1 or self.variance_k < 2:
-            raise ConfigError("need l >= 1 and variance_k >= 2")
+        if self.l < 1:
+            raise ConfigError(f"l must be >= 1, got {self.l}")
+        if self.variance_k < 1:
+            raise ConfigError(f"variance_k must be >= 1, got {self.variance_k}")
+        if self.variance_k < 2:
+            raise ConfigError(
+                f"variance_k must be >= 2 to define a variance, got "
+                f"{self.variance_k}"
+            )
         if self.ocsvm_k_empirical < 1 or self.ocsvm_k_synthetic < 1:
             raise ConfigError("OC-SVM window lengths must be >= 1")
         if self.throughput_window < 1:
@@ -88,210 +77,22 @@ class SafetyConfig:
             raise ConfigError(
                 f"max_ocsvm_samples must be >= 10, got {self.max_ocsvm_samples}"
             )
+        if self.detector not in DETECTORS:
+            raise ConfigError(
+                f"unknown detector {self.detector!r}; expected one of "
+                f"{DETECTORS.keys()}"
+            )
 
     def ocsvm_k(self, is_synthetic: bool) -> int:
         """The paper uses k=5 for empirical and k=30 for synthetic data."""
         return self.ocsvm_k_synthetic if is_synthetic else self.ocsvm_k_empirical
 
+    def build_detector(self):
+        """Construct the configured (unfitted) ``U_S`` novelty backend.
 
-@dataclass
-class SafetySuite:
-    """Everything the offline phase produces for one training distribution."""
-
-    agent: PensieveAgent
-    agents: list[PensieveAgent]
-    value_functions: list[PensieveValueFunction]
-    detector: OneClassSVM
-    nd_controller: SafetyController
-    a_ensemble_controller: SafetyController
-    v_ensemble_controller: SafetyController
-    nd_qoe_in_distribution: float
-    calibration_a: CalibrationResult
-    calibration_v: CalibrationResult
-    config: SafetyConfig = field(default_factory=SafetyConfig)
-
-    def controllers(self) -> dict[str, SafetyController]:
-        """The three schemes by their paper names."""
-        return {
-            "ND": self.nd_controller,
-            "A-ensemble": self.a_ensemble_controller,
-            "V-ensemble": self.v_ensemble_controller,
-        }
-
-
-def collect_training_throughputs(
-    agent: PensieveAgent,
-    manifest: VideoManifest,
-    traces: tuple[Trace, ...] | list[Trace],
-    qoe_metric: QoEMetric | None = None,
-    seed: int = 0,
-) -> list[np.ndarray]:
-    """Per-session measured-throughput series from the agent's own
-    training-environment sessions (the OC-SVM's raw training data)."""
-    if not traces:
-        raise SafetyError("no traces to collect throughput series from")
-    rng = rng_from_seed(seed)
-    series = []
-    for trace in traces:
-        session = run_session(agent, manifest, trace, qoe_metric=qoe_metric, seed=rng)
-        series.append(np.array([c.throughput_mbps for c in session.chunks]))
-    return series
-
-
-def build_safety_suite(
-    manifest: VideoManifest,
-    split: DatasetSplit,
-    default_policy: ABRPolicy,
-    is_synthetic: bool,
-    training_config: TrainingConfig | None = None,
-    safety_config: SafetyConfig | None = None,
-    qoe_metric: QoEMetric | None = None,
-    value_epochs: int = 200,
-    seed: int = 0,
-    max_workers: int | None = None,
-    weight_cache: "ArtifactCache | None" = None,
-    checkpoint_every: int | None = None,
-) -> SafetySuite:
-    """Run the full offline phase for one training distribution.
-
-    *max_workers* fans the two ensemble trainings out over a process
-    pool (see :mod:`repro.parallel`); the suite is identical either way.
-    *weight_cache* (an :class:`~repro.experiments.artifacts.ArtifactCache`
-    keyed by the training fingerprint) persists both ensembles' trained
-    weights as ``.npz`` artifacts, so rebuilding the suite with an
-    unchanged configuration loads the networks instead of retraining.
-    *checkpoint_every* (or ``REPRO_CHECKPOINT_EVERY``) additionally
-    checkpoints both trainings every N epochs into the same cache, so a
-    suite build killed mid-ensemble resumes at the last epoch boundary
-    with bitwise-identical results (see
-    :mod:`repro.pensieve.checkpoint`).
-    """
-    safety = safety_config if safety_config is not None else SafetyConfig()
-    training = training_config if training_config is not None else TrainingConfig()
-    if not split.train:
-        raise SafetyError("dataset split has no training traces")
-    calibration_traces = split.validation if split.validation else split.train
-    agents = train_agent_ensemble(
-        manifest,
-        split.train,
-        size=safety.ensemble_size,
-        config=training,
-        qoe_metric=qoe_metric,
-        root_seed=seed,
-        max_workers=max_workers,
-        cache=weight_cache,
-        checkpoint_every=checkpoint_every,
-    )
-    # Standard model selection: deploy the ensemble member with the best
-    # validation QoE.  (All members still feed the U_pi signal.)
-    validation_qoes = [
-        evaluate_mean_qoe(
-            member, manifest, calibration_traces, qoe_metric=qoe_metric, seed=seed
-        )
-        for member in agents
-    ]
-    agent = agents[int(np.argmax(validation_qoes))]
-    value_functions = train_value_ensemble(
-        agent,
-        manifest,
-        split.train,
-        size=safety.ensemble_size,
-        gamma=training.gamma,
-        epochs=value_epochs,
-        filters=training.filters,
-        hidden=training.hidden,
-        reward_scale=training.reward_scale,
-        qoe_metric=qoe_metric,
-        root_seed=seed,
-        max_workers=max_workers,
-        cache=weight_cache,
-        checkpoint_every=checkpoint_every,
-    )
-    k_ocsvm = safety.ocsvm_k(is_synthetic)
-    throughputs = collect_training_throughputs(
-        agent, manifest, split.train, qoe_metric=qoe_metric, seed=seed
-    )
-    samples = throughput_window_samples(
-        throughputs,
-        k=k_ocsvm,
-        throughput_window=safety.throughput_window,
-        max_samples=safety.max_ocsvm_samples,
-        rng=rng_from_seed(seed),
-    )
-    detector = OneClassSVM(nu=safety.ocsvm_nu).fit(samples)
-    nd_signal = StateNoveltySignal(
-        detector,
-        manifest.bitrates_kbps,
-        k=k_ocsvm,
-        throughput_window=safety.throughput_window,
-    )
-    nd_controller = SafetyController(
-        learned=agent,
-        default=default_policy,
-        signal=nd_signal,
-        trigger=ConsecutiveTrigger(l=safety.l),
-        allow_revert=safety.allow_revert,
-        name="ND",
-    )
-    nd_qoe = evaluate_mean_qoe(
-        nd_controller, manifest, calibration_traces, qoe_metric=qoe_metric, seed=seed
-    )
-    pi_signal = PolicyEnsembleSignal(agents, trim=safety.trim)
-    calibration_a = calibrate_variance_threshold(
-        pi_signal,
-        learned=agent,
-        default=default_policy,
-        manifest=manifest,
-        traces=calibration_traces,
-        target_qoe=nd_qoe,
-        k=safety.variance_k,
-        l=safety.l,
-        qoe_metric=qoe_metric,
-        seed=seed,
-    )
-    a_controller = SafetyController(
-        learned=agent,
-        default=default_policy,
-        signal=pi_signal,
-        trigger=VarianceTrigger(
-            alpha=calibration_a.alpha, k=safety.variance_k, l=safety.l
-        ),
-        allow_revert=safety.allow_revert,
-        name="A-ensemble",
-    )
-    v_signal = ValueEnsembleSignal(value_functions, trim=safety.trim)
-    calibration_v = calibrate_variance_threshold(
-        v_signal,
-        learned=agent,
-        default=default_policy,
-        manifest=manifest,
-        traces=calibration_traces,
-        target_qoe=nd_qoe,
-        k=safety.variance_k,
-        l=safety.l,
-        qoe_metric=qoe_metric,
-        seed=seed,
-    )
-    v_controller = SafetyController(
-        learned=agent,
-        default=default_policy,
-        signal=v_signal,
-        trigger=VarianceTrigger(
-            alpha=calibration_v.alpha, k=safety.variance_k, l=safety.l
-        ),
-        allow_revert=safety.allow_revert,
-        name="V-ensemble",
-    )
-    return SafetySuite(
-        agent=agent,
-        agents=agents,
-        value_functions=value_functions,
-        detector=detector,
-        nd_controller=nd_controller,
-        a_ensemble_controller=a_controller,
-        v_ensemble_controller=v_controller,
-        nd_qoe_in_distribution=float(nd_qoe),
-        calibration_a=calibration_a,
-        calibration_v=calibration_v,
-        config=safety,
-    )
+        The OC-SVM takes this config's ``nu``; the drop-in detectors use
+        their own defaults.
+        """
+        if self.detector == "novelty/ocsvm":
+            return make_detector(self.detector, nu=self.ocsvm_nu)
+        return make_detector(self.detector)

@@ -1,18 +1,55 @@
-"""The uncertainty-signal interface.
+"""The uncertainty-signal protocol and the pluggable-component registry.
 
 A signal observes the same observation stream as the agent and emits one
 scalar per decision step.  The paper's three signals differ in what they
 look at — the environment state (``U_S``), the policy output (``U_pi``),
 or the value output (``U_V``) — but share this interface, which is what
-lets the controller, the calibration machinery, and the benchmarks treat
+lets the monitor, the calibration machinery, and the benchmarks treat
 them uniformly.
+
+Beyond the protocol itself, this module hosts the string-keyed component
+registries that make the safety runtime pluggable:
+
+* :data:`SIGNALS` — uncertainty signals by paper name (``U_S``, ``U_pi``,
+  ``U_V``),
+* :data:`DETECTORS` — novelty detectors usable as ``U_S`` backends
+  (``novelty/ocsvm``, ``novelty/kde``, ``novelty/knn``,
+  ``novelty/mahalanobis``),
+* :data:`TRIGGERS` — defaulting rules (``consecutive``, ``variance``,
+  plus the future-work strategies ``ewma``/``cusum``/``hysteresis``).
+
+Built-in components self-register when their defining module is imported;
+:func:`make_signal` / :func:`make_detector` / :func:`make_trigger` force
+those imports lazily, so looking a key up never depends on import order
+and the registry itself stays free of heavyweight dependencies.
+
+Signals also carry a *serialization* contract: :meth:`state_dict`
+returns the signal's per-session rolling state as a JSON-able mapping and
+:meth:`load_state_dict` restores it, so a monitored session can be
+suspended on one worker and resumed bitwise-identically on another (see
+:class:`repro.core.monitor.SafetyMonitor`).
 """
 
 from __future__ import annotations
 
+from typing import Callable, TypeVar
+
 import numpy as np
 
-__all__ = ["UncertaintySignal"]
+from repro.errors import ConfigError, SafetyError
+
+__all__ = [
+    "ComponentRegistry",
+    "DETECTORS",
+    "SIGNALS",
+    "TRIGGERS",
+    "UncertaintySignal",
+    "make_detector",
+    "make_signal",
+    "make_trigger",
+]
+
+_T = TypeVar("_T")
 
 
 class UncertaintySignal:
@@ -21,6 +58,12 @@ class UncertaintySignal:
     #: Binary signals (like ``U_S``) emit {0, 1}; continuous signals emit
     #: non-negative reals.  The thresholding layer picks its rule by this.
     binary: bool = False
+
+    #: Stateless signals keep no per-session rolling state: measuring one
+    #: observation never changes a later value.  Only stateless signals
+    #: may be shared across concurrent sessions or measured through an
+    #: externally batched path (:meth:`measure_batch`, the serve engine).
+    stateless: bool = False
 
     def reset(self) -> None:
         """Clear per-session state (rolling windows, histories)."""
@@ -32,3 +75,152 @@ class UncertaintySignal:
         may maintain rolling state across calls within a session.
         """
         raise NotImplementedError
+
+    def measure_batch(self, observations: np.ndarray) -> np.ndarray:
+        """Measure many *independent* observations in one call.
+
+        The rows of *observations* belong to different sessions (the
+        serve engine stacks one observation per concurrent session), so
+        this is only meaningful for stateless signals — a stateful signal
+        would fold foreign sessions into its rolling windows.  Subclasses
+        with a fused forward override this; the base implementation just
+        loops :meth:`measure`.
+        """
+        if not self.stateless:
+            raise SafetyError(
+                f"{type(self).__name__} is stateful; its values depend on "
+                "one session's observation order and cannot be batched "
+                "across sessions"
+            )
+        return np.array(
+            [self.measure(observation) for observation in observations]
+        )
+
+    def state_dict(self) -> dict:
+        """The signal's per-session rolling state as a JSON-able mapping.
+
+        Stateless signals (the ensemble signals — their networks are
+        frozen artifacts, not session state) return ``{}``.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        After restoring, the signal must produce bitwise-identical values
+        for the same observation tail as the instance it was captured
+        from (property-tested in ``tests/test_monitor_serialization.py``).
+        """
+        if state:
+            raise SafetyError(
+                f"{type(self).__name__} is stateless but was asked to "
+                f"restore state keys {sorted(state)}"
+            )
+
+
+class ComponentRegistry:
+    """String-keyed factories for one kind of pluggable component.
+
+    Components register under a stable key (either directly or with the
+    decorator form ``@REGISTRY.register("key")``); callers construct them
+    by key with :meth:`create`.  Keys are unique — a duplicate
+    registration is a configuration error, not a silent override.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable] = {}
+
+    def register(
+        self, key: str, factory: Callable[..., _T] | None = None
+    ) -> Callable:
+        """Register *factory* under *key*; decorator form when omitted."""
+        if factory is None:
+
+            def decorator(obj: Callable[..., _T]) -> Callable[..., _T]:
+                self.register(key, obj)
+                return obj
+
+            return decorator
+        if not isinstance(key, str) or not key:
+            raise ConfigError(f"{self.kind} key must be a non-empty string")
+        if key in self._factories:
+            raise ConfigError(f"duplicate {self.kind} key {key!r}")
+        self._factories[key] = factory
+        return factory
+
+    def create(self, key: str, **kwargs):
+        """Construct the component registered under *key*."""
+        _ensure_builtin_components()
+        if key not in self._factories:
+            raise ConfigError(
+                f"unknown {self.kind} {key!r}; expected one of {self.keys()}"
+            )
+        return self._factories[key](**kwargs)
+
+    def keys(self) -> tuple[str, ...]:
+        """All registered keys, sorted."""
+        _ensure_builtin_components()
+        return tuple(sorted(self._factories))
+
+    def __contains__(self, key: str) -> bool:
+        _ensure_builtin_components()
+        return key in self._factories
+
+
+#: Uncertainty signals by paper name (``U_S``, ``U_pi``, ``U_V``).
+SIGNALS = ComponentRegistry("uncertainty signal")
+#: Novelty detectors usable as drop-in ``U_S`` backends.
+DETECTORS = ComponentRegistry("novelty detector")
+#: Defaulting rules (:class:`repro.core.thresholding.DefaultTrigger`s).
+TRIGGERS = ComponentRegistry("default trigger")
+
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtin_components() -> None:
+    """Import every module that self-registers a built-in component.
+
+    Lazy so that ``repro.core.signals`` itself stays import-light and the
+    sibling modules (which import this one for the registries) never form
+    a cycle.  The novelty detectors sit *below* the core layer and stay
+    ignorant of it, so they are registered here rather than in their own
+    modules.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.core import (  # noqa: F401  (imported for registration)
+        ensemble_signals,
+        novelty_signal,
+        strategies,
+        thresholding,
+    )
+    from repro.novelty.kde import KDEDetector
+    from repro.novelty.knn import KNNDetector
+    from repro.novelty.mahalanobis import MahalanobisDetector
+    from repro.novelty.ocsvm import OneClassSVM
+
+    for key, detector in (
+        ("novelty/ocsvm", OneClassSVM),
+        ("novelty/kde", KDEDetector),
+        ("novelty/knn", KNNDetector),
+        ("novelty/mahalanobis", MahalanobisDetector),
+    ):
+        DETECTORS.register(key, detector)
+
+
+def make_signal(key: str, **kwargs) -> UncertaintySignal:
+    """Construct a registered uncertainty signal by key."""
+    return SIGNALS.create(key, **kwargs)
+
+
+def make_detector(key: str, **kwargs):
+    """Construct a registered novelty detector by key (a ``U_S`` backend)."""
+    return DETECTORS.create(key, **kwargs)
+
+
+def make_trigger(key: str, **kwargs):
+    """Construct a registered defaulting rule by key."""
+    return TRIGGERS.create(key, **kwargs)

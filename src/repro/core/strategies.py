@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.signals import TRIGGERS
 from repro.core.thresholding import DefaultTrigger
 from repro.errors import SafetyError
 
 __all__ = ["EWMATrigger", "CusumTrigger", "HysteresisTrigger"]
 
 
+@TRIGGERS.register("ewma")
 class EWMATrigger(DefaultTrigger):
     """Fire when the exponentially smoothed signal exceeds ``bar``."""
 
@@ -63,7 +65,15 @@ class EWMATrigger(DefaultTrigger):
             )
         return self._level > self.bar
 
+    def state_dict(self) -> dict:
+        return {"level": None if self._level is None else float(self._level)}
 
+    def load_state_dict(self, state: dict) -> None:
+        level = state["level"]
+        self._level = None if level is None else float(level)
+
+
+@TRIGGERS.register("cusum")
 class CusumTrigger(DefaultTrigger):
     """One-sided CUSUM on the signal stream.
 
@@ -99,7 +109,14 @@ class CusumTrigger(DefaultTrigger):
         )
         return self._statistic > self.threshold
 
+    def state_dict(self) -> dict:
+        return {"statistic": float(self._statistic)}
 
+    def load_state_dict(self, state: dict) -> None:
+        self._statistic = float(state["statistic"])
+
+
+@TRIGGERS.register("hysteresis")
 class HysteresisTrigger(DefaultTrigger):
     """Two-bar rule: fire above ``high``, clear only below ``low``.
 
@@ -130,3 +147,9 @@ class HysteresisTrigger(DefaultTrigger):
         elif signal_value > self.high:
             self._active = True
         return self._active
+
+    def state_dict(self) -> dict:
+        return {"active": bool(self._active)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._active = bool(state["active"])

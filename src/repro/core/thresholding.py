@@ -20,6 +20,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.core.signals import TRIGGERS
 from repro.errors import SafetyError
 
 __all__ = ["DefaultTrigger", "ConsecutiveTrigger", "VarianceTrigger"]
@@ -35,7 +36,21 @@ class DefaultTrigger:
         """Fold one signal value in; return whether to default at this step."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Per-session state as a JSON-able mapping (see
+        :meth:`repro.core.signals.UncertaintySignal.state_dict`)."""
+        return {}
 
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if state:
+            raise SafetyError(
+                f"{type(self).__name__} is stateless but was asked to "
+                f"restore state keys {sorted(state)}"
+            )
+
+
+@TRIGGERS.register("consecutive")
 class ConsecutiveTrigger(DefaultTrigger):
     """Fire after *l* consecutive uncertain steps (binary signals).
 
@@ -59,7 +74,14 @@ class ConsecutiveTrigger(DefaultTrigger):
             self._streak = 0
         return self._streak >= self.l
 
+    def state_dict(self) -> dict:
+        return {"streak": int(self._streak)}
 
+    def load_state_dict(self, state: dict) -> None:
+        self._streak = int(state["streak"])
+
+
+@TRIGGERS.register("variance")
 class VarianceTrigger(DefaultTrigger):
     """Fire when the k-window variance exceeds ``alpha``, *l* times in a row.
 
@@ -101,3 +123,18 @@ class VarianceTrigger(DefaultTrigger):
         else:
             self._streak = 0
         return self._streak >= self.l
+
+    def state_dict(self) -> dict:
+        return {
+            "window": [float(v) for v in self._window],
+            "streak": int(self._streak),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        window = [float(v) for v in state["window"]]
+        if len(window) > self.k:
+            raise SafetyError(
+                f"restored window of {len(window)} exceeds k={self.k}"
+            )
+        self._window = deque(window, maxlen=self.k)
+        self._streak = int(state["streak"])

@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.abr.session import run_session
+from repro.core.monitor import SafetyMonitor
 from repro.core.signals import UncertaintySignal
 from repro.core.thresholding import DefaultTrigger
 from repro.errors import ConfigError
@@ -44,13 +45,15 @@ def session_trigger_step(
 ) -> int | None:
     """First decision index at which the trigger fires, or ``None``.
 
-    Resets both the signal and the trigger before replaying the session's
-    observation stream.
+    Replays the session's observation stream through a fresh
+    :class:`~repro.core.monitor.SafetyMonitor` over the pair (resetting
+    both), so detection is scored against exactly the decision rule a
+    deployed monitor runs.
     """
-    signal.reset()
-    trigger.reset()
+    monitor = SafetyMonitor(signal, trigger, allow_revert=False, name="detect")
+    monitor.reset()
     for step, observation in enumerate(observations):
-        if trigger.update(signal.measure(observation)):
+        if monitor.observe(observation).fired:
             return step
     return None
 

@@ -4,7 +4,9 @@ Each ``figureN`` function returns the numbers the corresponding figure
 plots, as plain dictionaries; the benchmark harness prints them and
 EXPERIMENTS.md records them.  All figures are projections of the
 (train, test, scheme) evaluation matrix, so they share one cached
-computation.
+computation.  The safety schemes in that matrix run through
+:class:`~repro.core.monitor.SafetyMonitor`-backed controllers (built by
+:func:`repro.abr.suite.build_safety_suite`).
 
 * Figure 1 — in-distribution QoE of Pensieve / ND / A-ensemble /
   V-ensemble / BB for the six (train = test) pairs.

@@ -16,7 +16,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.abr.session import run_session
+from repro.abr.session import run_monitored_session, run_session
+from repro.core.monitor import SafetyMonitor
 from repro.errors import ConfigError
 from repro.mdp.interfaces import Policy
 from repro.traces.trace import Trace
@@ -78,7 +79,7 @@ def outage_shift(trace: Trace, magnitude: float) -> Trace:
 
 def graded_shift_curve(
     learned: Policy,
-    controller: Policy,
+    controller: "Policy | SafetyMonitor",
     default: Policy,
     manifest: VideoManifest,
     base_traces: Sequence[Trace],
@@ -88,9 +89,12 @@ def graded_shift_curve(
 ) -> list[RobustnessPoint]:
     """Measure all three policies across a family of graded shifts.
 
-    *controller* is expected to be a safety controller wrapping *learned*
-    with *default*; its per-session default fraction is averaged over the
-    traces at each magnitude.
+    *controller* is either a safety controller wrapping *learned* with
+    *default*, or a bare :class:`~repro.core.monitor.SafetyMonitor` —
+    in which case *learned* and *default* themselves act under the
+    monitor's decisions (the two forms are bitwise-identical).  Its
+    per-session default fraction is averaged over the traces at each
+    magnitude.
     """
     if not base_traces:
         raise ConfigError("no base traces supplied")
@@ -105,9 +109,17 @@ def graded_shift_curve(
         default_qoe = np.mean(
             [run_session(default, manifest, t, seed=seed).qoe for t in shifted]
         )
-        controlled = [
-            run_session(controller, manifest, t, seed=seed) for t in shifted
-        ]
+        if isinstance(controller, SafetyMonitor):
+            controlled = [
+                run_monitored_session(
+                    learned, default, controller, manifest, t, seed=seed
+                )
+                for t in shifted
+            ]
+        else:
+            controlled = [
+                run_session(controller, manifest, t, seed=seed) for t in shifted
+            ]
         points.append(
             RobustnessPoint(
                 magnitude=float(magnitude),

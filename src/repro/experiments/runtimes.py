@@ -14,25 +14,39 @@ import time
 
 import numpy as np
 
+from repro.abr.session import run_session
+from repro.abr.suite import collect_training_throughputs
 from repro.config import ExperimentConfig
-from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
 from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
-from repro.core.osap import collect_training_throughputs
+from repro.core.monitor import SafetyMonitor
+from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
+from repro.core.thresholding import (
+    ConsecutiveTrigger,
+    DefaultTrigger,
+    VarianceTrigger,
+)
 from repro.novelty.ocsvm import OneClassSVM
 from repro.pensieve.ensemble import train_agent_ensemble, train_value_ensemble
 from repro.policies.buffer_based import BufferBasedPolicy
-from repro.abr.session import run_session
 from repro.traces.dataset import make_dataset
 from repro.video.envivio import envivio_dash3_manifest
 
 __all__ = ["measure_runtimes"]
 
 
-def _per_decision_ms(signal, observations: np.ndarray) -> float:
-    signal.reset()
+def _per_decision_ms(
+    signal, trigger: DefaultTrigger, observations: np.ndarray
+) -> float:
+    """Time the full online path: one monitor decision per observation.
+
+    ``allow_revert=True`` keeps the monitor measuring on every step (the
+    sticky fast path would otherwise stop measuring after a default and
+    undercount the latency the paper reports).
+    """
+    monitor = SafetyMonitor(signal, trigger, allow_revert=True)
     start = time.perf_counter()
     for observation in observations:
-        signal.measure(observation)
+        monitor.observe(observation)
     elapsed = time.perf_counter() - start
     return elapsed / len(observations) * 1000.0
 
@@ -98,19 +112,29 @@ def measure_runtimes(
         seed=config.eval_seed,
     )
     observations = session.observations
-    signals = {
-        "U_S": StateNoveltySignal(
-            detector,
-            manifest.bitrates_kbps,
-            k=k,
-            throughput_window=config.safety.throughput_window,
+    safety = config.safety
+    monitored = {
+        "U_S": (
+            StateNoveltySignal(
+                detector,
+                manifest.bitrates_kbps,
+                k=k,
+                throughput_window=safety.throughput_window,
+            ),
+            ConsecutiveTrigger(l=safety.l),
         ),
-        "U_pi": PolicyEnsembleSignal(agents, trim=config.safety.trim),
-        "U_V": ValueEnsembleSignal(value_functions, trim=config.safety.trim),
+        "U_pi": (
+            PolicyEnsembleSignal(agents, trim=safety.trim),
+            VarianceTrigger(alpha=np.inf, k=safety.variance_k, l=safety.l),
+        ),
+        "U_V": (
+            ValueEnsembleSignal(value_functions, trim=safety.trim),
+            VarianceTrigger(alpha=np.inf, k=safety.variance_k, l=safety.l),
+        ),
     }
     online_ms = {
-        name: _per_decision_ms(signal, observations)
-        for name, signal in signals.items()
+        name: _per_decision_ms(signal, trigger, observations)
+        for name, (signal, trigger) in monitored.items()
     }
     return {
         "offline_seconds": {

@@ -2,7 +2,7 @@
 evaluate every scheme on every test distribution.
 
 For each training dataset the paper's offline phase runs once
-(:func:`repro.core.osap.build_safety_suite`), and the deployed schemes —
+(:func:`repro.abr.suite.build_safety_suite`), and the deployed schemes —
 vanilla Pensieve, BB, Random, ND, A-ensemble, V-ensemble — are then
 evaluated on the *test* split of all six datasets.  The result is the
 6x6x6 (train x test x scheme) QoE matrix that every figure in the paper is
@@ -27,8 +27,8 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.abr.suite import build_safety_suite
 from repro.config import ExperimentConfig
-from repro.core.osap import build_safety_suite
 from repro.errors import ArtifactError, ConfigError
 from repro.experiments.artifacts import ArtifactCache
 from repro.parallel import parallel_map

@@ -190,6 +190,20 @@ class StackedActorEnsemble:
         logits = np.matmul(features, self._head_w) + self._head_b[:, None, :]
         return softmax(logits)[:, 0, :]
 
+    def probabilities_batch(self, observations: np.ndarray) -> np.ndarray:
+        """Every member's distribution for a ``(batch, 6, 8)`` stack,
+        shape ``(members, batch, num_actions)``.
+
+        The serve engine feeds one observation per concurrent session
+        through here.  Row ``i`` equals :meth:`probabilities` of
+        observation ``i`` up to the last ulp: BLAS accumulation order in
+        the trunk's merge matmul depends on the batch shape, so exact
+        bitwise equality holds only at matching batch sizes.
+        """
+        features = self._trunk.features(observations)
+        logits = np.matmul(features, self._head_w) + self._head_b[:, None, :]
+        return softmax(logits)
+
 
 class StackedCriticEnsemble:
     """All ensemble members' value estimates in one forward pass."""
@@ -216,6 +230,19 @@ class StackedCriticEnsemble:
         features = self._trunk.features(observation)
         values = np.matmul(features, self._head_w) + self._head_b[:, None, :]
         return values[:, 0, 0]
+
+    def values_batch(self, observations: np.ndarray) -> np.ndarray:
+        """Every member's estimate for a ``(batch, 6, 8)`` stack, shape
+        ``(members, batch)``.
+
+        Same contract as
+        :meth:`StackedActorEnsemble.probabilities_batch`: equal to the
+        per-observation forward up to BLAS batch-shape accumulation
+        (last-ulp differences at mismatched batch sizes).
+        """
+        features = self._trunk.features(observations)
+        values = np.matmul(features, self._head_w) + self._head_b[:, None, :]
+        return values[:, :, 0]
 
 
 class _StackedTrainingTrunk:

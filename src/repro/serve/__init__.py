@@ -1,0 +1,30 @@
+"""Multi-session serving: many monitored ABR sessions through one engine.
+
+The paper's runtime story is per-decision — one agent, one safety
+monitor, one stream.  A deployment serves *many* streams at once, and
+the expensive part of every decision is the same 5-member ensemble
+forward.  The :class:`~repro.serve.engine.ServeEngine` multiplexes N
+concurrent monitored sessions, stacks their current observations, and
+answers all sessions' uncertainty signals with **one** batched ensemble
+forward per step wave (:mod:`repro.pensieve.stacked`), instead of N
+separate forwards.  Sessions whose monitor settled on the sticky
+default (``will_measure() == False``) drop out of the batch entirely.
+
+Layering: this package sits above :mod:`repro.core` (monitors),
+:mod:`repro.abr` (environments), and :mod:`repro.pensieve` (ensembles),
+and below :mod:`repro.experiments` — enforced by
+``tools/check_layers.py``.  Sharding across worker processes reuses
+:mod:`repro.parallel`; per-engine metrics flow through :mod:`repro.obs`
+(``serve.sessions``, ``serve.steps``, ``serve.batch_size``,
+``serve.wall_seconds``).
+"""
+
+from repro.serve.engine import ServeEngine, serve_sessions
+from repro.serve.session import ServeSession, SessionSpec
+
+__all__ = [
+    "ServeEngine",
+    "ServeSession",
+    "SessionSpec",
+    "serve_sessions",
+]

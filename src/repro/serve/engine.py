@@ -1,0 +1,243 @@
+"""The multi-session serving engine.
+
+:class:`ServeEngine` drives N concurrent monitored sessions in waves:
+each wave stacks the current observation of every session whose monitor
+will measure, answers all of their uncertainty signals with **one**
+batched ensemble forward (:meth:`UncertaintySignal.measure_batch`), and
+then advances each session one decision.  Sessions that settled on the
+sticky default (``monitor.will_measure() == False``) leave the batch;
+stateful signals (``U_S``) opt out of batching entirely and measure
+per session.
+
+Numerics: policy actions are always computed per session through the
+exact single-observation path, so a session's *trajectory* matches the
+serial :func:`repro.abr.session.run_monitored_session` bitwise as long
+as its monitor decisions match.  Batched signal values can differ from
+the per-session path in the last ulp (BLAS accumulation order depends
+on the batch shape), which could in principle flip a trigger comparison
+exactly at the threshold; ``batch_signals=False`` disables batching and
+makes the engine bitwise-exact unconditionally.
+
+Sharding: ``run(specs, max_workers=W)`` splits the sessions into W
+contiguous shards and serves each shard in its own worker process
+through :mod:`repro.parallel`, shipping the ensembles once per worker.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.abr.session import SessionResult
+from repro.core.monitor import SafetyController, SafetyMonitor
+from repro.core.signals import UncertaintySignal
+from repro.core.thresholding import DefaultTrigger
+from repro.errors import SafetyError
+from repro.mdp.interfaces import Policy
+from repro.parallel import in_worker, parallel_map, resolve_max_workers
+from repro.perf import fast_paths_enabled
+from repro.serve.session import ServeSession, SessionSpec
+from repro.video.manifest import VideoManifest
+from repro.video.qoe import QoEMetric
+
+__all__ = ["ServeEngine", "serve_sessions"]
+
+
+class ServeEngine:
+    """Serve many monitored sessions from one set of trained artifacts.
+
+    *signal* is shared across all sessions when it is stateless (the
+    ensemble signals — one stacked forward answers everyone); a stateful
+    signal (``U_S``) is deep-copied per session so each keeps its own
+    rolling windows.  *trigger* is a prototype: every session's monitor
+    gets its own copy (triggers are stateful by nature).
+    """
+
+    def __init__(
+        self,
+        manifest: VideoManifest,
+        learned: Policy,
+        default: Policy,
+        signal: UncertaintySignal,
+        trigger: DefaultTrigger,
+        allow_revert: bool = False,
+        name: str = "serve",
+        qoe_metric: QoEMetric | None = None,
+        batch_signals: bool = True,
+    ) -> None:
+        if learned is default:
+            raise SafetyError("learned and default policies must be distinct")
+        self.manifest = manifest
+        self.learned = learned
+        self.default = default
+        self.signal = signal
+        self.trigger = trigger
+        self.allow_revert = allow_revert
+        self.name = name
+        self.qoe_metric = qoe_metric
+        self.batch_signals = batch_signals
+
+    @classmethod
+    def from_controller(
+        cls,
+        controller: SafetyController,
+        manifest: VideoManifest,
+        qoe_metric: QoEMetric | None = None,
+        batch_signals: bool = True,
+    ) -> "ServeEngine":
+        """An engine that serves sessions under *controller*'s scheme."""
+        return cls(
+            manifest=manifest,
+            learned=controller.learned,
+            default=controller.default,
+            signal=controller.signal,
+            trigger=controller.trigger,
+            allow_revert=controller.allow_revert,
+            name=controller.name,
+            qoe_metric=qoe_metric,
+            batch_signals=batch_signals,
+        )
+
+    def spawn_monitor(self) -> SafetyMonitor:
+        """A fresh per-session monitor over this engine's scheme."""
+        signal = self.signal if self.signal.stateless else copy.deepcopy(self.signal)
+        return SafetyMonitor(
+            signal,
+            copy.deepcopy(self.trigger),
+            allow_revert=self.allow_revert,
+            name=self.name,
+        )
+
+    def _batching_enabled(self) -> bool:
+        return (
+            self.batch_signals
+            and self.signal.stateless
+            and fast_paths_enabled()
+        )
+
+    def run(
+        self,
+        specs: list[SessionSpec],
+        max_workers: int | None = None,
+    ) -> list[SessionResult]:
+        """Serve every session in *specs*; results come back in order.
+
+        ``max_workers > 1`` shards the sessions into contiguous groups
+        and serves each group in its own worker process (one context
+        shipment per worker, exactly as the evaluation sweeps do);
+        otherwise everything runs in-process.  A given session's result
+        is the same either way.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        workers = resolve_max_workers(max_workers)
+        if workers <= 1 or len(specs) == 1 or in_worker():
+            return self.run_inprocess(specs)
+        from repro.serve import worker as serve_worker
+
+        shards = [
+            [int(i) for i in shard]
+            for shard in np.array_split(np.arange(len(specs)), min(workers, len(specs)))
+            if len(shard)
+        ]
+        shard_results = parallel_map(
+            serve_worker.serve_shard,
+            shards,
+            max_workers=workers,
+            initializer=serve_worker.init_serve,
+            initargs=(
+                self.manifest,
+                self.learned,
+                self.default,
+                self.signal,
+                self.trigger,
+                self.allow_revert,
+                self.name,
+                self.qoe_metric,
+                self.batch_signals,
+                specs,
+            ),
+            chunk_size=1,
+        )
+        return [result for shard in shard_results for result in shard]
+
+    def run_inprocess(self, specs: list[SessionSpec]) -> list[SessionResult]:
+        """Serve *specs* in this process, batching signal measurements."""
+        watching = obs.enabled()
+        start = time.perf_counter() if watching else 0.0
+        sessions = [
+            ServeSession(
+                spec,
+                self.manifest,
+                self.learned,
+                self.default,
+                self.spawn_monitor(),
+                qoe_metric=self.qoe_metric,
+            )
+            for spec in specs
+        ]
+        active = [session for session in sessions if not session.done]
+        total_steps = 0
+        while active:
+            values: dict[int, float] = {}
+            if self._batching_enabled():
+                batchable = [
+                    session
+                    for session in active
+                    if session.monitor.will_measure()
+                ]
+                if len(batchable) > 1:
+                    batch = np.stack(
+                        [session.observation for session in batchable]
+                    )
+                    measured = self.signal.measure_batch(batch)
+                    values = {
+                        id(session): float(value)
+                        for session, value in zip(batchable, measured)
+                    }
+                    if watching:
+                        obs.observe(
+                            "serve.batch_size",
+                            float(len(batchable)),
+                            engine=self.name,
+                        )
+            still_active = []
+            for session in active:
+                finished = session.step(signal_value=values.get(id(session)))
+                total_steps += 1
+                if finished:
+                    if watching:
+                        obs.inc("serve.sessions", engine=self.name)
+                else:
+                    still_active.append(session)
+            active = still_active
+        if watching:
+            wall = time.perf_counter() - start
+            obs.inc("serve.steps", amount=float(total_steps), engine=self.name)
+            obs.observe("serve.wall_seconds", wall, engine=self.name)
+            if wall > 0:
+                obs.observe(
+                    "serve.steps_per_second",
+                    total_steps / wall,
+                    engine=self.name,
+                )
+        return [session.result for session in sessions]
+
+
+def serve_sessions(
+    controller: SafetyController,
+    manifest: VideoManifest,
+    specs: list[SessionSpec],
+    qoe_metric: QoEMetric | None = None,
+    max_workers: int | None = None,
+    batch_signals: bool = True,
+) -> list[SessionResult]:
+    """One-call serving: N sessions under *controller*'s scheme."""
+    engine = ServeEngine.from_controller(
+        controller, manifest, qoe_metric=qoe_metric, batch_signals=batch_signals
+    )
+    return engine.run(specs, max_workers=max_workers)

@@ -1,0 +1,149 @@
+"""One in-flight monitored session inside the serve engine.
+
+:class:`ServeSession` is :func:`repro.abr.session.run_monitored_session`
+unrolled into a step-at-a-time object: the engine owns the loop so it
+can interleave many sessions and batch their signal measurements.  A
+single step performs exactly the reference sequence — monitor decides,
+chosen policy acts, environment advances, chunk recorded — so a session
+driven to completion alone is bitwise identical to the one-call loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.env import ABREnv
+from repro.abr.session import ChunkRecord, SessionResult
+from repro.core.monitor import SafetyMonitor
+from repro.errors import SimulationError
+from repro.mdp.interfaces import Policy
+from repro.traces.trace import Trace
+from repro.util.rng import rng_from_seed
+from repro.video.manifest import VideoManifest
+from repro.video.qoe import QoEMetric
+
+__all__ = ["ServeSession", "SessionSpec"]
+
+
+class SessionSpec:
+    """What one monitored session streams: a trace, a seed, a name.
+
+    Pure data (picklable), so a spec can be shipped to a worker process
+    and produce the same floats there as in-process.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        seed: int = 0,
+        name: str | None = None,
+        start_offset_s: float = 0.0,
+    ) -> None:
+        self.trace = trace
+        self.seed = seed
+        self.name = name
+        self.start_offset_s = start_offset_s
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionSpec(trace={self.trace.name!r}, seed={self.seed}, "
+            f"name={self.name!r})"
+        )
+
+
+class ServeSession:
+    """One monitored streaming session advanced one decision at a time.
+
+    The wrapped policies may be shared across concurrent sessions (the
+    engine serves N sessions from one ensemble in memory), so they must
+    be stateless per decision — true of the Pensieve agent and every
+    baseline the paper defaults to.  All per-session state lives in the
+    monitor, the environment, and the RNG owned here.
+    """
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        manifest: VideoManifest,
+        learned: Policy,
+        default: Policy,
+        monitor: SafetyMonitor,
+        qoe_metric: QoEMetric | None = None,
+    ) -> None:
+        self.spec = spec
+        self.monitor = monitor
+        self.learned = learned
+        self.default = default
+        self.env = ABREnv(
+            manifest=manifest,
+            trace=spec.trace,
+            qoe_metric=qoe_metric,
+            start_offset_s=spec.start_offset_s,
+        )
+        self.rng = rng_from_seed(spec.seed)
+        monitor.reset()
+        self.observation = self.env.reset()
+        self.result = SessionResult(
+            trace_name=spec.trace.name,
+            policy_name=spec.name or monitor.name,
+        )
+        self._remaining = manifest.num_chunks - 1
+        self.done = self._remaining <= 0
+
+    def step(self, signal_value: float | None = None) -> bool:
+        """Advance one decision step; returns True when the session ends.
+
+        *signal_value* is the engine's externally batched measurement for
+        this session's current observation (None → the monitor measures
+        itself).  The step sequence mirrors the reference loop exactly.
+        """
+        if self.done:
+            raise SimulationError(
+                f"session {self.result.policy_name!r} already finished"
+            )
+        decision = self.monitor.observe(
+            self.observation, signal_value=signal_value
+        )
+        policy = self.default if decision.defaulted else self.learned
+        action = policy.act(self.observation, self.rng)
+        self.result.observation_list.append(
+            np.asarray(self.observation, dtype=float).copy()
+        )
+        step = self.env.step(action)
+        self.result.chunks.append(
+            ChunkRecord(
+                chunk_index=step.info["chunk_index"],
+                bitrate_index=step.info["bitrate_index"],
+                bitrate_mbps=step.info["bitrate_mbps"],
+                rebuffer_s=step.info["rebuffer_s"],
+                download_time_s=step.info["download_time_s"],
+                throughput_mbps=step.info["throughput_mbps"],
+                buffer_s=step.info["buffer_s"],
+                reward=step.reward,
+                defaulted=decision.defaulted,
+            )
+        )
+        self.observation = step.observation
+        self._remaining -= 1
+        if step.done or self._remaining == 0:
+            if not self.result.chunks:
+                raise SimulationError(
+                    "session produced no agent-controlled chunks"
+                )
+            self.done = True
+        return self.done
+
+    def suspend(self) -> dict:
+        """Capture the monitor's session state for later :meth:`resume`.
+
+        Only the *monitor* travels (signal windows, trigger counters,
+        mode) — the environment and RNG stay with this object.  Restoring
+        the mapping into a compatibly configured monitor reproduces the
+        remaining decisions bitwise
+        (:meth:`repro.core.monitor.SafetyMonitor.state_dict`).
+        """
+        return self.monitor.state_dict()
+
+    def resume(self, state: dict) -> None:
+        """Restore monitor state captured by :meth:`suspend`."""
+        self.monitor.load_state_dict(state)

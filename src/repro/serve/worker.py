@@ -1,0 +1,67 @@
+"""Module-level task functions for sharded serving.
+
+Follows the :mod:`repro.parallel.worker` pattern: the heavyweight
+serving context — manifest, policies, signal, the full spec list — ships
+once per worker through :func:`init_serve`; each task is a list of spec
+indices (one contiguous shard), served in-process by a worker-local
+:class:`~repro.serve.engine.ServeEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["init_serve", "serve_shard"]
+
+_SERVE_STATE: dict[str, Any] = {}
+
+
+def init_serve(
+    manifest,
+    learned,
+    default,
+    signal,
+    trigger,
+    allow_revert,
+    name,
+    qoe_metric,
+    batch_signals,
+    specs,
+) -> None:
+    """Ship one engine's serving context for :func:`serve_shard`."""
+    _SERVE_STATE.update(
+        manifest=manifest,
+        learned=learned,
+        default=default,
+        signal=signal,
+        trigger=trigger,
+        allow_revert=allow_revert,
+        name=name,
+        qoe_metric=qoe_metric,
+        batch_signals=batch_signals,
+        specs=specs,
+    )
+
+
+def serve_shard(indices: list[int]):
+    """Serve one shard of sessions; returns their results in index order."""
+    from repro.serve.engine import ServeEngine
+
+    state = _SERVE_STATE
+    engine = ServeEngine(
+        manifest=state["manifest"],
+        learned=state["learned"],
+        default=state["default"],
+        signal=state["signal"],
+        trigger=state["trigger"],
+        allow_revert=state["allow_revert"],
+        name=state["name"],
+        qoe_metric=state["qoe_metric"],
+        batch_signals=state["batch_signals"],
+    )
+    return engine.run_inprocess([state["specs"][index] for index in indices])
+
+
+def _clear_state() -> None:
+    """Reset the serving context (test hook)."""
+    _SERVE_STATE.clear()

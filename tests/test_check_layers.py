@@ -1,0 +1,139 @@
+"""Tests for tools/check_layers.py: the layer-boundary lint."""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_layers():
+    spec = importlib.util.spec_from_file_location(
+        "check_layers", ROOT / "tools" / "check_layers.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _package(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "repro"
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+class TestCheckFile:
+    def test_upward_import_flagged(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path, {"core/monitor.py": "from repro.abr.session import run_session\n"}
+        )
+        violations = check_layers.check_tree(root)
+        assert len(violations) == 1
+        assert "layer 'core' must not import 'repro.abr'" in violations[0]
+
+    def test_plain_import_form_flagged(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path, {"serve/engine.py": "import repro.experiments.figures\n"}
+        )
+        assert len(check_layers.check_tree(root)) == 1
+
+    def test_downward_import_allowed(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path,
+            {
+                "serve/engine.py": (
+                    "from repro.core.monitor import SafetyMonitor\n"
+                    "from repro.abr.session import run_session\n"
+                ),
+                "experiments/figures.py": "from repro.serve import ServeEngine\n",
+            },
+        )
+        assert check_layers.check_tree(root) == []
+
+    def test_type_checking_imports_exempt(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path,
+            {
+                "abr/suite.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro.experiments.artifacts import ArtifactCache\n"
+                )
+            },
+        )
+        assert check_layers.check_tree(root) == []
+
+    def test_type_checking_else_branch_still_checked(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path,
+            {
+                "core/x.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    pass\n"
+                    "else:\n"
+                    "    from repro.cli import main\n"
+                )
+            },
+        )
+        assert len(check_layers.check_tree(root)) == 1
+
+    def test_cli_module_is_a_layer(self, check_layers, tmp_path):
+        # cli.py sits at the package root; importing it from experiments
+        # is a violation, while the CLI itself may import anything.
+        root = _package(
+            tmp_path,
+            {
+                "experiments/report.py": "from repro.cli import main\n",
+                "cli.py": "from repro.experiments import shape_checks\n",
+            },
+        )
+        violations = check_layers.check_tree(root)
+        assert len(violations) == 1
+        assert "layer 'experiments'" in violations[0]
+
+    def test_unconstrained_layer_ignored(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path, {"util/tables.py": "import repro.traces.dataset\n"}
+        )
+        assert check_layers.check_tree(root) == []
+
+
+class TestRealTree:
+    def test_repository_is_clean(self, check_layers):
+        assert check_layers.check_tree(ROOT / "src" / "repro") == []
+
+    def test_cli_entrypoint(self):
+        completed = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "check_layers.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "clean" in completed.stdout
+
+    def test_cli_reports_violations(self, tmp_path):
+        root = _package(
+            tmp_path, {"core/bad.py": "from repro.serve import ServeEngine\n"}
+        )
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(ROOT / "tools" / "check_layers.py"),
+                "--root",
+                str(root),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 1
+        assert "layer 'core'" in completed.stderr

@@ -27,6 +27,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "--config", "turbo"])
 
+    def test_serve_scheme_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-demo", "--scheme", "Oracle"])
+
 
 class TestDatasetsCommand:
     def test_lists_all_six(self):
@@ -112,6 +116,50 @@ class TestTracesCommand:
         a = next((tmp_path / "a").glob("*.csv")).read_text()
         b = next((tmp_path / "b").glob("*.csv")).read_text()
         assert a == b
+
+
+class TestServeDemoCommand:
+    """``serve-demo`` drives the full serve stack from the command line."""
+
+    def test_end_to_end(self):
+        out = io.StringIO()
+        code = main(
+            ["serve-demo", "--config", "smoke", "--sessions", "3"], out=out
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "session-000" in text
+        assert "session-002" in text
+        assert "mean QoE" in text
+
+    def test_invalid_session_count_is_cli_error(self):
+        code = main(
+            ["serve-demo", "--config", "smoke", "--sessions", "0"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
+    def test_metrics_export(self, tmp_path):
+        metrics = tmp_path / "serve.jsonl"
+        out = io.StringIO()
+        code = main(
+            [
+                "serve-demo",
+                "--config",
+                "smoke",
+                "--sessions",
+                "2",
+                "--scheme",
+                "ND",
+                "--metrics-out",
+                str(metrics),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = metrics.read_text()
+        assert "serve.sessions" in text
+        assert "serve.steps_per_second" in text
 
 
 class TestResilienceFlags:

@@ -1,9 +1,10 @@
-"""Tests for repro.core.calibration: threshold calibration."""
+"""Tests for threshold calibration: the ABR-side session running
+(:mod:`repro.abr.calibration`) and the core selection rule."""
 
 import numpy as np
 import pytest
 
-from repro.core.calibration import (
+from repro.abr.calibration import (
     calibrate_variance_threshold,
     collect_window_variances,
     evaluate_mean_qoe,

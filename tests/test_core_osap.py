@@ -1,4 +1,5 @@
-"""Tests for repro.core.osap: SafetyConfig and the one-call suite builder.
+"""Tests for SafetyConfig (repro.core.osap) and the one-call suite
+builder (repro.abr.suite).
 
 The suite build here is intentionally tiny (3-member ensembles, a few
 training epochs) — it exercises the full real pipeline, not its quality.
@@ -7,8 +8,9 @@ training epochs) — it exercises the full real pipeline, not its quality.
 import numpy as np
 import pytest
 
+from repro.abr.suite import build_safety_suite
 from repro.core.controller import SafetyController
-from repro.core.osap import SafetyConfig, build_safety_suite
+from repro.core.osap import SafetyConfig
 from repro.errors import ConfigError
 from repro.pensieve.training import TrainingConfig
 from repro.policies.buffer_based import BufferBasedPolicy
@@ -37,17 +39,27 @@ class TestSafetyConfig:
         [
             {"ensemble_size": 2},
             {"trim": 4},
+            {"trim": 5},  # trim == ensemble_size
+            {"trim": 7},  # trim > ensemble_size
+            {"trim": -1},
             {"l": 0},
+            {"variance_k": 0},
             {"variance_k": 1},
             {"ocsvm_k_empirical": 0},
             {"throughput_window": 0},
             {"ocsvm_nu": 0.0},
             {"max_ocsvm_samples": 5},
+            {"detector": "novelty/unknown"},
         ],
     )
     def test_invalid_rejected(self, kwargs):
         with pytest.raises(ConfigError):
             SafetyConfig(**kwargs)
+
+    def test_detector_backends_swap_in(self):
+        for key in ("novelty/kde", "novelty/knn", "novelty/mahalanobis"):
+            detector = SafetyConfig(detector=key).build_detector()
+            assert hasattr(detector, "fit") and hasattr(detector, "is_outlier")
 
 
 @pytest.fixture(scope="module")

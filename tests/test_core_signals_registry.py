@@ -1,0 +1,142 @@
+"""Tests for repro.core.signals: the protocol and the component registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
+from repro.core.novelty_signal import StateNoveltySignal
+from repro.core.signals import (
+    DETECTORS,
+    SIGNALS,
+    TRIGGERS,
+    ComponentRegistry,
+    UncertaintySignal,
+    make_detector,
+    make_trigger,
+)
+from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
+from repro.errors import ConfigError, SafetyError
+from repro.novelty.kde import KDEDetector
+from repro.novelty.ocsvm import OneClassSVM
+
+
+class TestComponentRegistry:
+    def test_create_by_key(self):
+        registry = ComponentRegistry("widget")
+        registry.register("a", lambda value: ("a", value))
+        assert registry.create("a", value=3) == ("a", 3)
+
+    def test_decorator_form(self):
+        registry = ComponentRegistry("widget")
+
+        @registry.register("decorated")
+        class Widget:
+            pass
+
+        assert isinstance(registry.create("decorated"), Widget)
+
+    def test_duplicate_key_rejected(self):
+        registry = ComponentRegistry("widget")
+        registry.register("a", lambda: None)
+        with pytest.raises(ConfigError, match="duplicate"):
+            registry.register("a", lambda: None)
+
+    def test_empty_key_rejected(self):
+        registry = ComponentRegistry("widget")
+        with pytest.raises(ConfigError, match="non-empty"):
+            registry.register("", lambda: None)
+
+    def test_unknown_key_lists_alternatives(self):
+        with pytest.raises(ConfigError, match="novelty/ocsvm"):
+            DETECTORS.create("novelty/unknown")
+
+    def test_contains(self):
+        assert "novelty/ocsvm" in DETECTORS
+        assert "novelty/unknown" not in DETECTORS
+
+
+class TestBuiltinRegistrations:
+    def test_paper_signals_registered(self):
+        assert set(SIGNALS.keys()) >= {"U_S", "U_pi", "U_V"}
+
+    def test_detector_backends_registered(self):
+        assert set(DETECTORS.keys()) >= {
+            "novelty/ocsvm",
+            "novelty/kde",
+            "novelty/knn",
+            "novelty/mahalanobis",
+        }
+
+    def test_triggers_registered(self):
+        assert set(TRIGGERS.keys()) >= {
+            "consecutive",
+            "variance",
+            "ewma",
+            "cusum",
+            "hysteresis",
+        }
+
+    def test_make_detector(self):
+        assert isinstance(make_detector("novelty/ocsvm", nu=0.2), OneClassSVM)
+        assert isinstance(make_detector("novelty/kde"), KDEDetector)
+
+    def test_make_trigger(self):
+        trigger = make_trigger("consecutive", l=2)
+        assert isinstance(trigger, ConsecutiveTrigger)
+        assert trigger.l == 2
+        variance = make_trigger("variance", alpha=0.5, k=4, l=1)
+        assert isinstance(variance, VarianceTrigger)
+        assert variance.alpha == 0.5
+
+    def test_signal_factories_are_the_classes(self):
+        assert SIGNALS.create is not None
+        # The registered factories are the signal classes themselves.
+        for key, cls in (
+            ("U_S", StateNoveltySignal),
+            ("U_pi", PolicyEnsembleSignal),
+            ("U_V", ValueEnsembleSignal),
+        ):
+            assert key in SIGNALS
+            assert cls.__name__ in repr(SIGNALS._factories[key])
+
+
+class TestProtocolDefaults:
+    def test_statefulness_of_paper_signals(self):
+        assert StateNoveltySignal.stateless is False
+        assert PolicyEnsembleSignal.stateless is True
+        assert ValueEnsembleSignal.stateless is True
+
+    def test_stateful_measure_batch_rejected(self):
+        class Stateful(UncertaintySignal):
+            def measure(self, observation):
+                return 0.0
+
+        with pytest.raises(SafetyError, match="stateful"):
+            Stateful().measure_batch(np.zeros((2, 6, 8)))
+
+    def test_stateless_measure_batch_loops_measure(self):
+        class Doubler(UncertaintySignal):
+            stateless = True
+
+            def measure(self, observation):
+                return 2.0 * float(observation.sum())
+
+        observations = np.arange(12, dtype=float).reshape(3, 2, 2)
+        batched = Doubler().measure_batch(observations)
+        assert np.array_equal(
+            batched, [2.0 * o.sum() for o in observations]
+        )
+
+    def test_stateless_load_rejects_foreign_state(self):
+        class Stateless(UncertaintySignal):
+            stateless = True
+
+            def measure(self, observation):
+                return 0.0
+
+        signal = Stateless()
+        signal.load_state_dict({})  # fine
+        with pytest.raises(SafetyError, match="stateless"):
+            signal.load_state_dict({"window": [1.0]})

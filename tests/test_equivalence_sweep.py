@@ -19,9 +19,13 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.core.ensemble_signals import PolicyEnsembleSignal
-from repro.core.monitor import MonitoredController
-from repro.core.thresholding import VarianceTrigger
+from repro.abr.session import run_monitored_session, run_session
+from repro.abr.suite import collect_training_throughputs
+from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
+from repro.core.monitor import MonitoredController, SafetyController, SafetyMonitor
+from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
+from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
+from repro.novelty.ocsvm import OneClassSVM
 from repro.parallel import worker as parallel_worker
 from repro.parallel.executor import parallel_map
 from repro.pensieve.ensemble import train_value_ensemble
@@ -147,6 +151,105 @@ def _run_combo(combo, manifest, split, config):
 @pytest.fixture(scope="module")
 def reference(manifest, split, config):
     return _run_combo(REFERENCE, manifest, split, config)
+
+
+@pytest.fixture(scope="module")
+def agents(manifest, split, config):
+    return _train_agents("per-member", manifest, split.train, config)
+
+
+@pytest.fixture(scope="module")
+def value_functions(agents, manifest, split):
+    return train_value_ensemble(
+        agents[0], manifest, split.train, size=3, epochs=3, filters=4, hidden=12
+    )
+
+
+@pytest.fixture(scope="module")
+def nd_detector(agents, manifest, split):
+    throughputs = collect_training_throughputs(agents[0], manifest, split.train)
+    samples = throughput_window_samples(throughputs, k=3, throughput_window=5)
+    return OneClassSVM(nu=0.2).fit(samples)
+
+
+@pytest.fixture(scope="module")
+def second_split():
+    return make_dataset("exponential", num_traces=4, duration_s=120.0, seed=0).split()
+
+
+def _scheme_parts(scheme, agents, value_functions, nd_detector, manifest):
+    """Fresh (signal, trigger) instances for one safety scheme."""
+    if scheme == "ND":
+        signal = StateNoveltySignal(
+            nd_detector, manifest.bitrates_kbps, k=3, throughput_window=5
+        )
+        return signal, ConsecutiveTrigger(l=2)
+    if scheme == "A-ensemble":
+        signal = PolicyEnsembleSignal(agents, trim=1)
+    else:
+        signal = ValueEnsembleSignal(value_functions, trim=1)
+    return signal, VarianceTrigger(alpha=1e-4, k=3, l=1)
+
+
+def _session_fingerprint(result):
+    return (
+        result.trace_name,
+        tuple(
+            (
+                chunk.chunk_index,
+                chunk.bitrate_index,
+                chunk.bitrate_mbps,
+                chunk.rebuffer_s,
+                chunk.download_time_s,
+                chunk.throughput_mbps,
+                chunk.buffer_s,
+                chunk.reward,
+                chunk.defaulted,
+            )
+            for chunk in result.chunks
+        ),
+        result.observations.tobytes(),
+    )
+
+
+class TestMonitorPathEquivalence:
+    """The refactored monitor path vs. the legacy controller loop.
+
+    ``run_session(SafetyController(...))`` (the policy-adapter form every
+    pre-refactor experiment used) and ``run_monitored_session(learned,
+    default, SafetyMonitor(...))`` (the step-stream form the serve engine
+    builds on) must produce bitwise-identical sessions, for all three
+    schemes, on in-distribution *and* shifted test traces.
+    """
+
+    @pytest.mark.parametrize("scheme", ["ND", "A-ensemble", "V-ensemble"])
+    @pytest.mark.parametrize("test_split", ["split", "second_split"])
+    def test_controller_loop_matches_monitor_loop(
+        self, scheme, test_split, request, agents, value_functions, nd_detector, manifest
+    ):
+        traces = request.getfixturevalue(test_split).test
+        default = BufferBasedPolicy(manifest.bitrates_kbps)
+        for trace in traces:
+            signal, trigger = _scheme_parts(
+                scheme, agents, value_functions, nd_detector, manifest
+            )
+            controller = SafetyController(
+                learned=agents[0],
+                default=default,
+                signal=signal,
+                trigger=trigger,
+                name=scheme,
+            )
+            legacy = run_session(controller, manifest, trace, seed=0)
+            signal, trigger = _scheme_parts(
+                scheme, agents, value_functions, nd_detector, manifest
+            )
+            monitor = SafetyMonitor(signal, trigger, name=scheme)
+            monitored = run_monitored_session(
+                agents[0], default, monitor, manifest, trace, seed=0
+            )
+            assert _session_fingerprint(monitored) == _session_fingerprint(legacy)
+            assert monitor.default_fraction == controller.default_fraction
 
 
 @pytest.mark.parametrize("fast,workers,engine", COMBOS)

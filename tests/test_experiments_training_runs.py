@@ -120,7 +120,7 @@ class TestWeightCache:
         # trainers — everything loads from the fingerprint-keyed .npz.
         import numpy as np
 
-        from repro.core.osap import build_safety_suite
+        from repro.abr.suite import build_safety_suite
         from repro.experiments.training_runs import _weight_fingerprint
         from repro.policies.buffer_based import BufferBasedPolicy
         from repro.traces.dataset import make_dataset

@@ -1,0 +1,168 @@
+"""Property-based round-trip tests for SafetyMonitor serialization.
+
+The contract under test: capture ``state_dict()`` at *any* step of a
+monitored stream, push it through JSON, restore it into a freshly built
+monitor of the same configuration, and the restored monitor must produce
+bitwise-identical decisions on the remaining observation tail — for all
+three paper signals and both trigger types.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
+from repro.core.monitor import SafetyMonitor
+from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
+from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
+from repro.errors import SafetyError
+from repro.novelty.ocsvm import OneClassSVM
+
+BITRATES = np.array([300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0])
+
+
+def _fitted_detector() -> OneClassSVM:
+    rng = np.random.default_rng(0)
+    series = [rng.normal(3.0, 0.3, size=80) for _ in range(3)]
+    samples = throughput_window_samples(series, k=3, throughput_window=5)
+    return OneClassSVM(nu=0.2).fit(samples)
+
+
+#: One fitted detector shared by every U_S instance — the detector is a
+#: frozen offline artifact, not session state.
+_DETECTOR = _fitted_detector()
+
+
+class _ObsPolicy:
+    """A deterministic stateless policy whose output varies with the
+    observation (a fixed random linear map + softmax)."""
+
+    def __init__(self, seed: int, num_actions: int = 6) -> None:
+        rng = np.random.default_rng(seed)
+        self._weights = rng.normal(size=(num_actions, 48))
+
+    def reset(self) -> None:
+        pass
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        logits = self._weights @ np.asarray(observation, dtype=float).reshape(-1)
+        logits -= logits.max()
+        exp = np.exp(logits)
+        return exp / exp.sum()
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        return int(np.argmax(self.action_probabilities(observation)))
+
+
+class _ObsValue:
+    """A deterministic observation-dependent value function."""
+
+    def __init__(self, seed: int) -> None:
+        self._weights = np.random.default_rng(seed).normal(size=48)
+
+    def value(self, observation: np.ndarray) -> float:
+        return float(
+            self._weights @ np.asarray(observation, dtype=float).reshape(-1)
+        )
+
+
+def make_signal(kind: str):
+    if kind == "U_S":
+        return StateNoveltySignal(_DETECTOR, BITRATES, k=3, throughput_window=5)
+    if kind == "U_pi":
+        return PolicyEnsembleSignal([_ObsPolicy(s) for s in range(4)], trim=1)
+    return ValueEnsembleSignal([_ObsValue(s) for s in range(4)], trim=1)
+
+
+def make_trigger(kind: str):
+    if kind == "consecutive":
+        return ConsecutiveTrigger(l=2)
+    return VarianceTrigger(alpha=1e-3, k=3, l=1)
+
+
+def canonical(decision) -> tuple:
+    """A decision as an exactly-comparable tuple (NaN-safe)."""
+    value = decision.signal_value
+    return (
+        decision.step,
+        None if math.isnan(value) else value,
+        decision.fired,
+        decision.defaulted,
+        decision.handoff,
+        decision.recovered,
+    )
+
+
+SIGNAL_KINDS = ("U_S", "U_pi", "U_V")
+TRIGGER_KINDS = ("consecutive", "variance")
+
+
+@pytest.mark.parametrize("signal_kind", SIGNAL_KINDS)
+@pytest.mark.parametrize("trigger_kind", TRIGGER_KINDS)
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_state_roundtrip_preserves_decisions(signal_kind, trigger_kind, data):
+    length = data.draw(st.integers(min_value=2, max_value=25), label="length")
+    split = data.draw(st.integers(min_value=0, max_value=length), label="split")
+    seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+    observations = np.random.default_rng(seed).normal(size=(length, 6, 8))
+
+    reference = SafetyMonitor(
+        make_signal(signal_kind), make_trigger(trigger_kind), name="ref"
+    )
+    reference.reset()
+    expected = [canonical(reference.observe(obs)) for obs in observations]
+
+    first = SafetyMonitor(
+        make_signal(signal_kind), make_trigger(trigger_kind), name="first"
+    )
+    first.reset()
+    head = [canonical(first.observe(obs)) for obs in observations[:split]]
+    state = json.loads(json.dumps(first.state_dict()))
+
+    second = SafetyMonitor(
+        make_signal(signal_kind), make_trigger(trigger_kind), name="second"
+    )
+    second.reset()
+    second.load_state_dict(state)
+    tail = [canonical(second.observe(obs)) for obs in observations[split:]]
+
+    assert head + tail == expected
+    assert second.total_steps == reference.total_steps
+    assert second.default_steps == reference.default_steps
+
+
+@pytest.mark.parametrize("signal_kind", SIGNAL_KINDS)
+@pytest.mark.parametrize("trigger_kind", TRIGGER_KINDS)
+def test_state_dict_is_json_able(signal_kind, trigger_kind):
+    monitor = SafetyMonitor(make_signal(signal_kind), make_trigger(trigger_kind))
+    monitor.reset()
+    for obs in np.random.default_rng(7).normal(size=(10, 6, 8)):
+        monitor.observe(obs)
+    state = monitor.state_dict()
+    assert json.loads(json.dumps(state)) == state
+
+
+def test_version_mismatch_rejected():
+    monitor = SafetyMonitor(make_signal("U_pi"), make_trigger("variance"))
+    state = monitor.state_dict()
+    state["version"] = 99
+    with pytest.raises(SafetyError, match="version"):
+        monitor.load_state_dict(state)
+
+
+def test_allow_revert_mismatch_rejected():
+    sticky = SafetyMonitor(
+        make_signal("U_pi"), make_trigger("variance"), allow_revert=False
+    )
+    revertible = SafetyMonitor(
+        make_signal("U_pi"), make_trigger("variance"), allow_revert=True
+    )
+    with pytest.raises(SafetyError, match="allow_revert"):
+        revertible.load_state_dict(sticky.state_dict())

@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Benchmark gate for the multi-session serving engine.
+
+Serves the same 16 concurrent monitored sessions four ways and demands
+chunk-for-chunk identical trajectories:
+
+* ``legacy``  — per-session evaluation with fast paths disabled
+  (:func:`repro.abr.session.run_monitored_session` over the reference
+  member-loop forwards — the pre-optimization deployment pattern),
+* ``serial``  — the same per-session loop with fast paths enabled
+  (isolates the already-committed vectorization),
+* ``batched`` — :meth:`ServeEngine.run_inprocess`, which multiplexes the
+  sessions in waves and answers every measuring monitor with one batched
+  ensemble forward per wave,
+* ``sharded`` — ``ServeEngine.run(max_workers=W)``, contiguous session
+  shards served by a process pool (a wash on single-core runners,
+  reported for the perf trajectory on wider machines).
+
+The headline number is legacy per-session evaluation vs. the batched
+engine; the full run asserts it is >= 2x at 16 sessions for every
+scheme and writes ``BENCH_serve.json`` at the repository root so the
+perf trajectory is tracked PR over PR (``tools/check_bench.py`` gates
+nightly runs against it).  Every run — smoke or full — asserts that all
+variants produce identical sessions, for the stateful ``ND`` scheme
+(which opts out of batching) as well as the batched ensemble schemes.
+
+Wall times are the minimum over ``--repeats`` runs of each variant, the
+standard defense against scheduler noise on shared machines.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serve.py            # full gate
+    PYTHONPATH=src python tools/bench_serve.py --smoke    # CI-sized
+
+``--smoke`` shrinks the workload, runs each variant once, and skips both
+the speedup assertion and the JSON artifact (machine-dependent numbers do
+not belong in CI); every equality assertion still runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.abr.session import run_monitored_session
+from repro.abr.suite import build_safety_suite
+from repro.core.osap import SafetyConfig
+from repro.parallel import resolve_max_workers
+from repro.pensieve.training import TrainingConfig
+from repro.perf import fast_paths
+from repro.policies.buffer_based import BufferBasedPolicy
+from repro.serve import ServeEngine, SessionSpec
+from repro.traces.dataset import make_dataset
+from repro.video.envivio import envivio_dash3_manifest
+
+ROOT = Path(__file__).resolve().parent.parent
+MIN_SPEEDUP = 2.0
+SESSIONS = 16
+
+
+def build_bench_suite(smoke: bool):
+    """Train one tiny safety suite to serve sessions from."""
+    if smoke:
+        training = TrainingConfig(epochs=1, gamma=0.9, n_step=4, filters=4, hidden=12)
+        safety = SafetyConfig(
+            ensemble_size=3,
+            trim=1,
+            ocsvm_k_synthetic=5,
+            ocsvm_nu=0.2,
+            max_ocsvm_samples=200,
+        )
+        manifest = envivio_dash3_manifest(repeats=1)
+        dataset = make_dataset("gamma_1_2", num_traces=4, duration_s=120.0, seed=1)
+        value_epochs = 2
+    else:
+        training = TrainingConfig(epochs=2, gamma=0.9, n_step=4, filters=8, hidden=48)
+        safety = SafetyConfig(
+            ensemble_size=5,
+            trim=2,
+            ocsvm_k_synthetic=5,
+            ocsvm_nu=0.2,
+            max_ocsvm_samples=300,
+        )
+        manifest = envivio_dash3_manifest(repeats=2)
+        dataset = make_dataset("gamma_1_2", num_traces=6, duration_s=200.0, seed=1)
+        value_epochs = 4
+    split = dataset.split()
+    suite = build_safety_suite(
+        manifest,
+        split,
+        BufferBasedPolicy(manifest.bitrates_kbps),
+        is_synthetic=dataset.is_synthetic,
+        training_config=training,
+        safety_config=safety,
+        value_epochs=value_epochs,
+        seed=0,
+    )
+    return manifest, split, suite
+
+
+def make_specs(split, count: int) -> list[SessionSpec]:
+    """*count* sessions cycling over the held-out test traces."""
+    return [
+        SessionSpec(
+            trace=split.test[index % len(split.test)],
+            seed=index,
+            name=f"session-{index:03d}",
+        )
+        for index in range(count)
+    ]
+
+
+def fingerprint(result) -> tuple:
+    """A session's trajectory as an exactly-comparable value."""
+    return (
+        result.trace_name,
+        tuple(
+            (
+                chunk.chunk_index,
+                chunk.bitrate_index,
+                chunk.bitrate_mbps,
+                chunk.rebuffer_s,
+                chunk.download_time_s,
+                chunk.throughput_mbps,
+                chunk.buffer_s,
+                chunk.reward,
+                chunk.defaulted,
+            )
+            for chunk in result.chunks
+        ),
+        result.observations.tobytes(),
+    )
+
+
+def run_serial(engine: ServeEngine, specs: list[SessionSpec]):
+    """The per-session reference loop (one monitor, reset per session)."""
+    monitor = engine.spawn_monitor()
+    return [
+        run_monitored_session(
+            engine.learned,
+            engine.default,
+            monitor,
+            engine.manifest,
+            spec.trace,
+            qoe_metric=engine.qoe_metric,
+            seed=spec.seed,
+            policy_name=spec.name,
+            start_offset_s=spec.start_offset_s,
+        )
+        for spec in specs
+    ]
+
+
+def _timed(fn, repeats: int):
+    walls = []
+    results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = fn()
+        walls.append(time.perf_counter() - start)
+    return min(walls), walls, results
+
+
+def bench_scheme(
+    name: str,
+    engine: ServeEngine,
+    specs: list[SessionSpec],
+    workers: int,
+    repeats: int,
+    smoke: bool,
+) -> dict:
+    print(f"{name} ({len(specs)} sessions, repeats={repeats}) ...")
+
+    def legacy_serial():
+        with fast_paths(False):
+            return run_serial(engine, specs)
+
+    legacy, legacy_runs, legacy_results = _timed(legacy_serial, repeats)
+    print(f"  legacy serial    : {legacy:8.3f}s  {[round(w, 3) for w in legacy_runs]}")
+    serial, serial_runs, serial_results = _timed(
+        lambda: run_serial(engine, specs), repeats
+    )
+    print(f"  optimized serial : {serial:8.3f}s  {[round(w, 3) for w in serial_runs]}")
+    batched, batched_runs, batched_results = _timed(
+        lambda: engine.run_inprocess(specs), repeats
+    )
+    print(f"  engine batched   : {batched:8.3f}s  {[round(w, 3) for w in batched_runs]}")
+    sharded, sharded_runs, sharded_results = _timed(
+        lambda: engine.run(specs, max_workers=workers), repeats
+    )
+    print(f"  engine {workers} workers : {sharded:8.3f}s  {[round(w, 3) for w in sharded_runs]}")
+
+    reference = [fingerprint(result) for result in legacy_results]
+    for variant, results in (
+        ("serial", serial_results),
+        ("batched", batched_results),
+        ("sharded", sharded_results),
+    ):
+        if [fingerprint(result) for result in results] != reference:
+            raise AssertionError(
+                f"{name}: {variant} trajectories diverged from legacy serial"
+            )
+    print("  trajectories chunk-for-chunk identical across all four variants")
+
+    steps = sum(len(result.chunks) for result in legacy_results)
+    total = legacy / batched
+    print(
+        f"  speedup: {total:.2f}x total "
+        f"({legacy / serial:.2f}x vectorization x {serial / batched:.2f}x batching; "
+        f"sharded {legacy / sharded:.2f}x; "
+        f"{steps / legacy:.0f} -> {steps / batched:.0f} steps/s)"
+    )
+    if not smoke and total < MIN_SPEEDUP:
+        raise AssertionError(
+            f"{name}: speedup gate failed: {total:.2f}x < {MIN_SPEEDUP}x"
+        )
+    return {
+        "sessions": len(specs),
+        "steps": steps,
+        "repeats": repeats,
+        "legacy_serial_s": legacy,
+        "optimized_serial_s": serial,
+        "batched_s": batched,
+        "sharded_s": sharded,
+        "workers": workers,
+        "legacy_steps_per_second": steps / legacy,
+        "batched_steps_per_second": steps / batched,
+        "speedup_total": total,
+        "speedup_vectorization": legacy / serial,
+        "speedup_batching": serial / batched,
+        "trajectories_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: tiny suite, one repeat, no speedup gate, no JSON",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        help=f"concurrent sessions (default: {SESSIONS}, smoke: 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="pool size for the sharded variant"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per variant (min is reported)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=ROOT / "BENCH_serve.json",
+        help="where to write the benchmark JSON (full runs only)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    sessions = args.sessions if args.sessions is not None else (8 if args.smoke else SESSIONS)
+
+    print("training bench suite ...")
+    manifest, split, suite = build_bench_suite(args.smoke)
+    specs = make_specs(split, sessions)
+
+    schemes = {}
+    for scheme in ("ND", "A-ensemble", "V-ensemble"):
+        engine = ServeEngine.from_controller(suite.controllers()[scheme], manifest)
+        schemes[scheme] = bench_scheme(
+            scheme, engine, specs, args.workers, repeats, args.smoke
+        )
+
+    if args.smoke:
+        print("smoke run complete (no JSON written)")
+        return 0
+
+    payload = {
+        "benchmark": "multi-session serving engine",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "default_max_workers": resolve_max_workers(),
+        },
+        "sessions": sessions,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "schemes": schemes,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Layer-boundary lint for the ``repro`` package.
+
+The package is layered: ``novelty`` and the other leaf utilities sit at
+the bottom, ``core`` (signals, monitor, triggers) builds on them,
+``abr``/``pensieve`` provide the application substrate, ``serve``
+multiplexes sessions on top of both, and ``experiments``/``cli`` sit at
+the rim.  Imports must point *down* the stack only — ``repro.core`` must
+never import from ``repro.abr``, the serving engine must never reach
+into ``repro.experiments``, and nothing imports the CLI.
+
+This tool walks every module's AST (so string greps cannot be fooled by
+comments) and fails with a file:line listing of each upward import.
+Imports guarded by ``if TYPE_CHECKING:`` are exempt: they exist for
+annotations only and are never executed, so they cannot create a runtime
+layering cycle.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_layers.py            # lint src/repro
+    python tools/check_layers.py --root some/dir/repro     # lint elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+# For each first-level subpackage (the *layer*), the layers it must not
+# import from.  A layer absent from this table is unconstrained.
+FORBIDDEN: dict[str, frozenset[str]] = {
+    "novelty": frozenset(
+        {"core", "abr", "pensieve", "serve", "experiments", "cli"}
+    ),
+    "core": frozenset({"abr", "serve", "experiments", "cli"}),
+    "abr": frozenset({"serve", "experiments", "cli"}),
+    "pensieve": frozenset({"serve", "experiments", "cli"}),
+    "serve": frozenset({"experiments", "cli"}),
+    "experiments": frozenset({"cli"}),
+}
+
+PACKAGE = "repro"
+
+
+def _imported_packages(node: ast.AST) -> list[str]:
+    """First-level ``repro`` subpackages (or modules) *node* imports."""
+    targets = []
+    if isinstance(node, ast.Import):
+        targets = [alias.name for alias in node.names]
+    elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+        targets = [node.module]
+    packages = []
+    for target in targets:
+        parts = target.split(".")
+        if parts[0] == PACKAGE and len(parts) > 1:
+            packages.append(parts[1])
+    return packages
+
+
+class _ImportVisitor(ast.NodeVisitor):
+    """Collect ``repro.*`` imports, skipping ``if TYPE_CHECKING:`` blocks."""
+
+    def __init__(self) -> None:
+        self.imports: list[tuple[int, str]] = []
+
+    @staticmethod
+    def _is_type_checking(test: ast.expr) -> bool:
+        if isinstance(test, ast.Name):
+            return test.id == "TYPE_CHECKING"
+        if isinstance(test, ast.Attribute):
+            return test.attr == "TYPE_CHECKING"
+        return False
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._is_type_checking(node.test):
+            for child in node.orelse:
+                self.visit(child)
+            return
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for package in _imported_packages(node):
+            self.imports.append((node.lineno, package))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for package in _imported_packages(node):
+            self.imports.append((node.lineno, package))
+
+
+def module_layer(path: Path, root: Path) -> str:
+    """The first-level subpackage *path* belongs to (``cli`` for cli.py)."""
+    relative = path.relative_to(root)
+    if len(relative.parts) == 1:
+        return relative.stem
+    return relative.parts[0]
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Layer violations in one module, as ``file:line`` messages."""
+    layer = module_layer(path, root)
+    forbidden = FORBIDDEN.get(layer)
+    if not forbidden:
+        return []
+    visitor = _ImportVisitor()
+    visitor.visit(ast.parse(path.read_text(), filename=str(path)))
+    return [
+        f"{path}:{line}: layer '{layer}' must not import 'repro.{package}'"
+        for line, package in visitor.imports
+        if package in forbidden
+    ]
+
+
+def check_tree(root: Path) -> list[str]:
+    """Layer violations across every module under *root*."""
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_file(path, root))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "src" / PACKAGE,
+        help="package directory to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    if not args.root.is_dir():
+        print(f"FAIL: {args.root} is not a directory", file=sys.stderr)
+        return 2
+    violations = check_tree(args.root)
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(
+            f"FAIL: {len(violations)} layer violation(s)", file=sys.stderr
+        )
+        return 1
+    print(f"layer boundaries clean under {args.root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
