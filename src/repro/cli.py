@@ -96,13 +96,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="training/test distribution (default: the config's first)",
     )
     serve.add_argument(
+        "--continuous",
+        action="store_true",
+        help=(
+            "serve through a bounded slot table (default: half the "
+            "sessions) so finished sessions hand their slot to queued "
+            "ones mid-wave; trajectories are identical either way"
+        ),
+    )
+    serve.add_argument(
+        "--max-slots",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cap concurrently live sessions at N slots (implies "
+            "--continuous admission through the slot free-list)"
+        ),
+    )
+    serve.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
         help=(
             "collect serving metrics (serve.batch_size, "
-            "serve.steps_per_second, ...) and export them as JSON Lines "
-            "to PATH"
+            "serve.steps_per_second, serve.wave_occupancy, ...) and "
+            "export them as JSON Lines to PATH"
         ),
     )
 
@@ -289,6 +308,13 @@ def _cmd_serve_demo(args, out) -> int:
 
     if args.sessions < 1:
         raise ReproError(f"--sessions must be >= 1, got {args.sessions}")
+    max_slots = args.max_slots
+    if max_slots is None and args.continuous:
+        # Default slot cap that actually exercises continuous admission:
+        # half the sessions queue behind the slot free-list.
+        max_slots = max(1, args.sessions // 2)
+    if max_slots is not None and max_slots < 1:
+        raise ReproError(f"--max-slots must be >= 1, got {max_slots}")
     config = get_config(args.config)
     dataset_name = args.dataset or config.datasets[0]
     manifest = envivio_dash3_manifest(repeats=config.video_repeats)
@@ -328,11 +354,14 @@ def _cmd_serve_demo(args, out) -> int:
     ]
     print(
         f"serving {args.sessions} concurrent sessions "
-        f"({len(split.test)} test traces, workers={args.workers or 'in-process'}) ...",
+        f"({len(split.test)} test traces, workers={args.workers or 'in-process'}"
+        + (f", continuous over {max_slots} slots" if max_slots else "")
+        + ") ...",
         file=out,
     )
     results = serve_sessions(
-        controller, manifest, specs, max_workers=args.workers
+        controller, manifest, specs, max_workers=args.workers,
+        max_slots=max_slots,
     )
     rows = [
         [

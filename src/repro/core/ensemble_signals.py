@@ -24,8 +24,10 @@ __all__ = [
     "PolicyEnsembleSignal",
     "ValueEnsembleSignal",
     "policy_disagreement",
+    "policy_disagreement_batch",
     "trim_by_distance",
     "value_disagreement",
+    "value_disagreement_batch",
 ]
 
 
@@ -109,6 +111,68 @@ def value_disagreement(values: np.ndarray, trim: int) -> float:
     return float(np.abs(survivors - survivors.mean()).sum())
 
 
+def _keep_rows(distances: np.ndarray, trim: int) -> np.ndarray:
+    """Per-column survivor indices, ``(members - trim, batch)`` ascending.
+
+    The batched form of :func:`trim_by_distance`'s selection: numpy sorts
+    every lane of ``axis=0`` with the same algorithm it applies to the
+    equivalent 1-D array, so each column's survivor set (ties included)
+    matches the scalar path's exactly.
+    """
+    members = distances.shape[0]
+    if trim < 0:
+        raise SafetyError(f"trim must be >= 0, got {trim}")
+    if members <= trim:
+        raise SafetyError(f"cannot trim {trim} of {members} ensemble outputs")
+    return np.sort(np.argsort(distances, axis=0)[: members - trim], axis=0)
+
+
+def policy_disagreement_batch(distributions: np.ndarray, trim: int) -> np.ndarray:
+    """``U_pi`` for a whole wave of sessions in one vectorized reduction.
+
+    *distributions* is ``(members, batch, num_actions)``; returns one
+    signal value per batch column.  Column *b* is bitwise-equal to
+    ``policy_disagreement(distributions[:, b, :], trim)``: every
+    operation is elementwise or a short fixed-length reduction whose
+    accumulation order does not depend on the batch shape.
+    """
+    members = distributions.shape[0]
+    means = distributions.mean(axis=0)
+    if trim == 0:
+        if members <= 0:
+            raise SafetyError("cannot trim 0 of 0 ensemble outputs")
+        survivors = distributions
+    else:
+        distances = kl_divergence(
+            distributions, np.broadcast_to(means, distributions.shape)
+        )
+        keep = _keep_rows(distances, trim)
+        survivors = np.take_along_axis(distributions, keep[:, :, None], axis=0)
+    survivor_means = survivors.mean(axis=0)
+    return kl_divergence(
+        survivors, np.broadcast_to(survivor_means, survivors.shape)
+    ).sum(axis=0)
+
+
+def value_disagreement_batch(values: np.ndarray, trim: int) -> np.ndarray:
+    """``U_V`` for a whole wave of sessions in one vectorized reduction.
+
+    *values* is ``(members, batch)``; returns one signal value per batch
+    column, each bitwise-equal to ``value_disagreement(values[:, b], trim)``.
+    """
+    members = values.shape[0]
+    means = values.mean(axis=0)
+    if trim == 0:
+        if members <= 0:
+            raise SafetyError("cannot trim 0 of 0 ensemble outputs")
+        survivors = values
+    else:
+        distances = np.abs(values - means)
+        keep = _keep_rows(distances, trim)
+        survivors = np.take_along_axis(values, keep, axis=0)
+    return np.abs(survivors - survivors.mean(axis=0)).sum(axis=0)
+
+
 @SIGNALS.register("U_pi")
 class PolicyEnsembleSignal(UncertaintySignal):
     """``U_pi``: KL disagreement within an agent ensemble.
@@ -157,12 +221,7 @@ class PolicyEnsembleSignal(UncertaintySignal):
         if self._stacked is None or not fast_paths_enabled():
             return super().measure_batch(observations)
         distributions = self._stacked.probabilities_batch(observations)
-        return np.array(
-            [
-                policy_disagreement(distributions[:, index, :], self.trim)
-                for index in range(distributions.shape[1])
-            ]
-        )
+        return policy_disagreement_batch(distributions, self.trim)
 
 
 @SIGNALS.register("U_V")
@@ -206,9 +265,4 @@ class ValueEnsembleSignal(UncertaintySignal):
         if self._stacked is None or not fast_paths_enabled():
             return super().measure_batch(observations)
         values = self._stacked.values_batch(observations)
-        return np.array(
-            [
-                value_disagreement(values[:, index], self.trim)
-                for index in range(values.shape[1])
-            ]
-        )
+        return value_disagreement_batch(values, self.trim)

@@ -42,6 +42,7 @@ from repro.util.tables import render_table
 __all__ = [
     "DecisionRecord",
     "MonitorDecision",
+    "MonitorTable",
     "MonitoredController",
     "SafetyController",
     "SafetyMonitor",
@@ -283,6 +284,165 @@ class SafetyMonitor:
         self.trigger.load_state_dict(state["trigger"])
         self._last_decision = None
         self._recent_signals = None
+
+
+class MonitorTable:
+    """A vectorized bank of monitor phases: OSAP over rows, not objects.
+
+    The serve engine's continuous-batching kernel keeps one *row* of
+    monitor state per live session slot — mode, step counters, and the
+    trigger's per-row state (a
+    :class:`~repro.core.thresholding.TriggerTable`) — and folds a whole
+    wave of signal measurements in with a handful of array operations.
+    Row semantics are exactly :class:`SafetyMonitor`'s: the same trigger
+    decisions, the same sticky/revert mode fold, the same counters, and
+    equivalent observability output (aggregated counters plus per-row
+    signal samples and hand-off events when collection is on).
+
+    The bank does not measure signals itself — callers batch the
+    measurements (that is the point) and hand the values to
+    :meth:`observe_measured`; rows on the sticky fast path are advanced
+    through :meth:`observe_sticky` without values, mirroring
+    :meth:`SafetyMonitor.observe`'s skip-measure branch.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        trigger_table,
+        allow_revert: bool = False,
+        name: str = "monitor",
+        signal_window: int = 1,
+    ) -> None:
+        if capacity < 1:
+            raise SafetyError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.trigger_table = trigger_table
+        self.allow_revert = allow_revert
+        self.name = name
+        self._signal_window = max(int(signal_window), 1)
+        self.defaulted = np.zeros(capacity, dtype=bool)
+        self.total_steps = np.zeros(capacity, dtype=np.int64)
+        self.default_steps = np.zeros(capacity, dtype=np.int64)
+        # Per-row recent-signal windows for the observability default
+        # event; materialized only while collection is on.
+        self._recent: list[deque | None] = [None] * capacity
+
+    def admit(self, row: int) -> None:
+        """Reset *row* for a fresh session (mode, counters, trigger)."""
+        self.defaulted[row] = False
+        self.total_steps[row] = 0
+        self.default_steps[row] = 0
+        self._recent[row] = None
+        self.trigger_table.reset_rows(np.array([row]))
+
+    def sticky_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Of *rows*, those whose next step skips measuring.
+
+        The vectorized form of ``not SafetyMonitor.will_measure()``:
+        defaulted rows of a non-revertible bank are settled for the rest
+        of their session.  (The kernel only runs with fast paths on, so
+        the global switch is not re-checked per wave.)
+        """
+        if self.allow_revert:
+            return rows[:0]
+        return rows[self.defaulted[rows]]
+
+    def observe_sticky(self, rows: np.ndarray, waves: int = 1) -> None:
+        """Advance settled rows *waves* steps without measuring.
+
+        Mirrors the scalar sticky fast path: both counters advance and
+        the per-decision counter records default-mode decisions.  A
+        settled row's bookkeeping is the same every wave, so the engine
+        batches several waves of it into one call; the end-of-session
+        counters and aggregate metrics are identical to crediting each
+        wave individually.
+        """
+        self.total_steps[rows] += waves
+        self.default_steps[rows] += waves
+        obs.inc(
+            "controller.decisions",
+            amount=float(len(rows) * waves),
+            controller=self.name,
+            mode="default",
+        )
+
+    def observe_measured(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Fold one measured signal value per row; returns the new
+        per-row defaulted mask (aligned with *rows*).
+
+        The fold is the scalar rule vectorized: trigger rows update
+        first, then ``defaulted`` becomes ``fired`` (revertible) or
+        ``defaulted | fired`` (sticky), and the counters advance.
+        """
+        fired = self.trigger_table.update_rows(rows, values)
+        was = self.defaulted[rows]
+        if self.allow_revert:
+            now = fired
+        else:
+            now = was | fired
+        self.defaulted[rows] = now
+        self.total_steps[rows] += 1
+        self.default_steps[rows] += now
+        if obs.enabled():
+            self._observe_rows(rows, values, was, now)
+        return now
+
+    def default_fraction(self, row: int) -> float:
+        """Fraction of *row*'s session decided in default mode."""
+        total = int(self.total_steps[row])
+        if total == 0:
+            return 0.0
+        return int(self.default_steps[row]) / total
+
+    def _observe_rows(
+        self,
+        rows: np.ndarray,
+        values: np.ndarray,
+        was: np.ndarray,
+        now: np.ndarray,
+    ) -> None:
+        """Emit the same observability stream the scalar monitors would:
+        per-row signal samples, per-mode decision counts (aggregated),
+        and hand-off/recover events with their signal windows."""
+        defaults = int(np.count_nonzero(now))
+        if defaults:
+            obs.inc(
+                "controller.decisions",
+                amount=float(defaults),
+                controller=self.name,
+                mode="default",
+            )
+        if defaults < len(rows):
+            obs.inc(
+                "controller.decisions",
+                amount=float(len(rows) - defaults),
+                controller=self.name,
+                mode="learned",
+            )
+        for position, row in enumerate(rows.tolist()):
+            value = float(values[position])
+            recent = self._recent[row]
+            if recent is None:
+                recent = deque(maxlen=self._signal_window)
+                self._recent[row] = recent
+            recent.append(value)
+            obs.observe("controller.signal", value, controller=self.name)
+            if now[position] and not was[position]:
+                obs.event(
+                    "controller.default",
+                    controller=self.name,
+                    step=int(self.total_steps[row]),
+                    signal=value,
+                    window=list(recent),
+                )
+            elif was[position] and not now[position]:
+                obs.event(
+                    "controller.recover",
+                    controller=self.name,
+                    step=int(self.total_steps[row]),
+                    signal=value,
+                )
 
 
 class SafetyController:

@@ -19,6 +19,13 @@ behind the same :class:`~repro.core.thresholding.DefaultTrigger` interface:
 
 The strategy-ablation benchmark compares all of them under the same
 signal and calibration budget.
+
+Each strategy also provides a vectorized :class:`TriggerTable`
+(:meth:`~repro.core.thresholding.DefaultTrigger.make_table`): all three
+rules are elementwise scalar recurrences, so a bank of rows updates in
+one numpy operation per wave with bitwise-identical decisions — the
+serve engine's continuous-batching kernel works for every trigger in the
+library, not just the paper's.
 """
 
 from __future__ import annotations
@@ -26,10 +33,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.signals import TRIGGERS
-from repro.core.thresholding import DefaultTrigger
+from repro.core.thresholding import DefaultTrigger, TriggerTable, check_finite_values
 from repro.errors import SafetyError
 
-__all__ = ["EWMATrigger", "CusumTrigger", "HysteresisTrigger"]
+__all__ = [
+    "CusumTrigger",
+    "CusumTriggerTable",
+    "EWMATrigger",
+    "EWMATriggerTable",
+    "HysteresisTrigger",
+    "HysteresisTriggerTable",
+]
 
 
 @TRIGGERS.register("ewma")
@@ -65,12 +79,52 @@ class EWMATrigger(DefaultTrigger):
             )
         return self._level > self.bar
 
+    def make_table(self, capacity: int) -> "EWMATriggerTable":
+        """A bank of *capacity* independent EWMA rows."""
+        return EWMATriggerTable(capacity, bar=self.bar, alpha=self.alpha)
+
     def state_dict(self) -> dict:
         return {"level": None if self._level is None else float(self._level)}
 
     def load_state_dict(self, state: dict) -> None:
         level = state["level"]
         self._level = None if level is None else float(level)
+
+
+class EWMATriggerTable(TriggerTable):
+    """Vectorized bank of :class:`EWMATrigger` rows.
+
+    The smoothing recurrence is elementwise, so a wave update is one
+    fused numpy expression with bitwise-identical levels; an unseeded row
+    adopts its first value exactly like the scalar trigger.
+    """
+
+    def __init__(self, capacity: int, bar: float, alpha: float = 0.3) -> None:
+        if capacity < 1:
+            raise SafetyError(f"capacity must be >= 1, got {capacity}")
+        if bar < 0:
+            raise SafetyError(f"bar must be >= 0, got {bar}")
+        if not 0.0 < alpha <= 1.0:
+            raise SafetyError(f"alpha must be in (0, 1], got {alpha}")
+        self.capacity = capacity
+        self.bar = bar
+        self.alpha = alpha
+        self._level = np.zeros(capacity, dtype=float)
+        self._seen = np.zeros(capacity, dtype=bool)
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        """Clear the smoothed levels of *rows*."""
+        self._level[rows] = 0.0
+        self._seen[rows] = False
+
+    def update_rows(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Fold one value per row into the EWMA; fire where level > bar."""
+        check_finite_values(values)
+        blended = self.alpha * values + (1.0 - self.alpha) * self._level[rows]
+        level = np.where(self._seen[rows], blended, values)
+        self._level[rows] = level
+        self._seen[rows] = True
+        return level > self.bar
 
 
 @TRIGGERS.register("cusum")
@@ -109,11 +163,50 @@ class CusumTrigger(DefaultTrigger):
         )
         return self._statistic > self.threshold
 
+    def make_table(self, capacity: int) -> "CusumTriggerTable":
+        """A bank of *capacity* independent CUSUM rows."""
+        return CusumTriggerTable(
+            capacity, threshold=self.threshold, drift=self.drift
+        )
+
     def state_dict(self) -> dict:
         return {"statistic": float(self._statistic)}
 
     def load_state_dict(self, state: dict) -> None:
         self._statistic = float(state["statistic"])
+
+
+class CusumTriggerTable(TriggerTable):
+    """Vectorized bank of :class:`CusumTrigger` rows.
+
+    ``S = max(0, S + x - drift)`` is elementwise, so the bank updates in
+    one ``np.maximum`` per wave with bitwise-identical statistics.
+    """
+
+    def __init__(self, capacity: int, threshold: float, drift: float) -> None:
+        if capacity < 1:
+            raise SafetyError(f"capacity must be >= 1, got {capacity}")
+        if threshold <= 0:
+            raise SafetyError(f"threshold must be positive, got {threshold}")
+        if drift < 0:
+            raise SafetyError(f"drift must be >= 0, got {drift}")
+        self.capacity = capacity
+        self.threshold = threshold
+        self.drift = drift
+        self._statistic = np.zeros(capacity, dtype=float)
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        """Clear the accumulated statistics of *rows*."""
+        self._statistic[rows] = 0.0
+
+    def update_rows(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Accumulate drift-adjusted evidence; fire where S > threshold."""
+        check_finite_values(values)
+        statistic = np.maximum(
+            0.0, self._statistic[rows] + values - self.drift
+        )
+        self._statistic[rows] = statistic
+        return statistic > self.threshold
 
 
 @TRIGGERS.register("hysteresis")
@@ -148,8 +241,46 @@ class HysteresisTrigger(DefaultTrigger):
             self._active = True
         return self._active
 
+    def make_table(self, capacity: int) -> "HysteresisTriggerTable":
+        """A bank of *capacity* independent hysteresis rows."""
+        return HysteresisTriggerTable(capacity, high=self.high, low=self.low)
+
     def state_dict(self) -> dict:
         return {"active": bool(self._active)}
 
     def load_state_dict(self, state: dict) -> None:
         self._active = bool(state["active"])
+
+
+class HysteresisTriggerTable(TriggerTable):
+    """Vectorized bank of :class:`HysteresisTrigger` rows.
+
+    The two-bar state machine is a pure elementwise select: active rows
+    stay active unless the value drops below ``low``, idle rows activate
+    above ``high``.
+    """
+
+    def __init__(self, capacity: int, high: float, low: float) -> None:
+        if capacity < 1:
+            raise SafetyError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 <= low <= high:
+            raise SafetyError(
+                f"need 0 <= low <= high, got (low={low}, high={high})"
+            )
+        self.capacity = capacity
+        self.high = high
+        self.low = low
+        self._active = np.zeros(capacity, dtype=bool)
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        """Deactivate *rows*."""
+        self._active[rows] = False
+
+    def update_rows(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Advance the two-bar state machine one value per row."""
+        check_finite_values(values)
+        active = np.where(
+            self._active[rows], ~(values < self.low), values > self.high
+        )
+        self._active[rows] = active
+        return active

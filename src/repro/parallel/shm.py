@@ -1,0 +1,173 @@
+"""Zero-copy shared-memory publication of worker context.
+
+Sharded serving ships one heavyweight context — manifest, both policies,
+the ensemble-backed signal — to every worker.  Plain ``initargs``
+pickling copies the ensemble weights once per worker *and* materializes
+a private copy in each worker's heap.  This module publishes the context
+**once** into a POSIX shared-memory block and hands workers a tiny
+:class:`PayloadHandle` (name + buffer layout); each worker maps the
+block and reconstructs the context with every numpy array pointing
+*into* the shared mapping — zero copies, one physical instance of the
+weights regardless of worker count.
+
+Mechanics: the payload is pickled with protocol 5, which surfaces every
+large contiguous buffer (numpy arrays chief among them) as an
+out-of-band :class:`pickle.PickleBuffer` instead of embedding it in the
+pickle stream.  The block is laid out as ``[pickle bytes | buffer 0 |
+buffer 1 | ...]`` with each buffer 64-byte aligned;
+:func:`attach_payload` re-materializes the object graph by handing
+``pickle.loads`` read-only memoryviews into the mapping.  Reconstructed
+arrays are therefore *read-only* views — exactly right for serving,
+where workers only ever run forwards.
+
+The publishing process unlinks the block after the worker pool drains;
+workers keep their mapping (and the arrays into it) alive for the life
+of the pool.  Set ``REPRO_DISABLE_SHM`` (to any non-empty value) to fall
+back to plain pickled ``initargs``; results are identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+__all__ = [
+    "PayloadHandle",
+    "SharedPayload",
+    "attach_payload",
+    "publish_payload",
+    "shm_enabled",
+]
+
+#: Alignment for out-of-band buffers inside the block; 64 bytes keeps
+#: every reconstructed array cache-line aligned for the BLAS forwards.
+_ALIGN = 64
+
+
+def shm_enabled() -> bool:
+    """Whether shared-memory context publication is active."""
+    return not os.environ.get("REPRO_DISABLE_SHM")
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class _QuietSharedMemory(shared_memory.SharedMemory):
+    """A mapping that tolerates still-exported buffers at teardown.
+
+    A worker's reconstructed arrays keep memoryviews into the mapping
+    until process exit; the interpreter tears objects down in arbitrary
+    order, so ``close()`` can run while views are still alive and raises
+    ``BufferError`` from ``mmap.close()``.  The process is exiting — the
+    mapping is reclaimed by the OS regardless — so the error is pure
+    noise and is swallowed.
+    """
+
+    def close(self) -> None:
+        try:
+            super().close()
+        except BufferError:
+            pass
+
+
+@dataclass(frozen=True)
+class PayloadHandle:
+    """Everything a worker needs to attach a published payload.
+
+    Pure picklable data: the shared block's *name*, the length of the
+    pickle stream at its head, and the ``(offset, length)`` layout of
+    the out-of-band buffers that follow.
+    """
+
+    name: str
+    data_length: int
+    buffers: tuple[tuple[int, int], ...]
+
+
+class SharedPayload:
+    """A published payload, owned by the publishing process.
+
+    Hand :attr:`handle` to workers; call :meth:`unlink` once the worker
+    pool has drained (attached workers keep their mappings alive — unlink
+    only removes the name, freeing the memory when the last mapping
+    closes).
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, handle: PayloadHandle
+    ) -> None:
+        self._shm = shm
+        self.handle = handle
+        #: Total bytes in the shared block.
+        self.size = shm.size
+
+    def unlink(self) -> None:
+        """Close this process's mapping and remove the block's name."""
+        try:
+            self._shm.close()
+        finally:
+            self._shm.unlink()
+
+
+def publish_payload(payload: Any) -> SharedPayload:
+    """Publish *payload* into one shared-memory block.
+
+    Pickles with protocol 5, diverting every picklable buffer
+    out-of-band, and lays the block out as ``[pickle | aligned
+    buffers...]``.  Returns a :class:`SharedPayload` whose
+    :attr:`~SharedPayload.handle` reconstructs the payload zero-copy in
+    any process on this machine.
+    """
+    raw_buffers: list[pickle.PickleBuffer] = []
+    data = pickle.dumps(
+        payload, protocol=5, buffer_callback=raw_buffers.append
+    )
+    views = [buffer.raw() for buffer in raw_buffers]
+    layout: list[tuple[int, int]] = []
+    offset = len(data)
+    for view in views:
+        offset = _aligned(offset)
+        layout.append((offset, view.nbytes))
+        offset += view.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    try:
+        shm.buf[: len(data)] = data
+        for (start, length), view in zip(layout, views):
+            shm.buf[start : start + length] = view.cast("B")
+    except Exception:
+        shm.close()
+        shm.unlink()
+        raise
+    finally:
+        for view in views:
+            view.release()
+        for buffer in raw_buffers:
+            buffer.release()
+    handle = PayloadHandle(
+        name=shm.name,
+        data_length=len(data),
+        buffers=tuple(layout),
+    )
+    return SharedPayload(shm, handle)
+
+
+def attach_payload(handle: PayloadHandle) -> tuple[Any, shared_memory.SharedMemory]:
+    """Reconstruct a published payload in this process, zero-copy.
+
+    Returns ``(payload, mapping)``.  Every out-of-band buffer in the
+    payload — numpy weight arrays included — is a **read-only** view
+    into *mapping*; the caller must keep *mapping* referenced for as
+    long as the payload is in use, and ``close()`` it only when done.
+    """
+    shm = _QuietSharedMemory(name=handle.name)
+    view = memoryview(shm.buf).toreadonly()
+    data = bytes(view[: handle.data_length])
+    buffers = [
+        view[start : start + length] for start, length in handle.buffers
+    ]
+    payload = pickle.loads(data, buffers=buffers)
+    return payload, shm

@@ -4,27 +4,36 @@ The paper's runtime story is per-decision — one agent, one safety
 monitor, one stream.  A deployment serves *many* streams at once, and
 the expensive part of every decision is the same 5-member ensemble
 forward.  The :class:`~repro.serve.engine.ServeEngine` multiplexes N
-concurrent monitored sessions, stacks their current observations, and
-answers all sessions' uncertainty signals with **one** batched ensemble
-forward per step wave (:mod:`repro.pensieve.stacked`), instead of N
-separate forwards.  Sessions whose monitor settled on the sticky
-default (``will_measure() == False``) drop out of the batch entirely.
+concurrent monitored sessions over a structure-of-arrays slot table
+(:class:`~repro.serve.table.SessionTable`), answers all measuring
+sessions' uncertainty signals with **one** batched ensemble forward per
+step wave (:mod:`repro.pensieve.stacked`), and folds the wave of
+monitor decisions through vectorized trigger banks
+(:class:`~repro.core.monitor.MonitorTable`).  Sessions whose monitor
+settled on the sticky default (``will_measure() == False``) drop out of
+the batch entirely; finished sessions free their slot for the next
+queued spec mid-wave (continuous batching), so ``max_slots`` bounds
+memory without draining the batch.
 
 Layering: this package sits above :mod:`repro.core` (monitors),
 :mod:`repro.abr` (environments), and :mod:`repro.pensieve` (ensembles),
 and below :mod:`repro.experiments` — enforced by
 ``tools/check_layers.py``.  Sharding across worker processes reuses
-:mod:`repro.parallel`; per-engine metrics flow through :mod:`repro.obs`
-(``serve.sessions``, ``serve.steps``, ``serve.batch_size``,
-``serve.wall_seconds``).
+:mod:`repro.parallel`, publishing the serving context zero-copy through
+:mod:`repro.parallel.shm`; per-engine metrics flow through
+:mod:`repro.obs` (``serve.sessions``, ``serve.steps``,
+``serve.batch_size``, ``serve.wall_seconds``, ``serve.wave_occupancy``,
+``serve.slot_reuse``).
 """
 
 from repro.serve.engine import ServeEngine, serve_sessions
 from repro.serve.session import ServeSession, SessionSpec
+from repro.serve.table import SessionTable
 
 __all__ = [
     "ServeEngine",
     "ServeSession",
     "SessionSpec",
+    "SessionTable",
     "serve_sessions",
 ]

@@ -1,13 +1,23 @@
 """The multi-session serving engine.
 
-:class:`ServeEngine` drives N concurrent monitored sessions in waves:
-each wave stacks the current observation of every session whose monitor
-will measure, answers all of their uncertainty signals with **one**
-batched ensemble forward (:meth:`UncertaintySignal.measure_batch`), and
-then advances each session one decision.  Sessions that settled on the
-sticky default (``monitor.will_measure() == False``) leave the batch;
-stateful signals (``U_S``) opt out of batching entirely and measure
-per session.
+:class:`ServeEngine` drives N concurrent monitored sessions in waves
+over a structure-of-arrays session table
+(:class:`~repro.serve.table.SessionTable`): each wave gathers the
+stacked observations of every measuring row, answers all of their
+uncertainty signals with **one** batched ensemble forward
+(:meth:`UncertaintySignal.measure_batch`), folds the whole wave of
+monitor decisions with vectorized trigger/monitor banks
+(:class:`~repro.core.monitor.MonitorTable`), and then advances each live
+row one decision.  Sessions join and leave waves without draining the
+batch: a finished session's slot goes back to a free-list and the next
+queued spec is admitted into it immediately (continuous batching), so
+``max_slots`` bounds memory while waves stay full.  A row that settles
+on the sticky default (``will_measure() == False`` for good) is served
+to completion in a tight per-session loop on the spot — its remaining
+trajectory is fully determined, so waves would only add bookkeeping —
+and its slot is recycled immediately; stateful signals (``U_S``) opt
+out of batching entirely and are served to completion one session at a
+time for the same reason.
 
 Numerics: policy actions are always computed per session through the
 exact single-observation path, so a session's *trajectory* matches the
@@ -16,11 +26,18 @@ as its monitor decisions match.  Batched signal values can differ from
 the per-session path in the last ulp (BLAS accumulation order depends
 on the batch shape), which could in principle flip a trigger comparison
 exactly at the threshold; ``batch_signals=False`` disables batching and
-makes the engine bitwise-exact unconditionally.
+makes the engine bitwise-exact unconditionally.  The vectorized trigger
+banks themselves are bitwise-exact
+(:mod:`repro.core.thresholding`); a trigger without a vectorized table
+falls back to the object-per-session wave loop.
 
 Sharding: ``run(specs, max_workers=W)`` splits the sessions into W
 contiguous shards and serves each shard in its own worker process
-through :mod:`repro.parallel`, shipping the ensembles once per worker.
+through :mod:`repro.parallel`.  The serving context — ensembles
+included — is published once into a shared-memory block
+(:mod:`repro.parallel.shm`) that workers map read-only, so sharded runs
+stop re-pickling ensemble weights per worker; set ``REPRO_DISABLE_SHM``
+to fall back to plain pickling.
 """
 
 from __future__ import annotations
@@ -31,15 +48,19 @@ import time
 import numpy as np
 
 from repro import obs
-from repro.abr.session import SessionResult
-from repro.core.monitor import SafetyController, SafetyMonitor
+from repro.abr.env import ABREnv
+from repro.abr.session import ChunkRecord, SessionResult
+from repro.core.monitor import MonitorTable, SafetyController, SafetyMonitor
 from repro.core.signals import UncertaintySignal
 from repro.core.thresholding import DefaultTrigger
 from repro.errors import SafetyError
 from repro.mdp.interfaces import Policy
 from repro.parallel import in_worker, parallel_map, resolve_max_workers
+from repro.parallel.shm import publish_payload, shm_enabled
 from repro.perf import fast_paths_enabled
 from repro.serve.session import ServeSession, SessionSpec
+from repro.serve.table import SessionTable
+from repro.util.rng import rng_from_seed
 from repro.video.manifest import VideoManifest
 from repro.video.qoe import QoEMetric
 
@@ -52,8 +73,12 @@ class ServeEngine:
     *signal* is shared across all sessions when it is stateless (the
     ensemble signals — one stacked forward answers everyone); a stateful
     signal (``U_S``) is deep-copied per session so each keeps its own
-    rolling windows.  *trigger* is a prototype: every session's monitor
-    gets its own copy (triggers are stateful by nature).
+    rolling windows.  *trigger* is a prototype: the continuous kernel
+    expands it into a vectorized row bank
+    (:meth:`~repro.core.thresholding.DefaultTrigger.make_table`), and the
+    fallback paths copy it per session.  ``max_slots`` caps how many
+    sessions are live at once (``None`` — all of them); finished
+    sessions free their slot for the next queued spec mid-run.
     """
 
     def __init__(
@@ -67,9 +92,12 @@ class ServeEngine:
         name: str = "serve",
         qoe_metric: QoEMetric | None = None,
         batch_signals: bool = True,
+        max_slots: int | None = None,
     ) -> None:
         if learned is default:
             raise SafetyError("learned and default policies must be distinct")
+        if max_slots is not None and max_slots < 1:
+            raise SafetyError(f"max_slots must be >= 1, got {max_slots}")
         self.manifest = manifest
         self.learned = learned
         self.default = default
@@ -79,6 +107,7 @@ class ServeEngine:
         self.name = name
         self.qoe_metric = qoe_metric
         self.batch_signals = batch_signals
+        self.max_slots = max_slots
 
     @classmethod
     def from_controller(
@@ -87,6 +116,7 @@ class ServeEngine:
         manifest: VideoManifest,
         qoe_metric: QoEMetric | None = None,
         batch_signals: bool = True,
+        max_slots: int | None = None,
     ) -> "ServeEngine":
         """An engine that serves sessions under *controller*'s scheme."""
         return cls(
@@ -99,6 +129,7 @@ class ServeEngine:
             name=controller.name,
             qoe_metric=qoe_metric,
             batch_signals=batch_signals,
+            max_slots=max_slots,
         )
 
     def spawn_monitor(self) -> SafetyMonitor:
@@ -126,10 +157,10 @@ class ServeEngine:
         """Serve every session in *specs*; results come back in order.
 
         ``max_workers > 1`` shards the sessions into contiguous groups
-        and serves each group in its own worker process (one context
-        shipment per worker, exactly as the evaluation sweeps do);
-        otherwise everything runs in-process.  A given session's result
-        is the same either way.
+        and serves each group in its own worker process (one shared
+        context per worker, published through shared memory when
+        available); otherwise everything runs in-process.  A given
+        session's result is the same either way.
         """
         specs = list(specs)
         if not specs:
@@ -144,31 +175,384 @@ class ServeEngine:
             for shard in np.array_split(np.arange(len(specs)), min(workers, len(specs)))
             if len(shard)
         ]
-        shard_results = parallel_map(
-            serve_worker.serve_shard,
-            shards,
-            max_workers=workers,
-            initializer=serve_worker.init_serve,
-            initargs=(
-                self.manifest,
-                self.learned,
-                self.default,
-                self.signal,
-                self.trigger,
-                self.allow_revert,
-                self.name,
-                self.qoe_metric,
-                self.batch_signals,
-                specs,
-            ),
-            chunk_size=1,
+        context = dict(
+            manifest=self.manifest,
+            learned=self.learned,
+            default=self.default,
+            signal=self.signal,
+            trigger=self.trigger,
+            allow_revert=self.allow_revert,
+            name=self.name,
+            qoe_metric=self.qoe_metric,
+            batch_signals=self.batch_signals,
+            max_slots=self.max_slots,
+            specs=specs,
         )
+        shared = None
+        if shm_enabled():
+            try:
+                shared = publish_payload(context)
+            except Exception:
+                # Anything unexpected (exotic unpicklable buffer layouts,
+                # exhausted /dev/shm) falls back to plain pickling; the
+                # results are identical either way.
+                shared = None
+        if shared is not None and obs.enabled():
+            obs.observe(
+                "serve.shm_bytes", float(shared.size), engine=self.name
+            )
+        try:
+            shard_results = parallel_map(
+                serve_worker.serve_shard,
+                shards,
+                max_workers=workers,
+                initializer=serve_worker.init_serve,
+                initargs=(shared.handle if shared is not None else context,),
+                chunk_size=1,
+            )
+        finally:
+            # Unlink only after the pool is done: a respawned worker must
+            # still be able to attach by name mid-run.
+            if shared is not None:
+                shared.unlink()
         return [result for shard in shard_results for result in shard]
 
     def run_inprocess(self, specs: list[SessionSpec]) -> list[SessionResult]:
-        """Serve *specs* in this process, batching signal measurements."""
+        """Serve *specs* in this process, batching signal measurements.
+
+        Dispatches to the continuous-batching SoA kernel when signal
+        batching is on and the trigger vectorizes; to the legacy
+        object-per-session wave loop for batchable-but-unvectorizable
+        triggers; and to a sequential per-session loop otherwise
+        (stateful signals, ``batch_signals=False``, fast paths off) —
+        the unconditional bitwise-exact path.
+        """
+        specs = list(specs)
         watching = obs.enabled()
         start = time.perf_counter() if watching else 0.0
+        if self._batching_enabled():
+            capacity = len(specs) if self.max_slots is None else self.max_slots
+            capacity = max(min(capacity, len(specs)), 1)
+            trigger_table = self.trigger.make_table(capacity)
+            if trigger_table is not None:
+                mode = "continuous"
+            else:
+                mode = "waves"
+        else:
+            mode = "sequential"
+        with obs.span(
+            "serve.run_inprocess",
+            engine=self.name,
+            mode=mode,
+            sessions=len(specs),
+        ):
+            if mode == "continuous":
+                results, total_steps = self._run_continuous(
+                    specs, trigger_table, capacity, watching
+                )
+            elif mode == "waves":
+                results, total_steps = self._run_waves(specs, watching)
+            else:
+                results, total_steps = self._run_sequential(specs, watching)
+        if watching:
+            wall = time.perf_counter() - start
+            obs.inc("serve.steps", amount=float(total_steps), engine=self.name)
+            obs.observe("serve.wall_seconds", wall, engine=self.name)
+            if wall > 0:
+                obs.observe(
+                    "serve.steps_per_second",
+                    total_steps / wall,
+                    engine=self.name,
+                )
+        return results
+
+    def _run_continuous(
+        self,
+        specs: list[SessionSpec],
+        trigger_table,
+        capacity: int,
+        watching: bool,
+    ) -> tuple[list[SessionResult], int]:
+        """The continuous-batching step kernel over the SoA session table.
+
+        Per wave: answer every live row's signal with one batched
+        forward over the table's stacked observations, fold the wave
+        into the vectorized monitor bank, then advance each row one
+        decision (per-row policy action and env step — the exact
+        single-observation path).  A row that settles on the sticky
+        default is drained to completion in a tight loop; finished rows
+        release their slot and the next queued spec is admitted into it
+        immediately.
+        """
+        manifest = self.manifest
+        signal = self.signal
+        learned = self.learned
+        default = self.default
+        chunks_per_session = manifest.num_chunks - 1
+        results: list[SessionResult | None] = [None] * len(specs)
+        # The table is allocated lazily from the first admitted session's
+        # observation shape (probing the shape up front would need a
+        # throwaway env reset, which walks the trace).
+        table: SessionTable | None = None
+        monitors: MonitorTable | None = None
+        next_spec = 0
+
+        def admit_one() -> None:
+            """Admit the next queued spec into a free slot (specs whose
+            manifest leaves no agent-controlled chunks complete
+            immediately, exactly like the reference construction)."""
+            nonlocal next_spec, table, monitors
+            while next_spec < len(specs):
+                index = next_spec
+                next_spec += 1
+                spec = specs[index]
+                env = ABREnv(
+                    manifest=manifest,
+                    trace=spec.trace,
+                    qoe_metric=self.qoe_metric,
+                    start_offset_s=spec.start_offset_s,
+                )
+                rng = rng_from_seed(spec.seed)
+                # The serial reference resets the (shared, stateless)
+                # signal once per session construction; a no-op for every
+                # batchable signal, mirrored for strictness.
+                signal.reset()
+                observation = env.reset()
+                result = SessionResult(
+                    trace_name=spec.trace.name,
+                    policy_name=spec.name or self.name,
+                )
+                if chunks_per_session <= 0:
+                    results[index] = result
+                    continue
+                if table is None:
+                    table = SessionTable(
+                        capacity, tuple(np.asarray(observation).shape)
+                    )
+                    monitors = MonitorTable(
+                        capacity,
+                        trigger_table,
+                        allow_revert=self.allow_revert,
+                        name=self.name,
+                        signal_window=max(
+                            int(getattr(self.trigger, "k", 1)), 1
+                        ),
+                    )
+                slot = table.admit(
+                    index, env, rng, result, observation, chunks_per_session
+                )
+                monitors.admit(slot)
+                return
+
+        admit_one()
+        if table is None:
+            # Every spec completed at admission (no agent-controlled
+            # chunks); nothing to serve.
+            return results, 0
+        while next_spec < len(specs) and table.free_slots:
+            admit_one()
+
+        observations = table.observations
+        obs_objects = table.current_observation
+        envs = table.envs
+        rngs = table.rngs
+        slot_results = table.results
+        remaining = table.remaining
+        spec_index = table.spec_index
+        defaulted = monitors.defaulted
+        allow_revert = self.allow_revert
+        total_steps = 0
+        # Every live row measures every wave: a row of a sticky
+        # (non-revertible) bank that fires is *drained* to completion in
+        # a tight per-session loop the moment it settles — its remaining
+        # trajectory is fully determined (default policy, no
+        # measurement), so carrying it through waves would only pay
+        # bookkeeping — and its slot is recycled immediately.  Wave
+        # membership therefore only changes when a session finishes or a
+        # spec is admitted; cache it between those events instead of
+        # rediscovering it every wave.
+        rows_list: list[int] = []
+        measuring = np.empty(0, dtype=np.intp)
+        num_measuring = 0
+        membership_dirty = True
+        # Per-slot default-mode flags as plain Python bools, synced with
+        # ``monitors.defaulted`` whenever it changes: the per-row loop
+        # reads one per step, where a list read beats a numpy scalar
+        # lookup.
+        default_flags = [False] * capacity
+
+        while table.live_count:
+            if membership_dirty:
+                rows = table.live_rows()
+                rows_list = rows.tolist()
+                for slot, flag in zip(rows_list, defaulted[rows].tolist()):
+                    default_flags[slot] = flag
+                measuring = rows
+                num_measuring = len(rows_list)
+                membership_dirty = False
+            if watching:
+                obs.observe(
+                    "serve.wave_occupancy",
+                    num_measuring / capacity,
+                    engine=self.name,
+                )
+            if num_measuring > 1:
+                # A full table measures straight off the stacked array —
+                # no gather copy.
+                batch = (
+                    observations
+                    if num_measuring == capacity
+                    else observations[measuring]
+                )
+                values = np.asarray(signal.measure_batch(batch), dtype=float)
+                if watching:
+                    obs.observe(
+                        "serve.batch_size",
+                        float(num_measuring),
+                        engine=self.name,
+                    )
+            else:
+                # A batch of one goes through the scalar measure, exactly
+                # like the object wave loop (and the serial reference).
+                values = np.array(
+                    [float(signal.measure(obs_objects[rows_list[0]]))]
+                )
+            now = monitors.observe_measured(measuring, values)
+            if allow_revert or now.any():
+                for slot, flag in zip(rows_list, now.tolist()):
+                    default_flags[slot] = flag
+            total_steps += num_measuring
+            for slot in rows_list:
+                observation = obs_objects[slot]
+                is_default = default_flags[slot]
+                policy = default if is_default else learned
+                action = policy.act(observation, rngs[slot])
+                result = slot_results[slot]
+                # The env hands out a freshly copied observation array
+                # every step (StateBuilder copies out), so appending it
+                # directly is byte-identical to the reference's
+                # defensive copy — without the copy.
+                result.observation_list.append(observation)
+                step = envs[slot].step(action)
+                info = step.info
+                result.chunks.append(
+                    ChunkRecord(
+                        chunk_index=info["chunk_index"],
+                        bitrate_index=info["bitrate_index"],
+                        bitrate_mbps=info["bitrate_mbps"],
+                        rebuffer_s=info["rebuffer_s"],
+                        download_time_s=info["download_time_s"],
+                        throughput_mbps=info["throughput_mbps"],
+                        buffer_s=info["buffer_s"],
+                        reward=step.reward,
+                        defaulted=is_default,
+                    )
+                )
+                remaining[slot] -= 1
+                finished = step.done or remaining[slot] == 0
+                if not finished and is_default and not allow_revert:
+                    # Settled for good: serve the rest of the session in
+                    # a tight loop — byte-identical to the reference's
+                    # sticky fast path (default action, no measurement)
+                    # with the monitor bookkeeping credited in one call.
+                    default_act = default.act
+                    env_step = envs[slot].step
+                    rng = rngs[slot]
+                    append_observation = result.observation_list.append
+                    append_chunk = result.chunks.append
+                    observation = step.observation
+                    left = remaining[slot]
+                    drained = 0
+                    while True:
+                        action = default_act(observation, rng)
+                        append_observation(observation)
+                        step = env_step(action)
+                        info = step.info
+                        append_chunk(
+                            ChunkRecord(
+                                chunk_index=info["chunk_index"],
+                                bitrate_index=info["bitrate_index"],
+                                bitrate_mbps=info["bitrate_mbps"],
+                                rebuffer_s=info["rebuffer_s"],
+                                download_time_s=info["download_time_s"],
+                                throughput_mbps=info["throughput_mbps"],
+                                buffer_s=info["buffer_s"],
+                                reward=step.reward,
+                                defaulted=True,
+                            )
+                        )
+                        drained += 1
+                        left -= 1
+                        if step.done or left == 0:
+                            break
+                        observation = step.observation
+                    remaining[slot] = left
+                    total_steps += drained
+                    monitors.observe_sticky(
+                        np.array([slot]), waves=drained
+                    )
+                    finished = True
+                if finished:
+                    results[spec_index[slot]] = result
+                    table.release(slot)
+                    membership_dirty = True
+                    if watching:
+                        obs.inc("serve.sessions", engine=self.name)
+                    if next_spec < len(specs):
+                        # Continuous admission: the freed slot (LIFO, so
+                        # exactly this one — already stepped this wave)
+                        # joins the next wave without draining the batch.
+                        admit_one()
+                else:
+                    obs_objects[slot] = step.observation
+                    observations[slot] = step.observation
+        if watching and table.slots_reused:
+            obs.inc(
+                "serve.slot_reuse",
+                amount=float(table.slots_reused),
+                engine=self.name,
+            )
+        return results, total_steps
+
+    def _run_sequential(
+        self, specs: list[SessionSpec], watching: bool
+    ) -> tuple[list[SessionResult], int]:
+        """Serve each spec to completion, one session at a time.
+
+        The path for stateful signals and ``batch_signals=False``:
+        without batched measurement, interleaving sessions has no upside
+        — it only pays wave bookkeeping — so each session runs the plain
+        reference loop (bitwise-exact unconditionally).
+        """
+        results = []
+        total_steps = 0
+        for spec in specs:
+            session = ServeSession(
+                spec,
+                self.manifest,
+                self.learned,
+                self.default,
+                self.spawn_monitor(),
+                qoe_metric=self.qoe_metric,
+            )
+            stepped = not session.done
+            while not session.done:
+                session.step()
+                total_steps += 1
+            if stepped and watching:
+                obs.inc("serve.sessions", engine=self.name)
+            results.append(session.result)
+        return results, total_steps
+
+    def _run_waves(
+        self, specs: list[SessionSpec], watching: bool
+    ) -> tuple[list[SessionResult], int]:
+        """The object-per-session wave loop (legacy path).
+
+        Kept for batchable signals whose trigger provides no vectorized
+        table: signal measurement still batches per wave, but monitor
+        folds run per session through :class:`ServeSession`.
+        """
         sessions = [
             ServeSession(
                 spec,
@@ -184,27 +568,24 @@ class ServeEngine:
         total_steps = 0
         while active:
             values: dict[int, float] = {}
-            if self._batching_enabled():
-                batchable = [
-                    session
-                    for session in active
-                    if session.monitor.will_measure()
-                ]
-                if len(batchable) > 1:
-                    batch = np.stack(
-                        [session.observation for session in batchable]
+            batchable = [
+                session for session in active if session.monitor.will_measure()
+            ]
+            if len(batchable) > 1:
+                batch = np.stack(
+                    [session.observation for session in batchable]
+                )
+                measured = self.signal.measure_batch(batch)
+                values = {
+                    id(session): float(value)
+                    for session, value in zip(batchable, measured)
+                }
+                if watching:
+                    obs.observe(
+                        "serve.batch_size",
+                        float(len(batchable)),
+                        engine=self.name,
                     )
-                    measured = self.signal.measure_batch(batch)
-                    values = {
-                        id(session): float(value)
-                        for session, value in zip(batchable, measured)
-                    }
-                    if watching:
-                        obs.observe(
-                            "serve.batch_size",
-                            float(len(batchable)),
-                            engine=self.name,
-                        )
             still_active = []
             for session in active:
                 finished = session.step(signal_value=values.get(id(session)))
@@ -215,17 +596,7 @@ class ServeEngine:
                 else:
                     still_active.append(session)
             active = still_active
-        if watching:
-            wall = time.perf_counter() - start
-            obs.inc("serve.steps", amount=float(total_steps), engine=self.name)
-            obs.observe("serve.wall_seconds", wall, engine=self.name)
-            if wall > 0:
-                obs.observe(
-                    "serve.steps_per_second",
-                    total_steps / wall,
-                    engine=self.name,
-                )
-        return [session.result for session in sessions]
+        return [session.result for session in sessions], total_steps
 
 
 def serve_sessions(
@@ -235,9 +606,14 @@ def serve_sessions(
     qoe_metric: QoEMetric | None = None,
     max_workers: int | None = None,
     batch_signals: bool = True,
+    max_slots: int | None = None,
 ) -> list[SessionResult]:
     """One-call serving: N sessions under *controller*'s scheme."""
     engine = ServeEngine.from_controller(
-        controller, manifest, qoe_metric=qoe_metric, batch_signals=batch_signals
+        controller,
+        manifest,
+        qoe_metric=qoe_metric,
+        batch_signals=batch_signals,
+        max_slots=max_slots,
     )
     return engine.run(specs, max_workers=max_workers)

@@ -5,42 +5,39 @@ serving context — manifest, policies, signal, the full spec list — ships
 once per worker through :func:`init_serve`; each task is a list of spec
 indices (one contiguous shard), served in-process by a worker-local
 :class:`~repro.serve.engine.ServeEngine`.
+
+The context arrives either as a plain mapping (pickled through the
+pool's ``initargs``) or as a
+:class:`~repro.parallel.shm.PayloadHandle` naming a shared-memory block
+published by the parent.  In the shared case the worker maps the block
+and reconstructs the context zero-copy — every ensemble weight array is
+a read-only view into the one shared physical copy — and keeps the
+mapping referenced in the worker state for the life of the pool.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.parallel.shm import PayloadHandle, attach_payload
+
 __all__ = ["init_serve", "serve_shard"]
 
 _SERVE_STATE: dict[str, Any] = {}
 
 
-def init_serve(
-    manifest,
-    learned,
-    default,
-    signal,
-    trigger,
-    allow_revert,
-    name,
-    qoe_metric,
-    batch_signals,
-    specs,
-) -> None:
-    """Ship one engine's serving context for :func:`serve_shard`."""
-    _SERVE_STATE.update(
-        manifest=manifest,
-        learned=learned,
-        default=default,
-        signal=signal,
-        trigger=trigger,
-        allow_revert=allow_revert,
-        name=name,
-        qoe_metric=qoe_metric,
-        batch_signals=batch_signals,
-        specs=specs,
-    )
+def init_serve(context: "PayloadHandle | dict[str, Any]") -> None:
+    """Ship one engine's serving context for :func:`serve_shard`.
+
+    *context* is the engine-constructor mapping — possibly behind a
+    shared-memory :class:`~repro.parallel.shm.PayloadHandle`, in which
+    case the mapping object itself is retained so the zero-copy arrays
+    stay valid.
+    """
+    if isinstance(context, PayloadHandle):
+        context, shm = attach_payload(context)
+        _SERVE_STATE["_shm"] = shm
+    _SERVE_STATE.update(context)
 
 
 def serve_shard(indices: list[int]):
@@ -58,10 +55,14 @@ def serve_shard(indices: list[int]):
         name=state["name"],
         qoe_metric=state["qoe_metric"],
         batch_signals=state["batch_signals"],
+        max_slots=state["max_slots"],
     )
     return engine.run_inprocess([state["specs"][index] for index in indices])
 
 
 def _clear_state() -> None:
     """Reset the serving context (test hook)."""
+    shm = _SERVE_STATE.pop("_shm", None)
     _SERVE_STATE.clear()
+    if shm is not None:
+        shm.close()

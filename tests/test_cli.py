@@ -139,6 +139,43 @@ class TestServeDemoCommand:
         )
         assert code == 2
 
+    def test_continuous_slot_limited_run(self, tmp_path):
+        metrics = tmp_path / "continuous.jsonl"
+        out = io.StringIO()
+        code = main(
+            [
+                "serve-demo",
+                "--config",
+                "smoke",
+                "--sessions",
+                "4",
+                "--continuous",
+                "--metrics-out",
+                str(metrics),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "continuous over 2 slots" in out.getvalue()
+        text = metrics.read_text()
+        assert "serve.wave_occupancy" in text
+        assert "serve.slot_reuse" in text
+
+    def test_invalid_max_slots_is_cli_error(self):
+        code = main(
+            [
+                "serve-demo",
+                "--config",
+                "smoke",
+                "--sessions",
+                "2",
+                "--max-slots",
+                "0",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
     def test_metrics_export(self, tmp_path):
         metrics = tmp_path / "serve.jsonl"
         out = io.StringIO()

@@ -6,7 +6,11 @@ import pytest
 from repro.core.ensemble_signals import (
     PolicyEnsembleSignal,
     ValueEnsembleSignal,
+    policy_disagreement,
+    policy_disagreement_batch,
     trim_by_distance,
+    value_disagreement,
+    value_disagreement_batch,
 )
 from repro.errors import SafetyError
 
@@ -130,3 +134,61 @@ class TestValueEnsembleSignal:
     def test_too_small_ensemble_rejected(self):
         with pytest.raises(SafetyError):
             ValueEnsembleSignal([_FixedValue(1.0)], trim=0)
+
+
+class TestBatchedReductions:
+    """The wave-sized reductions are *bitwise* equal to the scalar ones.
+
+    The serve engine's continuous kernel reduces a whole wave of ensemble
+    outputs in one vectorized call; each column must match the per-session
+    scalar reduction exactly (not approximately), or batched serving could
+    diverge from the reference trajectories.
+    """
+
+    @pytest.mark.parametrize("trim", [0, 1, 2])
+    def test_value_batch_matches_scalar_columns(self, trim):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=(5, 17))
+        batch = value_disagreement_batch(values, trim)
+        scalar = np.array(
+            [value_disagreement(values[:, b], trim) for b in range(17)]
+        )
+        assert batch.tobytes() == scalar.tobytes()
+
+    @pytest.mark.parametrize("trim", [0, 1, 2])
+    def test_policy_batch_matches_scalar_columns(self, trim):
+        rng = np.random.default_rng(11)
+        distributions = rng.dirichlet(np.ones(6), size=(5, 13))  # (5, 13, 6)
+        batch = policy_disagreement_batch(distributions, trim)
+        scalar = np.array(
+            [policy_disagreement(distributions[:, b, :], trim) for b in range(13)]
+        )
+        assert batch.tobytes() == scalar.tobytes()
+
+    def test_tied_distances_trim_identically(self):
+        # Duplicate members produce exactly tied distances; the batched
+        # argsort must break the ties the same way the scalar one does.
+        values = np.array(
+            [
+                [1.0, 2.0, 0.5],
+                [1.0, 2.0, 0.5],
+                [3.0, 2.0, 0.5],
+                [1.0, 5.0, 0.5],
+                [3.0, 5.0, 9.0],
+            ]
+        )
+        batch = value_disagreement_batch(values, trim=2)
+        scalar = np.array(
+            [value_disagreement(values[:, b], 2) for b in range(values.shape[1])]
+        )
+        assert batch.tobytes() == scalar.tobytes()
+
+    def test_over_trim_rejected(self):
+        with pytest.raises(SafetyError):
+            value_disagreement_batch(np.ones((2, 4)), trim=2)
+        with pytest.raises(SafetyError):
+            policy_disagreement_batch(np.ones((2, 4, 3)), trim=5)
+
+    def test_negative_trim_rejected(self):
+        with pytest.raises(SafetyError):
+            value_disagreement_batch(np.ones((3, 4)), trim=-1)

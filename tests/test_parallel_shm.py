@@ -1,0 +1,227 @@
+"""Tests for zero-copy shared-memory context publication.
+
+Covers the block layout round-trip (pickle-with-buffers in, identical
+object graph out), the zero-copy property (attached arrays alias the
+mapping and are read-only), the lifecycle (publisher unlink does not
+invalidate live attachments), and end-to-end sharded serving equality
+with the shared path on and off.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.parallel.shm import (
+    PayloadHandle,
+    attach_payload,
+    publish_payload,
+    shm_enabled,
+)
+from repro.serve import worker as serve_worker
+from repro.serve import SessionSpec
+from repro.traces.dataset import make_dataset
+
+from tests.test_serve_engine import _engine, _fingerprint
+
+
+@pytest.fixture()
+def payload():
+    rng = np.random.default_rng(0)
+    return {
+        "weights": [rng.normal(size=(6, 48)) for _ in range(3)],
+        "bias": rng.normal(size=6),
+        "ints": np.arange(24, dtype=np.int64).reshape(4, 6),
+        "meta": {"name": "ensemble", "members": 3},
+    }
+
+
+def _assert_equal_payload(reconstructed, original):
+    assert reconstructed["meta"] == original["meta"]
+    np.testing.assert_array_equal(reconstructed["bias"], original["bias"])
+    np.testing.assert_array_equal(reconstructed["ints"], original["ints"])
+    for mine, theirs in zip(reconstructed["weights"], original["weights"]):
+        np.testing.assert_array_equal(mine, theirs)
+
+
+class TestPayloadRoundTrip:
+    def test_attach_reconstructs_payload(self, payload):
+        shared = publish_payload(payload)
+        try:
+            reconstructed, mapping = attach_payload(shared.handle)
+            _assert_equal_payload(reconstructed, payload)
+            del reconstructed
+            mapping.close()
+        finally:
+            shared.unlink()
+
+    def test_attached_arrays_are_readonly_views(self, payload):
+        shared = publish_payload(payload)
+        try:
+            reconstructed, mapping = attach_payload(shared.handle)
+            for array in [reconstructed["bias"], *reconstructed["weights"]]:
+                assert array.flags.writeable is False
+                assert array.flags.owndata is False
+                with pytest.raises(ValueError):
+                    array[...] = 0.0
+            del reconstructed
+            mapping.close()
+        finally:
+            shared.unlink()
+
+    def test_attachment_aliases_the_mapping(self, payload):
+        """Mutating the block through a second (writable) mapping must
+        show through the attached arrays — proof there is no copy."""
+        shared = publish_payload(payload)
+        writer = None
+        try:
+            reconstructed, mapping = attach_payload(shared.handle)
+            offset, _ = shared.handle.buffers[0]
+            before = float(reconstructed["weights"][0].reshape(-1)[0])
+            writer = shared_memory.SharedMemory(name=shared.handle.name)
+            patch = np.frombuffer(writer.buf, dtype=float, count=1, offset=offset)
+            patch[0] = before + 1.0
+            assert float(reconstructed["weights"][0].reshape(-1)[0]) == before + 1.0
+            del patch, reconstructed
+            mapping.close()
+        finally:
+            if writer is not None:
+                writer.close()
+            shared.unlink()
+
+    def test_buffers_are_aligned(self, payload):
+        shared = publish_payload(payload)
+        try:
+            assert len(shared.handle.buffers) >= 5
+            for offset, _ in shared.handle.buffers:
+                assert offset % 64 == 0
+            assert shared.handle.data_length > 0
+            assert shared.size >= shared.handle.data_length
+        finally:
+            shared.unlink()
+
+    def test_bufferless_payload_round_trips(self):
+        shared = publish_payload({"plain": [1, 2, 3], "s": "x"})
+        try:
+            assert shared.handle.buffers == ()
+            reconstructed, mapping = attach_payload(shared.handle)
+            assert reconstructed == {"plain": [1, 2, 3], "s": "x"}
+            mapping.close()
+        finally:
+            shared.unlink()
+
+    def test_handle_is_small_and_picklable(self, payload):
+        import pickle
+
+        shared = publish_payload(payload)
+        try:
+            wire = pickle.dumps(shared.handle)
+            assert len(wire) < 1024
+            assert pickle.loads(wire) == shared.handle
+        finally:
+            shared.unlink()
+
+    def test_unlink_keeps_live_attachments_valid(self, payload):
+        shared = publish_payload(payload)
+        reconstructed, mapping = attach_payload(shared.handle)
+        shared.unlink()
+        # POSIX semantics: the name is gone but the mapping survives
+        # until the last close — exactly the serving lifecycle.
+        _assert_equal_payload(reconstructed, payload)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shared.handle.name)
+        del reconstructed
+        mapping.close()
+
+
+class TestShmToggle:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DISABLE_SHM", raising=False)
+        assert shm_enabled()
+
+    def test_env_var_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        assert not shm_enabled()
+
+
+class TestWorkerAttachment:
+    def test_init_serve_accepts_handle(self, payload, manifest):
+        engine = _engine(manifest, "U_pi")
+        context = dict(
+            manifest=manifest,
+            learned=engine.learned,
+            default=engine.default,
+            signal=engine.signal,
+            trigger=engine.trigger,
+            allow_revert=False,
+            name="U_pi",
+            qoe_metric=None,
+            batch_signals=True,
+            max_slots=None,
+            specs=[],
+        )
+        shared = publish_payload(context)
+        try:
+            serve_worker.init_serve(shared.handle)
+            state = serve_worker._SERVE_STATE
+            assert state["name"] == "U_pi"
+            assert "_shm" in state
+            member = state["signal"].agents[0]._weights
+            assert member.flags.writeable is False
+        finally:
+            serve_worker._clear_state()
+            shared.unlink()
+
+    def test_init_serve_accepts_plain_mapping(self):
+        serve_worker.init_serve({"name": "plain", "specs": []})
+        try:
+            assert serve_worker._SERVE_STATE["name"] == "plain"
+            assert "_shm" not in serve_worker._SERVE_STATE
+        finally:
+            serve_worker._clear_state()
+
+
+class TestShardedEquality:
+    @pytest.fixture()
+    def specs(self):
+        traces = make_dataset(
+            "gamma_1_2", num_traces=3, duration_s=120.0, seed=2
+        ).traces
+        return [
+            SessionSpec(trace=traces[index % 3], seed=index, name=f"w{index}")
+            for index in range(5)
+        ]
+
+    def test_sharded_results_identical_with_and_without_shm(
+        self, manifest, specs, monkeypatch
+    ):
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 4)
+        engine = _engine(manifest, "U_pi")
+        with obs.collecting() as run:
+            with_shm = [
+                _fingerprint(r) for r in engine.run(specs, max_workers=2)
+            ]
+        names = {record.get("name") for record in run.records()}
+        assert "serve.shm_bytes" in names
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        without_shm = [
+            _fingerprint(r) for r in engine.run(specs, max_workers=2)
+        ]
+        assert with_shm == without_shm
+
+    def test_publish_failure_falls_back_to_plain_context(
+        self, manifest, specs, monkeypatch
+    ):
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 4)
+
+        def explode(payload):
+            raise OSError("no shm for you")
+
+        monkeypatch.setattr("repro.serve.engine.publish_payload", explode)
+        engine = _engine(manifest, "U_pi")
+        sharded = [_fingerprint(r) for r in engine.run(specs, max_workers=2)]
+        inprocess = [_fingerprint(r) for r in engine.run_inprocess(specs)]
+        assert sharded == inprocess
