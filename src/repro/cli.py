@@ -11,6 +11,9 @@ Commands:
   failure (CI-friendly).
 * ``serve-demo`` — build one safety suite and serve N concurrent
   monitored sessions through the :mod:`repro.serve` engine.
+* ``serve-api`` — boot the long-lived multi-tenant safety service
+  (:mod:`repro.service`): clients attach sessions over a line-delimited
+  JSON socket and stream observations for monitored decisions.
 """
 
 from __future__ import annotations
@@ -122,6 +125,86 @@ def build_parser() -> argparse.ArgumentParser:
             "collect serving metrics (serve.batch_size, "
             "serve.steps_per_second, serve.wave_occupancy, ...) and "
             "export them as JSON Lines to PATH"
+        ),
+    )
+
+    api = subparsers.add_parser(
+        "serve-api",
+        help="boot the multi-tenant safety service on a TCP socket",
+    )
+    api.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    api.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 picks a free port, announced on stdout)",
+    )
+    api.add_argument(
+        "--scheme",
+        default="demo",
+        choices=["demo"],
+        help="safety scheme to serve (the self-contained U_pi demo)",
+    )
+    api.add_argument(
+        "--store",
+        default="memory",
+        choices=["memory", "sqlite"],
+        help="cold-store backend for evicted session snapshots",
+    )
+    api.add_argument(
+        "--store-path",
+        default=None,
+        metavar="PATH",
+        help="SQLite database path (required with --store sqlite)",
+    )
+    api.add_argument(
+        "--hot-ttl",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="idle bound before a hot session is snapshotted to cold",
+    )
+    api.add_argument(
+        "--evict-interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="period of the background TTL eviction task (0 disables)",
+    )
+    api.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        metavar="N",
+        help="hot-slot budget; attaches beyond it get 'overloaded'",
+    )
+    api.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent stateful requests before load shedding",
+    )
+    api.add_argument(
+        "--alpha",
+        type=float,
+        default=0.12,
+        metavar="VAR",
+        help="demo scheme's variance-trigger threshold",
+    )
+    api.add_argument(
+        "--seed", type=int, default=0, help="demo scheme's artifact seed"
+    )
+    api.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect per-tenant service metrics (service.steps, "
+            "service.evictions, service.resumes, ...) and export them "
+            "as JSON Lines to PATH when the service stops"
         ),
     )
 
@@ -389,6 +472,49 @@ def _cmd_serve_demo(args, out) -> int:
     return 0
 
 
+def _cmd_serve_api(args, out) -> int:
+    import asyncio
+
+    from repro.service import SafetyService, ServiceConfig, build_demo_scheme
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        store_path=args.store_path,
+        hot_ttl_s=args.hot_ttl,
+        evict_interval_s=args.evict_interval,
+        max_sessions=args.max_sessions,
+        max_inflight=args.max_inflight,
+    )
+    runtime = build_demo_scheme(alpha=args.alpha, seed=args.seed)
+    service = SafetyService([runtime], config)
+
+    def announce(ready: SafetyService) -> None:
+        # One parseable line: harnesses (tools/service_smoke.py) read the
+        # bound address off it, so keep the prefix stable and flush.
+        print(
+            f"service listening on {ready.bound_host}:{ready.bound_port} "
+            f"(scheme {runtime.name!r}, store {config.store}, "
+            f"ttl {config.hot_ttl_s:g}s, budget {config.max_sessions})",
+            file=out,
+            flush=True,
+        )
+
+    service.on_ready = announce
+    try:
+        asyncio.run(service.run())
+    except KeyboardInterrupt:
+        pass
+    print(
+        f"service stopped: {service.store.evictions} evictions, "
+        f"{service.store.resumes} resumes, {service.shed_count} shed, "
+        f"{service.overload_count} overloaded",
+        file=out,
+    )
+    return 0
+
+
 def _dispatch(args, out) -> int:
     if args.command == "figures":
         return _cmd_figures(args, out)
@@ -398,6 +524,8 @@ def _dispatch(args, out) -> int:
         return _cmd_shapes(args, out)
     if args.command == "serve-demo":
         return _cmd_serve_demo(args, out)
+    if args.command == "serve-api":
+        return _cmd_serve_api(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

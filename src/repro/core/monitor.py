@@ -26,6 +26,7 @@ and :func:`explain_default` renders the moments around a hand-off.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from dataclasses import dataclass
 
@@ -238,6 +239,24 @@ class SafetyMonitor:
                 step=self.total_steps,
                 signal=float(value),
             )
+
+    def fork(self) -> "SafetyMonitor":
+        """A fresh monitor over this monitor's scheme, with no session state.
+
+        The signal is shared when stateless (one ensemble in memory can
+        answer any number of concurrent sessions) and deep-copied
+        otherwise, so each stateful session keeps its own rolling
+        windows; the trigger is always deep-copied.  This is how the
+        serve engine and the service layer mint per-session monitors
+        from one configured prototype.
+        """
+        signal = self.signal if self.signal.stateless else copy.deepcopy(self.signal)
+        return SafetyMonitor(
+            signal,
+            copy.deepcopy(self.trigger),
+            allow_revert=self.allow_revert,
+            name=self.name,
+        )
 
     def state_dict(self) -> dict:
         """The monitor's full session state as a JSON-able mapping.

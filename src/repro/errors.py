@@ -73,3 +73,15 @@ class ChaosError(ReproError):
 
 class CheckpointError(ReproError):
     """A training checkpoint is malformed or does not match its trainer."""
+
+
+class ServiceError(ReproError):
+    """The multi-tenant safety service was misconfigured or misused.
+
+    Subclasses carry a stable wire ``code`` so the socket API can answer
+    with a structured error instead of dropping the connection; the base
+    class maps to the generic ``"internal"`` code.
+    """
+
+    #: Stable error code reported over the service's socket protocol.
+    code = "internal"

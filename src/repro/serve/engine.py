@@ -42,7 +42,6 @@ to fall back to plain pickling.
 
 from __future__ import annotations
 
-import copy
 import time
 
 import numpy as np
@@ -134,13 +133,13 @@ class ServeEngine:
 
     def spawn_monitor(self) -> SafetyMonitor:
         """A fresh per-session monitor over this engine's scheme."""
-        signal = self.signal if self.signal.stateless else copy.deepcopy(self.signal)
-        return SafetyMonitor(
-            signal,
-            copy.deepcopy(self.trigger),
+        prototype = SafetyMonitor(
+            self.signal,
+            self.trigger,
             allow_revert=self.allow_revert,
             name=self.name,
         )
+        return prototype.fork()
 
     def _batching_enabled(self) -> bool:
         return (

@@ -1,0 +1,76 @@
+"""The multi-tenant OSAP service layer: stateless compute, stateful store.
+
+This package turns the repository's safety-monitor runtime into a
+long-lived network service.  Clients own their environments and send
+observations over a line-delimited JSON socket
+(:mod:`repro.service.protocol`); workers hold only per-scheme artifacts
+(:mod:`repro.service.schemes`) and answer each observation with a
+monitored action.  Every byte of session state — monitor windows, mode,
+counters, policy RNG — lives in a pluggable two-tier
+:class:`~repro.service.store.SessionStore` keyed by
+``(tenant_id, session_id)``, so TTL-evicted sessions resume bitwise-
+identically on any worker (:mod:`repro.service.store`).  The asyncio
+server with admission control and load shedding is
+:mod:`repro.service.server`; a blocking test/benchmark client is
+:mod:`repro.service.client`.  Boot one from the command line with
+``repro serve-api``.
+"""
+
+from repro.service.client import ServiceClient, expect_ok
+from repro.service.protocol import (
+    CODE_OVERLOADED,
+    CODE_SHED,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+from repro.service.schemes import (
+    DEMO_SCHEME,
+    LinearSoftmaxPolicy,
+    SchemeRuntime,
+    build_demo_scheme,
+)
+from repro.service.server import (
+    BackgroundService,
+    SafetyService,
+    ServiceConfig,
+    UnknownSchemeError,
+)
+from repro.service.store import (
+    DictBackend,
+    DuplicateSessionError,
+    HotSession,
+    SQLiteBackend,
+    SessionStore,
+    StoreBackend,
+    UnknownSessionError,
+    make_backend,
+)
+
+__all__ = [
+    "CODE_OVERLOADED",
+    "CODE_SHED",
+    "DEMO_SCHEME",
+    "PROTOCOL_VERSION",
+    "BackgroundService",
+    "DictBackend",
+    "DuplicateSessionError",
+    "HotSession",
+    "LinearSoftmaxPolicy",
+    "ProtocolError",
+    "SQLiteBackend",
+    "SafetyService",
+    "SchemeRuntime",
+    "ServiceClient",
+    "ServiceConfig",
+    "SessionStore",
+    "StoreBackend",
+    "UnknownSchemeError",
+    "UnknownSessionError",
+    "build_demo_scheme",
+    "decode_message",
+    "encode_message",
+    "expect_ok",
+    "make_backend",
+]

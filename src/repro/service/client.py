@@ -1,0 +1,111 @@
+"""A blocking client for the safety service's line-JSON socket API.
+
+:class:`ServiceClient` wraps one TCP connection: every call sends one
+request line and reads one response line (the protocol is strictly
+request/response per connection).  Convenience methods return the raw
+response payload dict — including structured failures — so callers can
+branch on ``code`` (``overloaded``, ``shed``, ...) without exception
+plumbing; :func:`expect_ok` converts a failure payload into a
+:class:`~repro.errors.ServiceError` for callers that want to raise.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ServiceError
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "expect_ok"]
+
+
+def expect_ok(payload: dict) -> dict:
+    """Return *payload* if it is a success; raise on a structured failure.
+
+    The raised :class:`~repro.errors.ServiceError` carries the wire code
+    in its ``code`` attribute.
+    """
+    if payload.get("ok"):
+        return payload
+    error = ServiceError(
+        f"{payload.get('code', 'internal')}: {payload.get('message', '')}"
+    )
+    error.code = payload.get("code", "internal")
+    raise error
+
+
+class ServiceClient:
+    """One blocking connection to a running safety service.
+
+    Usable as a context manager; *timeout_s* bounds every socket
+    operation so a hung service fails tests instead of wedging them.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one request and return the decoded response payload."""
+        self._file.write(protocol.encode_message({"op": op, **fields}))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(f"service closed the connection during {op!r}")
+        return protocol.decode_message(line)
+
+    def ping(self) -> dict:
+        """Health check; raises unless the service answers ok."""
+        return expect_ok(self.request("ping"))
+
+    def attach(
+        self, tenant: str, session: str, scheme: str, seed: int = 0
+    ) -> dict:
+        """Register a session; returns the raw payload (may be a
+        structured ``overloaded``/``shed`` rejection)."""
+        return self.request(
+            "attach", tenant=tenant, session=session, scheme=scheme, seed=seed
+        )
+
+    def step(self, tenant: str, session: str, observation) -> dict:
+        """One monitored decision for *observation* (nested lists)."""
+        return self.request(
+            "step", tenant=tenant, session=session, observation=observation
+        )
+
+    def detach(self, tenant: str, session: str) -> dict:
+        """Finish a session; returns its final counters on success."""
+        return self.request("detach", tenant=tenant, session=session)
+
+    def stats(self) -> dict:
+        """Service occupancy and counters (never shed)."""
+        return expect_ok(self.request("stats"))
+
+    def evict(self, max_idle_s: float | None = None) -> dict:
+        """Run one eviction pass now; returns the raw payload."""
+        if max_idle_s is None:
+            return self.request("evict")
+        return self.request("evict", max_idle_s=max_idle_s)
+
+    def reopen(self) -> dict:
+        """Snapshot everything and rebuild the server's store handle."""
+        return expect_ok(self.request("reopen"))
+
+    def shutdown(self) -> dict:
+        """Ask the service to stop; returns the acknowledgement."""
+        return expect_ok(self.request("shutdown"))
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the connected client."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the connection on exit."""
+        self.close()

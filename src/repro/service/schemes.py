@@ -1,0 +1,158 @@
+"""Scheme runtimes: the artifacts a service worker holds per scheme.
+
+A *scheme* bundles everything needed to answer a monitored decision:
+the learned policy, the default policy, and a configured
+:class:`~repro.core.monitor.SafetyMonitor` prototype (signal + trigger
++ revert mode).  :class:`SchemeRuntime` is the worker-side handle — it
+mints fresh per-session monitors from the prototype
+(:meth:`SchemeRuntime.new_monitor`, via
+:meth:`~repro.core.monitor.SafetyMonitor.fork`) and computes policy
+actions for the service's ``step`` handler.  Crucially a runtime holds
+**no session state**: every worker loading the same artifacts can serve
+(or resume) any session, which is what makes the service's compute tier
+stateless.
+
+:func:`build_demo_scheme` constructs a fully self-contained ``U_pi``
+demo scheme (seeded linear-softmax ensemble over the standard Envivio
+manifest, BBA default) so the CLI and CI can boot a service without any
+trained artifacts on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ensemble_signals import PolicyEnsembleSignal
+from repro.core.monitor import SafetyController, SafetyMonitor
+from repro.core.thresholding import VarianceTrigger
+from repro.errors import ServiceError
+from repro.mdp.interfaces import Policy
+from repro.policies.buffer_based import BufferBasedPolicy
+from repro.serve.engine import ServeEngine
+from repro.video.envivio import envivio_dash3_manifest
+
+__all__ = [
+    "DEMO_SCHEME",
+    "LinearSoftmaxPolicy",
+    "SchemeRuntime",
+    "build_demo_scheme",
+]
+
+#: Name under which :func:`build_demo_scheme` registers itself.
+DEMO_SCHEME = "demo"
+
+
+class LinearSoftmaxPolicy:
+    """A deterministic seeded linear-softmax policy over flat features.
+
+    The demo scheme's stand-in for a trained agent: logits are a fixed
+    random linear map of the flattened observation, the action is the
+    argmax, so trajectories are reproducible from the seed alone and
+    need no artifacts on disk.
+    """
+
+    def __init__(self, seed: int, num_actions: int, num_features: int) -> None:
+        self._weights = np.random.default_rng(seed).normal(
+            size=(num_actions, num_features)
+        )
+
+    def reset(self) -> None:
+        """No per-session state to reset."""
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """Softmax over the linear logits of the flattened observation."""
+        logits = self._weights @ np.asarray(observation, dtype=float).reshape(-1)
+        logits -= logits.max()
+        exp = np.exp(logits)
+        return exp / exp.sum()
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        """The argmax action (deterministic; *rng* is unused)."""
+        return int(np.argmax(self.action_probabilities(observation)))
+
+
+@dataclass(frozen=True)
+class SchemeRuntime:
+    """One scheme's stateless artifacts held by a service worker."""
+
+    #: Scheme name clients pass in ``attach``.
+    name: str
+    #: The learned (monitored) policy.
+    learned: Policy
+    #: The safe fallback policy.
+    default: Policy
+    #: Configured monitor prototype; sessions get forks of it.
+    prototype: SafetyMonitor
+
+    def new_monitor(self) -> SafetyMonitor:
+        """A fresh session monitor forked from the prototype."""
+        return self.prototype.fork()
+
+    def policy_for(self, defaulted: bool) -> Policy:
+        """The policy that decides given the monitor's current mode."""
+        return self.default if defaulted else self.learned
+
+    @classmethod
+    def from_controller(
+        cls, name: str, controller: SafetyController
+    ) -> "SchemeRuntime":
+        """A runtime serving sessions under *controller*'s scheme."""
+        return cls(
+            name=name,
+            learned=controller.learned,
+            default=controller.default,
+            prototype=controller.monitor,
+        )
+
+    @classmethod
+    def from_engine(cls, name: str, engine: ServeEngine) -> "SchemeRuntime":
+        """A runtime sharing a :class:`ServeEngine`'s scheme artifacts."""
+        return cls(
+            name=name,
+            learned=engine.learned,
+            default=engine.default,
+            prototype=SafetyMonitor(
+                engine.signal,
+                engine.trigger,
+                allow_revert=engine.allow_revert,
+                name=engine.name,
+            ),
+        )
+
+
+def build_demo_scheme(
+    alpha: float = 0.12,
+    ensemble_size: int = 4,
+    seed: int = 0,
+    name: str = DEMO_SCHEME,
+) -> SchemeRuntime:
+    """A self-contained ``U_pi`` scheme for demos, CI, and benchmarks.
+
+    Learned policy and ensemble members are seeded
+    :class:`LinearSoftmaxPolicy` instances over the standard Envivio
+    manifest's action set; the default is BBA; the trigger is the
+    paper's k-window variance rule with threshold *alpha*.  Everything
+    is derived from *seed*, so any two workers build bitwise-identical
+    runtimes.
+    """
+    if ensemble_size < 2:
+        raise ServiceError(
+            f"ensemble_size must be >= 2, got {ensemble_size}"
+        )
+    manifest = envivio_dash3_manifest(repeats=1)
+    num_actions = len(manifest.bitrates_kbps)
+    num_features = int(np.prod((6, 8)))
+    learned = LinearSoftmaxPolicy(seed + 1, num_actions, num_features)
+    default = BufferBasedPolicy(manifest.bitrates_kbps)
+    members = [
+        LinearSoftmaxPolicy(seed + 10 + index, num_actions, num_features)
+        for index in range(ensemble_size)
+    ]
+    signal = PolicyEnsembleSignal(members, trim=1)
+    trigger = VarianceTrigger(alpha=alpha, k=3, l=1)
+    prototype = SafetyMonitor(signal, trigger, name=name)
+    return SchemeRuntime(
+        name=name, learned=learned, default=default, prototype=prototype
+    )

@@ -101,6 +101,48 @@ class TestCheckFile:
         assert len(violations) == 1
         assert "layer 'experiments'" in violations[0]
 
+    def test_service_must_not_import_abr(self, check_layers, tmp_path):
+        # The service's compute tier is stateless by design: clients own
+        # their environments, so reaching into the ABR substrate is an
+        # architecture break, not a convenience.
+        root = _package(
+            tmp_path,
+            {"service/server.py": "from repro.abr.env import ABREnv\n"},
+        )
+        violations = check_layers.check_tree(root)
+        assert len(violations) == 1
+        assert "layer 'service' must not import 'repro.abr'" in violations[0]
+
+    def test_service_may_import_serve_core_obs(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path,
+            {
+                "service/schemes.py": (
+                    "from repro.serve.engine import ServeEngine\n"
+                    "from repro.core.monitor import SafetyMonitor\n"
+                    "from repro import obs\n"
+                )
+            },
+        )
+        assert check_layers.check_tree(root) == []
+
+    def test_lower_layers_must_not_import_service(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path,
+            {
+                "serve/engine.py": (
+                    "from repro.service.store import SessionStore\n"
+                ),
+                "core/monitor.py": (
+                    "from repro.service import SafetyService\n"
+                ),
+            },
+        )
+        violations = check_layers.check_tree(root)
+        assert len(violations) == 2
+        assert any("layer 'serve'" in line for line in violations)
+        assert any("layer 'core'" in line for line in violations)
+
     def test_unconstrained_layer_ignored(self, check_layers, tmp_path):
         root = _package(
             tmp_path, {"util/tables.py": "import repro.traces.dataset\n"}

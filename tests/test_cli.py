@@ -199,6 +199,65 @@ class TestServeDemoCommand:
         assert "serve.steps_per_second" in text
 
 
+class TestServeApiCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-api"])
+        assert args.port == 0
+        assert args.store == "memory"
+        assert args.scheme == "demo"
+        assert args.hot_ttl == 300.0
+        assert args.max_sessions == 64
+
+    def test_store_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-api", "--store", "redis"])
+
+    def test_sqlite_without_path_is_cli_error(self):
+        out = io.StringIO()
+        assert main(["serve-api", "--store", "sqlite"], out=out) == 2
+
+    def test_invalid_budget_is_cli_error(self):
+        out = io.StringIO()
+        assert main(["serve-api", "--max-sessions", "0"], out=out) == 2
+
+    def test_boots_serves_and_shuts_down(self):
+        import re
+        import threading
+        import time
+
+        from repro.service import ServiceClient
+
+        out = io.StringIO()
+        result = {}
+
+        def run():
+            result["code"] = main(
+                ["serve-api", "--port", "0", "--evict-interval", "0"], out=out
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        address = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            match = re.search(
+                r"service listening on ([\d.]+):(\d+)", out.getvalue()
+            )
+            if match:
+                address = (match.group(1), int(match.group(2)))
+                break
+            time.sleep(0.05)
+        assert address is not None, out.getvalue()
+        with ServiceClient(*address) as client:
+            ping = client.ping()
+            assert ping["schemes"] == ["demo"]
+            assert client.attach("t", "s", "demo")["ok"]
+            client.shutdown()
+        thread.join(timeout=30)
+        assert result["code"] == 0
+        assert "service stopped" in out.getvalue()
+
+
 class TestResilienceFlags:
     """``--resume`` and ``--task-timeout`` reach the pipeline's knobs."""
 

@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""Benchmark gate for the multi-tenant safety service.
+
+Boots a real :class:`repro.service.server.SafetyService` (asyncio, line
+JSON over a loopback socket) and measures the three numbers that define
+the service's character:
+
+* **throughput** — attach -> N steps -> detach for a fleet of sessions
+  driven round-robin over one connection, reported as end-to-end
+  ``steps_per_second`` (protocol encode/decode, socket round-trip,
+  ensemble measure, trigger fold, policy action — the whole path);
+* **latency** — median per-step wall time on a *hot* session vs. on a
+  session that was TTL-evicted to cold storage immediately before the
+  step (so every measured step pays snapshot parse + monitor rebuild +
+  RNG restore).  The ratio ``speedup_hot_vs_resume`` is
+  machine-transferable and gated nightly: hot steps must stay cheaper
+  than resume steps, i.e. the hot tier must keep earning its existence;
+* **resume equality** — a session evicted every few steps to a SQLite
+  backend and resumed through a *rebuilt* store handle (``reopen`` — a
+  fresh connection, as a different worker would hold) must answer with
+  exactly the same actions, modes, and signal values as an uninterrupted
+  twin session fed the same observations.  Recorded as the numeric flag
+  ``resume.equality`` (1/0) so ``tools/check_bench.py --require
+  "resume.equality>=1"`` can gate on it.
+
+Latency medians use the memory backend so the ratio measures the resume
+*computation*, not SQLite fsync noise; the equality check uses SQLite
+because that is the backend whose round-trip actually matters.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_service.py             # full gate
+    PYTHONPATH=src python tools/bench_service.py --smoke     # CI-sized
+
+``--smoke`` shrinks the workload and skips the JSON artifact
+(machine-dependent numbers do not belong in CI); the equality assertion
+still runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.service import (
+    BackgroundService,
+    SafetyService,
+    ServiceClient,
+    ServiceConfig,
+    build_demo_scheme,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Absolute end-to-end floor gated nightly; deliberately far below what
+#: any machine measures (thousands/s) — it catches "the hot path started
+#: re-parsing snapshots per step", not scheduler noise.
+MIN_STEPS_PER_SECOND = 50.0
+
+OBSERVATION_SHAPE = (6, 8)
+
+
+def machine_info() -> dict:
+    """Where these numbers were measured."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def observation_stream(count: int, seed: int) -> list[list[list[float]]]:
+    """*count* wire-ready observations, deterministic in *seed*."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=OBSERVATION_SHAPE).tolist() for _ in range(count)
+    ]
+
+
+def bench_throughput(sessions: int, steps: int) -> dict:
+    """Round-robin attach -> steps -> detach over one connection."""
+    service = SafetyService(
+        [build_demo_scheme()],
+        ServiceConfig(max_sessions=sessions, max_inflight=sessions + 1),
+    )
+    streams = [observation_stream(steps, seed=index) for index in range(sessions)]
+    with BackgroundService(service) as background:
+        with ServiceClient(*background.address) as client:
+            start = time.perf_counter()
+            for index in range(sessions):
+                payload = client.attach(
+                    f"tenant-{index % 3}", f"s{index}", "demo", seed=index
+                )
+                assert payload["ok"], payload
+            for step in range(steps):
+                for index in range(sessions):
+                    payload = client.step(
+                        f"tenant-{index % 3}", f"s{index}", streams[index][step]
+                    )
+                    assert payload["ok"], payload
+            for index in range(sessions):
+                payload = client.detach(f"tenant-{index % 3}", f"s{index}")
+                assert payload["ok"], payload
+                assert payload["steps"] == steps
+            wall = time.perf_counter() - start
+            client.shutdown()
+    total = sessions * steps
+    return {
+        "sessions": sessions,
+        "steps_per_session": steps,
+        "total_steps": total,
+        "wall_s": wall,
+        "steps_per_second": total / wall,
+    }
+
+
+def bench_latency(samples: int) -> dict:
+    """Median hot-step vs. evicted-resume-step latency (memory store)."""
+    service = SafetyService(
+        [build_demo_scheme()], ServiceConfig(max_sessions=2)
+    )
+    stream = observation_stream(2 * samples + 2, seed=99)
+    hot_ms: list[float] = []
+    resume_ms: list[float] = []
+    with BackgroundService(service) as background:
+        with ServiceClient(*background.address) as client:
+            assert client.attach("bench", "s", "demo", seed=0)["ok"]
+            cursor = 0
+            for _ in range(samples):
+                start = time.perf_counter()
+                payload = client.step("bench", "s", stream[cursor])
+                hot_ms.append((time.perf_counter() - start) * 1e3)
+                assert payload["ok"] and not payload["resumed"], payload
+                cursor += 1
+            for _ in range(samples):
+                evicted = client.evict(0.0)
+                assert evicted["ok"] and evicted["evicted"] == 1, evicted
+                start = time.perf_counter()
+                payload = client.step("bench", "s", stream[cursor])
+                resume_ms.append((time.perf_counter() - start) * 1e3)
+                assert payload["ok"] and payload["resumed"], payload
+                cursor += 1
+            client.shutdown()
+    hot = statistics.median(hot_ms)
+    resume = statistics.median(resume_ms)
+    return {
+        "samples": samples,
+        "hot_ms": hot,
+        "resume_ms": resume,
+        "speedup_hot_vs_resume": resume / hot,
+    }
+
+
+def _reference_responses(runtime, stream: list, seed: int) -> list[dict]:
+    """What an uninterrupted in-process monitor answers for *stream*.
+
+    Replicates the service's ``step`` contract directly on the scheme
+    runtime — the ground truth the socket-and-store path must match.
+    """
+    import math
+
+    from repro.util.rng import rng_from_seed
+
+    monitor = runtime.new_monitor()
+    monitor.reset()
+    rng = rng_from_seed(seed)
+    responses = []
+    for observation in stream:
+        array = np.asarray(observation, dtype=float)
+        decision = monitor.observe(array)
+        policy = runtime.policy_for(decision.defaulted)
+        responses.append(
+            {
+                "action": int(policy.act(array, rng)),
+                "step": int(decision.step),
+                "defaulted": bool(decision.defaulted),
+                "fired": bool(decision.fired),
+                "handoff": bool(decision.handoff),
+                "signal_value": (
+                    None
+                    if math.isnan(decision.signal_value)
+                    else float(decision.signal_value)
+                ),
+            }
+        )
+    return responses
+
+
+def check_resume_equality(steps: int, evict_every: int) -> dict:
+    """Evicted-and-reopened service session vs. the in-process monitor.
+
+    The session is snapshotted to SQLite every *evict_every* steps and
+    the store handle rebuilt (``reopen`` — a fresh connection, as a
+    different worker would hold) before it resumes; every response field
+    must match the uninterrupted reference bitwise.
+    """
+    runtime = build_demo_scheme()
+    stream = observation_stream(steps, seed=7)
+    reference = _reference_responses(runtime, stream, seed=5)
+    mismatches = 0
+    evictions = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(
+            store="sqlite",
+            store_path=str(Path(tmp) / "sessions.sqlite"),
+            max_sessions=4,
+        )
+        service = SafetyService([build_demo_scheme()], config)
+        with BackgroundService(service) as background:
+            with ServiceClient(*background.address) as client:
+                assert client.attach("t", "bounced", "demo", seed=5)["ok"]
+                for index, observation in enumerate(stream):
+                    if index and index % evict_every == 0:
+                        evicted = client.evict(0.0)
+                        assert evicted["ok"] and evicted["evicted"] == 1
+                        evictions += 1
+                        assert client.reopen()["ok"]
+                    payload = client.step("t", "bounced", observation)
+                    assert payload["ok"], payload
+                    got = {
+                        key: payload[key] for key in reference[index]
+                    }
+                    if got != reference[index]:
+                        mismatches += 1
+                client.shutdown()
+    return {
+        "checked_steps": steps,
+        "evictions": evictions,
+        "mismatched_steps": mismatches,
+        "equality": 1 if mismatches == 0 else 0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: tiny workload, no JSON artifact",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=ROOT / "BENCH_service.json",
+        help="where to write the benchmark JSON (full runs only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sessions, steps, samples = 4, 10, 20
+        equality_steps, evict_every = 24, 6
+    else:
+        sessions, steps, samples = 8, 40, 200
+        equality_steps, evict_every = 60, 5
+
+    print(f"throughput: {sessions} sessions x {steps} steps ...")
+    throughput = bench_throughput(sessions, steps)
+    print(
+        f"  {throughput['total_steps']} steps in "
+        f"{throughput['wall_s']:.3f}s -> "
+        f"{throughput['steps_per_second']:.0f} steps/s"
+    )
+
+    print(f"latency: {samples} hot vs evicted-resume steps ...")
+    latency = bench_latency(samples)
+    print(
+        f"  hot {latency['hot_ms']:.3f}ms, "
+        f"resume {latency['resume_ms']:.3f}ms "
+        f"({latency['speedup_hot_vs_resume']:.2f}x)"
+    )
+
+    print(
+        f"resume equality: {equality_steps} steps on sqlite, "
+        f"evict+reopen every {evict_every} ..."
+    )
+    resume = check_resume_equality(equality_steps, evict_every)
+    print(
+        f"  {resume['evictions']} evict/reopen cycles, "
+        f"{resume['mismatched_steps']} mismatched steps"
+    )
+    if not resume["equality"]:
+        print("FAIL: evicted-resume trajectories diverged", file=sys.stderr)
+        return 1
+
+    if not args.smoke:
+        if throughput["steps_per_second"] < MIN_STEPS_PER_SECOND:
+            print(
+                f"FAIL: {throughput['steps_per_second']:.0f} steps/s is "
+                f"below the {MIN_STEPS_PER_SECOND:.0f} floor",
+                file=sys.stderr,
+            )
+            return 1
+        payload = {
+            "benchmark": "multi-tenant safety service",
+            "machine": machine_info(),
+            "min_steps_per_second_gate": MIN_STEPS_PER_SECOND,
+            "throughput": throughput,
+            "latency": latency,
+            "resume": resume,
+        }
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,13 @@
 The package is layered: ``novelty`` and the other leaf utilities sit at
 the bottom, ``core`` (signals, monitor, triggers) builds on them,
 ``abr``/``pensieve`` provide the application substrate, ``serve``
-multiplexes sessions on top of both, and ``experiments``/``cli`` sit at
-the rim.  Imports must point *down* the stack only — ``repro.core`` must
-never import from ``repro.abr``, the serving engine must never reach
-into ``repro.experiments``, and nothing imports the CLI.
+multiplexes sessions on top of both, ``service`` exposes the monitor
+runtime over the network (it may use ``serve``/``core``/``obs`` but
+never the ABR substrate — clients own their environments), and
+``experiments``/``cli`` sit at the rim.  Imports must point *down* the
+stack only — ``repro.core`` must never import from ``repro.abr``, the
+serving engine must never reach into ``repro.experiments``, and nothing
+imports the CLI.
 
 This tool walks every module's AST (so string greps cannot be fooled by
 comments) and fails with a file:line listing of each upward import.
@@ -32,12 +35,13 @@ from pathlib import Path
 # import from.  A layer absent from this table is unconstrained.
 FORBIDDEN: dict[str, frozenset[str]] = {
     "novelty": frozenset(
-        {"core", "abr", "pensieve", "serve", "experiments", "cli"}
+        {"core", "abr", "pensieve", "serve", "service", "experiments", "cli"}
     ),
-    "core": frozenset({"abr", "serve", "experiments", "cli"}),
-    "abr": frozenset({"serve", "experiments", "cli"}),
-    "pensieve": frozenset({"serve", "experiments", "cli"}),
-    "serve": frozenset({"experiments", "cli"}),
+    "core": frozenset({"abr", "serve", "service", "experiments", "cli"}),
+    "abr": frozenset({"serve", "service", "experiments", "cli"}),
+    "pensieve": frozenset({"serve", "service", "experiments", "cli"}),
+    "serve": frozenset({"service", "experiments", "cli"}),
+    "service": frozenset({"abr", "pensieve", "experiments", "cli"}),
     "experiments": frozenset({"cli"}),
 }
 
