@@ -87,10 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--domain",
+        default="abr",
+        metavar="KEY",
+        help=(
+            "registered domain to serve (see repro.domains); an unknown "
+            "key fails with the registered domains listed"
+        ),
+    )
+    serve.add_argument(
         "--scheme",
-        default="A-ensemble",
-        choices=["ND", "A-ensemble", "V-ensemble"],
-        help="which safety scheme's controller serves the sessions",
+        default=None,
+        choices=["ND", "A-ensemble", "V-ensemble", "demo"],
+        help=(
+            "which safety scheme serves the sessions: a trained ABR "
+            "suite controller, or the domain's self-contained 'demo' "
+            "scheme (default: A-ensemble for abr, demo otherwise)"
+        ),
     )
     serve.add_argument(
         "--dataset",
@@ -145,7 +158,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme",
         default="demo",
         choices=["demo"],
-        help="safety scheme to serve (the self-contained U_pi demo)",
+        help="safety scheme to serve (the self-contained demo scheme)",
+    )
+    api.add_argument(
+        "--domain",
+        default="abr",
+        metavar="KEY",
+        help=(
+            "registered domain whose demo scheme the service hosts; an "
+            "unknown key fails with the registered domains listed"
+        ),
     )
     api.add_argument(
         "--store",
@@ -190,9 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
     api.add_argument(
         "--alpha",
         type=float,
-        default=0.12,
-        metavar="VAR",
-        help="demo scheme's variance-trigger threshold",
+        default=None,
+        metavar="THRESH",
+        help=(
+            "demo scheme's trigger threshold (default: the domain's "
+            "calibrated value)"
+        ),
     )
     api.add_argument(
         "--seed", type=int, default=0, help="demo scheme's artifact seed"
@@ -384,10 +409,8 @@ def _cmd_shapes(args, out) -> int:
 
 
 def _cmd_serve_demo(args, out) -> int:
-    from repro.abr.suite import build_safety_suite
-    from repro.policies.buffer_based import BufferBasedPolicy
-    from repro.serve import SessionSpec, serve_sessions
-    from repro.video.envivio import envivio_dash3_manifest
+    from repro.domains import get_domain
+    from repro.serve import ServeEngine, SessionSpec, serve_sessions
 
     if args.sessions < 1:
         raise ReproError(f"--sessions must be >= 1, got {args.sessions}")
@@ -398,33 +421,16 @@ def _cmd_serve_demo(args, out) -> int:
         max_slots = max(1, args.sessions // 2)
     if max_slots is not None and max_slots < 1:
         raise ReproError(f"--max-slots must be >= 1, got {max_slots}")
+    domain = get_domain(args.domain)
+    scheme_name = args.scheme or ("A-ensemble" if args.domain == "abr" else "demo")
     config = get_config(args.config)
     dataset_name = args.dataset or config.datasets[0]
-    manifest = envivio_dash3_manifest(repeats=config.video_repeats)
-    dataset = make_dataset(
+    split = domain.load_split(
         dataset_name,
         num_traces=config.num_traces,
         duration_s=config.trace_duration_s,
         seed=config.dataset_seed,
     )
-    split = dataset.split()
-    print(
-        f"building {args.scheme} suite on {dataset_name} "
-        f"({config.name} config) ...",
-        file=out,
-    )
-    suite = build_safety_suite(
-        manifest,
-        split,
-        BufferBasedPolicy(manifest.bitrates_kbps),
-        is_synthetic=dataset.is_synthetic,
-        training_config=config.training,
-        safety_config=config.safety,
-        value_epochs=config.value_epochs,
-        seed=config.suite_seed,
-        max_workers=args.workers,
-    )
-    controller = suite.controllers()[args.scheme]
     # Each session replays one of the held-out test traces (cycling when
     # there are more sessions than traces) under its own eval seed.
     specs = [
@@ -435,6 +441,59 @@ def _cmd_serve_demo(args, out) -> int:
         )
         for index in range(args.sessions)
     ]
+    if scheme_name == "demo":
+        print(
+            f"building the {args.domain} demo scheme on {dataset_name} "
+            f"({config.name} config) ...",
+            file=out,
+        )
+        scheme = domain.demo_scheme()
+        engine = ServeEngine(
+            factory=scheme.factory,
+            learned=scheme.learned,
+            default=scheme.default,
+            signal=scheme.signal,
+            trigger=scheme.trigger,
+            allow_revert=scheme.allow_revert,
+            name=scheme.name,
+            max_slots=max_slots,
+        )
+        serve = lambda: engine.run(specs, max_workers=args.workers)  # noqa: E731
+    else:
+        if args.domain != "abr":
+            raise ReproError(
+                f"scheme {scheme_name!r} needs the trained ABR suite; "
+                f"use --scheme demo with --domain {args.domain}"
+            )
+        from repro.abr.suite import build_safety_suite
+        from repro.policies.buffer_based import BufferBasedPolicy
+        from repro.traces.dataset import SYNTHETIC_DATASETS
+        from repro.video.envivio import envivio_dash3_manifest
+
+        manifest = envivio_dash3_manifest(repeats=config.video_repeats)
+        is_synthetic = dataset_name in SYNTHETIC_DATASETS
+        print(
+            f"building {scheme_name} suite on {dataset_name} "
+            f"({config.name} config) ...",
+            file=out,
+        )
+        suite = build_safety_suite(
+            manifest,
+            split,
+            BufferBasedPolicy(manifest.bitrates_kbps),
+            is_synthetic=is_synthetic,
+            training_config=config.training,
+            safety_config=config.safety,
+            value_epochs=config.value_epochs,
+            seed=config.suite_seed,
+            max_workers=args.workers,
+        )
+        controller = suite.controllers()[scheme_name]
+        factory = domain.session_factory(manifest=manifest)
+        serve = lambda: serve_sessions(  # noqa: E731
+            controller, factory, specs, max_workers=args.workers,
+            max_slots=max_slots,
+        )
     print(
         f"serving {args.sessions} concurrent sessions "
         f"({len(split.test)} test traces, workers={args.workers or 'in-process'}"
@@ -442,10 +501,7 @@ def _cmd_serve_demo(args, out) -> int:
         + ") ...",
         file=out,
     )
-    results = serve_sessions(
-        controller, manifest, specs, max_workers=args.workers,
-        max_slots=max_slots,
-    )
+    results = serve()
     rows = [
         [
             spec.name,
@@ -464,7 +520,7 @@ def _cmd_serve_demo(args, out) -> int:
     qoes = [result.qoe for result in results]
     fractions = [result.default_fraction for result in results]
     print(
-        f"\n{args.scheme} over {len(results)} sessions: "
+        f"\n{scheme_name} over {len(results)} sessions: "
         f"mean QoE {sum(qoes) / len(qoes):.3f}, "
         f"mean default fraction {sum(fractions) / len(fractions):.3f}",
         file=out,
@@ -487,7 +543,9 @@ def _cmd_serve_api(args, out) -> int:
         max_sessions=args.max_sessions,
         max_inflight=args.max_inflight,
     )
-    runtime = build_demo_scheme(alpha=args.alpha, seed=args.seed)
+    runtime = build_demo_scheme(
+        alpha=args.alpha, seed=args.seed, domain=args.domain
+    )
     service = SafetyService([runtime], config)
 
     def announce(ready: SafetyService) -> None:

@@ -1,0 +1,299 @@
+"""The domain abstraction: what one learning-augmented workload plugs in.
+
+The paper's claim is that uncertainty-triggered safety monitoring
+generalizes across learning-augmented systems; this module is where the
+repository states, in code, what a workload must provide for the whole
+stack above :mod:`repro.core` — the serve engine, the multi-tenant
+service, the experiment harnesses, the CLI — to run it unmodified:
+
+* :class:`SessionSpec` — what one monitored session streams (a trace, a
+  seed, a name).  Pure data, picklable, shared by every domain.
+* :class:`SessionFactory` — the per-session wiring: build the seeded
+  environment for a spec, produce the per-step record type, say how many
+  decision steps a session has.  This is the only object the serve
+  engine needs; it never sees an environment class directly.
+* :class:`Domain` — the full workload description: dataset enumeration,
+  split loading, a session factory, a self-contained demo scheme
+  (learned policy + safe fallback + uncertainty signal + trigger), and
+  the observation adapter (:meth:`Domain.throughput_of`) that lets the
+  state-novelty signal ``U_S`` read a domain's observations.
+
+Domains register in :data:`DOMAINS` under a stable string key
+(``abr``, ``cc``); :func:`get_domain` constructs one by key and raises
+an actionable :class:`~repro.errors.ConfigError` listing the registered
+keys on a miss.  Layering: this package may import ``core``/``mdp`` and
+the workload substrates (``abr``), but never ``serve``/``service`` —
+those layers reach domains only through this registry
+(``tools/check_layers.py`` enforces both directions).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.monitor import SafetyMonitor
+from repro.core.signals import ComponentRegistry, UncertaintySignal
+from repro.core.thresholding import DefaultTrigger
+from repro.errors import SimulationError
+from repro.mdp.interfaces import Environment, Policy, StepResult
+from repro.traces.dataset import DatasetSplit
+from repro.traces.trace import Trace
+
+__all__ = [
+    "DOMAINS",
+    "DemoScheme",
+    "Domain",
+    "LinearSoftmaxPolicy",
+    "MonitoredSessionResult",
+    "SessionFactory",
+    "SessionSpec",
+    "domain_keys",
+    "get_domain",
+]
+
+
+class SessionSpec:
+    """What one monitored session streams: a trace, a seed, a name.
+
+    Pure data (picklable), so a spec can be shipped to a worker process
+    and produce the same floats there as in-process.  Domain-agnostic:
+    every domain's factory interprets the same spec fields.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        seed: int = 0,
+        name: str | None = None,
+        start_offset_s: float = 0.0,
+    ) -> None:
+        self.trace = trace
+        self.seed = seed
+        self.name = name
+        self.start_offset_s = start_offset_s
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionSpec(trace={self.trace.name!r}, seed={self.seed}, "
+            f"name={self.name!r})"
+        )
+
+
+class MonitoredSessionResult:
+    """A generic per-session record: one entry in ``chunks`` per decision.
+
+    The attribute names intentionally match
+    :class:`repro.abr.session.SessionResult` (``chunks``,
+    ``observation_list``, ``observations``, ``qoe``,
+    ``default_fraction``) so the serve engine, the benchmarks, and the
+    reporting tools read any domain's results through one surface.  The
+    per-step record type is the domain's own (it only needs ``reward``
+    and ``defaulted`` fields for the aggregates here).
+    """
+
+    def __init__(self, trace_name: str, policy_name: str) -> None:
+        self.trace_name = trace_name
+        self.policy_name = policy_name
+        self.chunks: list = []
+        self.observation_list: list[np.ndarray] = []
+        self._observations_cache: np.ndarray | None = None
+        self._observations_cache_length = -1
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def observations(self) -> np.ndarray:
+        """The observations the policy acted on, stacked ``(T, ...)``."""
+        if not self.observation_list:
+            raise SimulationError("session recorded no observations")
+        if (
+            self._observations_cache is None
+            or self._observations_cache_length != len(self.observation_list)
+        ):
+            self._observations_cache = np.stack(self.observation_list)
+            self._observations_cache_length = len(self.observation_list)
+        return self._observations_cache
+
+    @property
+    def qoe(self) -> float:
+        """Total session reward (the domain's QoE analogue)."""
+        return float(sum(record.reward for record in self.chunks))
+
+    @property
+    def default_fraction(self) -> float:
+        """Fraction of decisions delegated to the default policy."""
+        if not self.chunks:
+            return 0.0
+        return sum(1 for r in self.chunks if r.defaulted) / len(self.chunks)
+
+
+class SessionFactory(ABC):
+    """Per-session wiring for one domain: env, result, record, length.
+
+    The serve engine and the generic runners are written against this
+    interface alone — they construct environments and records without
+    knowing the domain.  Factories must be picklable (they ship to shard
+    worker processes inside the serving context) and stateless across
+    sessions (one factory serves any number of concurrent sessions).
+    """
+
+    #: Registry key of the owning domain (``"abr"``, ``"cc"``, ...).
+    domain: str = ""
+
+    @abstractmethod
+    def steps_per_session(self) -> int:
+        """How many agent-controlled decision steps one session has."""
+
+    @abstractmethod
+    def new_env(self, spec: SessionSpec) -> Environment:
+        """A fresh environment streaming *spec*'s trace."""
+
+    @abstractmethod
+    def new_result(self, spec: SessionSpec, policy_name: str):
+        """An empty per-session result (``chunks``/``observation_list``)."""
+
+    @abstractmethod
+    def record(self, step: StepResult, defaulted: bool):
+        """The domain's per-step record for one environment step."""
+
+
+class LinearSoftmaxPolicy:
+    """A deterministic seeded linear-softmax policy over flat features.
+
+    The demo schemes' stand-in for a trained agent: logits are a fixed
+    random linear map of the flattened observation, the action is the
+    argmax, so trajectories are reproducible from the seed alone and
+    need no artifacts on disk.
+    """
+
+    def __init__(self, seed: int, num_actions: int, num_features: int) -> None:
+        self._weights = np.random.default_rng(seed).normal(
+            size=(num_actions, num_features)
+        )
+
+    def reset(self) -> None:
+        """No per-session state to reset."""
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """Softmax over the linear logits of the flattened observation."""
+        logits = self._weights @ np.asarray(observation, dtype=float).reshape(-1)
+        logits -= logits.max()
+        exp = np.exp(logits)
+        return exp / exp.sum()
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
+        """The argmax action (deterministic; *rng* is unused)."""
+        return int(np.argmax(self.action_probabilities(observation)))
+
+
+@dataclass(frozen=True)
+class DemoScheme:
+    """A self-contained monitored scheme a domain can hand out.
+
+    Everything needed to serve monitored sessions without trained
+    artifacts on disk: the learned policy, the safe fallback, the
+    uncertainty signal, the trigger, and the session factory.  The
+    service layer wraps one of these into a
+    :class:`repro.service.schemes.SchemeRuntime`; tools drive it through
+    the serve engine directly.
+    """
+
+    name: str
+    learned: Policy
+    default: Policy
+    signal: UncertaintySignal
+    trigger: DefaultTrigger
+    factory: SessionFactory
+    allow_revert: bool = False
+
+    def monitor(self) -> SafetyMonitor:
+        """A configured monitor prototype over this scheme."""
+        return SafetyMonitor(
+            self.signal,
+            self.trigger,
+            allow_revert=self.allow_revert,
+            name=self.name,
+        )
+
+
+class Domain(ABC):
+    """One learning-augmented workload, fully described.
+
+    Implementations are cheap, stateless objects — anything expensive
+    (training the demo policies) must be cached behind the methods, not
+    done in ``__init__``, so that registry lookups stay free.
+    """
+
+    #: Stable registry key (matches the :data:`DOMAINS` registration).
+    key: str = ""
+
+    @abstractmethod
+    def dataset_names(self) -> tuple[str, ...]:
+        """The trace datasets this domain can stream, by name."""
+
+    @abstractmethod
+    def load_split(
+        self,
+        dataset: str,
+        num_traces: int = 20,
+        duration_s: float = 1200.0,
+        seed: int = 0,
+    ) -> DatasetSplit:
+        """A deterministic train/validation/test split of *dataset*."""
+
+    @abstractmethod
+    def session_factory(self, **options) -> SessionFactory:
+        """The domain's session factory (options are domain-specific)."""
+
+    @abstractmethod
+    def demo_scheme(
+        self,
+        alpha: float | None = None,
+        ensemble_size: int = 4,
+        seed: int = 0,
+        name: str = "demo",
+    ) -> DemoScheme:
+        """A self-contained seeded ``U_pi`` scheme for demos and CI.
+
+        ``alpha=None`` picks the domain's calibrated default threshold.
+        Everything derives from *seed*, so any two processes build
+        bitwise-identical schemes.
+        """
+
+    @abstractmethod
+    def throughput_of(self, observation: np.ndarray) -> float:
+        """Extract the latest raw throughput (Mbit/s) from an observation.
+
+        The observation adapter for the state-novelty signal ``U_S``
+        (:class:`repro.core.novelty_signal.StateNoveltySignal`'s
+        ``throughput_of`` hook): each domain says where in its
+        observation layout the measured throughput lives.
+        """
+
+
+#: The domain registry: implementations register their class under a
+#: stable key; :func:`get_domain` constructs (and caches) instances.
+DOMAINS = ComponentRegistry("domain")
+
+_INSTANCES: dict[str, Domain] = {}
+
+
+def get_domain(key: str) -> Domain:
+    """The registered :class:`Domain` for *key*.
+
+    Raises :class:`~repro.errors.ConfigError` naming the registered
+    domains when *key* is unknown.  Instances are cached — domains are
+    stateless, so one object serves every caller.
+    """
+    if key not in _INSTANCES:
+        _INSTANCES[key] = DOMAINS.create(key)
+    return _INSTANCES[key]
+
+
+def domain_keys() -> tuple[str, ...]:
+    """All registered domain keys, sorted."""
+    return DOMAINS.keys()

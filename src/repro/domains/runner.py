@@ -1,0 +1,125 @@
+"""Domain-generic session runners.
+
+These are :func:`repro.abr.session.run_session` /
+:func:`repro.abr.session.run_monitored_session` lifted over the
+:class:`~repro.domains.base.SessionFactory` interface: the same loop,
+the same decision ordering, the same observability output — with the
+environment, the result object, and the per-step record supplied by the
+domain instead of hard-wired to ABR.  For the ABR factory the runners
+are bitwise-identical to the originals (asserted by the cross-path
+equivalence sweep); for every other domain they *are* the serial
+reference the serve engine's batched paths are checked against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.core.monitor import SafetyMonitor
+from repro.domains.base import SessionFactory, SessionSpec
+from repro.errors import SimulationError
+from repro.mdp.interfaces import Policy
+from repro.util.rng import rng_from_seed
+
+__all__ = ["run_monitored_session", "run_session"]
+
+
+def _stream_session(
+    select: Callable[[np.ndarray, np.random.Generator], tuple[int, bool | None]],
+    factory: SessionFactory,
+    spec: SessionSpec,
+    policy_name: str,
+):
+    """The shared session loop behind both entry points.
+
+    *select* makes one decision: it receives the observation and the
+    session RNG and returns ``(action, defaulted)``, where ``defaulted``
+    may be ``None`` to fall back to the environment's own flag.
+    """
+    watching = obs.enabled()
+    start = time.perf_counter() if watching else 0.0
+    env = factory.new_env(spec)
+    rng = rng_from_seed(spec.seed)
+    observation = env.reset()
+    result = factory.new_result(spec, policy_name)
+    for _ in range(factory.steps_per_session()):
+        action, defaulted = select(observation, rng)
+        result.observation_list.append(np.asarray(observation, dtype=float).copy())
+        step = env.step(action)
+        if defaulted is None:
+            defaulted = bool(step.info.get("defaulted", False))
+        result.chunks.append(factory.record(step, defaulted))
+        observation = step.observation
+        if step.done:
+            break
+    if not result.chunks:
+        raise SimulationError("session produced no agent-controlled chunks")
+    if watching:
+        wall = time.perf_counter() - start
+        obs.inc("session.runs", policy=result.policy_name)
+        obs.observe("session.wall_seconds", wall, policy=result.policy_name)
+        if wall > 0:
+            obs.observe(
+                "session.steps_per_second",
+                len(result.chunks) / wall,
+                policy=result.policy_name,
+            )
+    return result
+
+
+def run_session(
+    factory: SessionFactory,
+    spec: SessionSpec,
+    policy: Policy,
+    policy_name: str | None = None,
+):
+    """Stream one full session of *factory*'s domain under *policy*.
+
+    The policy decides every agent-controlled step; the complete
+    per-step record comes back in the domain's result type.
+    """
+    policy.reset()
+
+    def select(
+        observation: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, bool | None]:
+        action = policy.act(observation, rng)
+        if hasattr(policy, "last_decision_defaulted"):
+            return action, bool(policy.last_decision_defaulted)
+        return action, None
+
+    return _stream_session(
+        select, factory, spec, policy_name or type(policy).__name__
+    )
+
+
+def run_monitored_session(
+    factory: SessionFactory,
+    spec: SessionSpec,
+    learned: Policy,
+    default: Policy,
+    monitor: SafetyMonitor,
+    policy_name: str | None = None,
+):
+    """Stream one session with the monitor deciding who acts each step.
+
+    The domain-generic form of
+    :func:`repro.abr.session.run_monitored_session` — and the serial
+    bitwise reference for every serve-engine path over this factory.
+    """
+    learned.reset()
+    default.reset()
+    monitor.reset()
+
+    def select(
+        observation: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, bool | None]:
+        decision = monitor.observe(observation)
+        policy = default if decision.defaulted else learned
+        return policy.act(observation, rng), decision.defaulted
+
+    return _stream_session(select, factory, spec, policy_name or monitor.name)

@@ -1,0 +1,184 @@
+"""Deterministic distribution-shift scenario generators.
+
+The monitors in this repository exist to catch the moment a deployment
+leaves its training distribution; this module is the corpus of such
+moments.  Each scenario is a pure function ``(trace, seed, severity) ->
+ShiftedTrace`` that perturbs a bandwidth trace — the substrate both
+registered domains stream — into a specific shift shape:
+
+* ``abrupt_shift`` — capacity collapses at a random onset and stays down
+  (the paper's "unseen network conditions" case, sharpened).
+* ``slow_drift``  — capacity ramps down linearly from an onset, the
+  hardest case for windowed triggers.
+* ``cyclic_load`` — a diurnal-style sinusoidal load swing from t=0.
+* ``burst_storm`` — short repeated outages (cross traffic storms).
+* ``trace_splice`` — the tail is spliced with a shuffled, scaled copy of
+  the trace itself (plausible marginals, broken temporal structure).
+
+Determinism is a hard contract, property-tested per generator: the same
+``(trace, seed, severity)`` always yields a bitwise-identical perturbed
+trace, and different seeds diverge.  All randomness comes from one
+``numpy`` generator seeded at entry; nothing reads global state.
+
+Scenarios register in :data:`SCENARIOS` by key so sweeps
+(``tools/scenario_matrix.py``) can enumerate them; the
+:class:`ShiftedTrace` they return carries ``onset_s`` — when the shift
+begins — which is what turns a monitor's first post-onset default into a
+detection latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.signals import ComponentRegistry
+from repro.errors import ConfigError
+from repro.traces.trace import Trace
+
+__all__ = [
+    "SCENARIOS",
+    "ShiftedTrace",
+    "apply_scenario",
+    "scenario_keys",
+]
+
+#: Bandwidths are floored here after perturbation (matches the minimum
+#: the trace generators themselves enforce).
+_MIN_BANDWIDTH_MBPS = 0.01
+
+#: The scenario registry: generator functions keyed by scenario name.
+SCENARIOS = ComponentRegistry("distribution-shift scenario")
+
+
+@dataclass(frozen=True)
+class ShiftedTrace:
+    """A perturbed trace plus the moment its shift begins.
+
+    ``onset_s`` is in trace time (the same clock as ``trace.times``);
+    steps at or after it are "post-shift" when scoring detection
+    latency.  Scenarios active from the first sample report onset 0.
+    """
+
+    trace: Trace
+    onset_s: float
+
+
+def _finish(
+    trace: Trace, bandwidths: np.ndarray, key: str, seed: int, onset_s: float
+) -> ShiftedTrace:
+    shifted = Trace(
+        times=trace.times.copy(),
+        bandwidths_mbps=np.maximum(bandwidths, _MIN_BANDWIDTH_MBPS),
+        name=f"{trace.name}+{key}@{seed}",
+    )
+    return ShiftedTrace(trace=shifted, onset_s=float(onset_s))
+
+
+def _check_severity(severity: float) -> float:
+    if not 0.0 < severity <= 1.0:
+        raise ConfigError(
+            f"severity must be in (0, 1], got {severity}"
+        )
+    return float(severity)
+
+
+@SCENARIOS.register("abrupt_shift")
+def abrupt_shift(
+    trace: Trace, seed: int = 0, severity: float = 1.0
+) -> ShiftedTrace:
+    """Capacity collapses at a random onset and never recovers."""
+    severity = _check_severity(severity)
+    rng = np.random.default_rng(seed)
+    onset = trace.times[0] + trace.duration * rng.uniform(0.25, 0.5)
+    drop = 1.0 - severity * rng.uniform(0.7, 0.85)
+    bandwidths = trace.bandwidths_mbps.copy()
+    bandwidths[trace.times >= onset] *= drop
+    return _finish(trace, bandwidths, "abrupt_shift", seed, onset)
+
+
+@SCENARIOS.register("slow_drift")
+def slow_drift(
+    trace: Trace, seed: int = 0, severity: float = 1.0
+) -> ShiftedTrace:
+    """Capacity ramps down linearly from an onset to the trace end."""
+    severity = _check_severity(severity)
+    rng = np.random.default_rng(seed)
+    onset = trace.times[0] + trace.duration * rng.uniform(0.2, 0.4)
+    final = 1.0 - severity * rng.uniform(0.6, 0.8)
+    span = trace.times[-1] - onset
+    progress = np.clip((trace.times - onset) / span, 0.0, 1.0)
+    bandwidths = trace.bandwidths_mbps * (1.0 - (1.0 - final) * progress)
+    return _finish(trace, bandwidths, "slow_drift", seed, onset)
+
+
+@SCENARIOS.register("cyclic_load")
+def cyclic_load(
+    trace: Trace, seed: int = 0, severity: float = 1.0
+) -> ShiftedTrace:
+    """A diurnal-style sinusoidal load swing over the whole trace."""
+    severity = _check_severity(severity)
+    rng = np.random.default_rng(seed)
+    period = trace.duration * rng.uniform(0.2, 0.45)
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    depth = 0.5 * severity
+    swing = np.sin(2.0 * np.pi * trace.times / period + phase)
+    bandwidths = trace.bandwidths_mbps * (1.0 - depth * (0.5 + 0.5 * swing))
+    return _finish(trace, bandwidths, "cyclic_load", seed, trace.times[0])
+
+
+@SCENARIOS.register("burst_storm")
+def burst_storm(
+    trace: Trace, seed: int = 0, severity: float = 1.0
+) -> ShiftedTrace:
+    """Short repeated capacity outages (cross-traffic storms)."""
+    severity = _check_severity(severity)
+    rng = np.random.default_rng(seed)
+    num_bursts = 3 + int(round(3 * severity))
+    starts = np.sort(
+        trace.times[0] + trace.duration * rng.uniform(0.2, 0.95, num_bursts)
+    )
+    widths = trace.duration * rng.uniform(0.02, 0.05, num_bursts)
+    floor = 1.0 - severity * rng.uniform(0.85, 0.95)
+    bandwidths = trace.bandwidths_mbps.copy()
+    for start, width in zip(starts, widths):
+        inside = (trace.times >= start) & (trace.times < start + width)
+        bandwidths[inside] *= floor
+    return _finish(trace, bandwidths, "burst_storm", seed, starts[0])
+
+
+@SCENARIOS.register("trace_splice")
+def trace_splice(
+    trace: Trace, seed: int = 0, severity: float = 1.0
+) -> ShiftedTrace:
+    """Splice the tail with a shuffled, scaled copy of the trace itself.
+
+    The marginal bandwidth distribution stays plausible; the temporal
+    structure (and the level, by ``severity``) breaks at the onset.
+    """
+    severity = _check_severity(severity)
+    rng = np.random.default_rng(seed)
+    onset = trace.times[0] + trace.duration * rng.uniform(0.3, 0.5)
+    scale = 1.0 - severity * rng.uniform(0.4, 0.6)
+    tail = trace.times >= onset
+    donor = rng.permutation(trace.bandwidths_mbps)[: int(tail.sum())]
+    bandwidths = trace.bandwidths_mbps.copy()
+    bandwidths[tail] = donor * scale
+    return _finish(trace, bandwidths, "trace_splice", seed, onset)
+
+
+def apply_scenario(
+    key: str, trace: Trace, seed: int = 0, severity: float = 1.0
+) -> ShiftedTrace:
+    """Perturb *trace* with the scenario registered under *key*.
+
+    Raises :class:`~repro.errors.ConfigError` naming the registered
+    scenarios when *key* is unknown.
+    """
+    return SCENARIOS.create(key, trace=trace, seed=seed, severity=severity)
+
+
+def scenario_keys() -> tuple[str, ...]:
+    """All registered scenario keys, sorted."""
+    return SCENARIOS.keys()

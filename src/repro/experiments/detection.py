@@ -15,10 +15,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.abr.session import run_session
 from repro.core.monitor import SafetyMonitor
 from repro.core.signals import UncertaintySignal
 from repro.core.thresholding import DefaultTrigger
+from repro.domains import SessionSpec, get_domain, run_session
 from repro.errors import ConfigError
 from repro.mdp.interfaces import Policy
 from repro.traces.trace import Trace
@@ -76,15 +76,16 @@ def signal_detection_report(
     """
     if not in_distribution_traces or not ood_traces:
         raise ConfigError("need at least one trace on each side")
+    factory = get_domain("abr").session_factory(manifest=manifest)
     false_positives = 0
     for trace in in_distribution_traces:
-        session = run_session(policy, manifest, trace, seed=seed)
+        session = run_session(factory, SessionSpec(trace=trace, seed=seed), policy)
         if session_trigger_step(signal, trigger, session.observation_list) is not None:
             false_positives += 1
     true_positives = 0
     delays = []
     for trace in ood_traces:
-        session = run_session(policy, manifest, trace, seed=seed)
+        session = run_session(factory, SessionSpec(trace=trace, seed=seed), policy)
         step = session_trigger_step(signal, trigger, session.observation_list)
         if step is not None:
             true_positives += 1

@@ -16,10 +16,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.abr.session import run_session
 from repro.core.controller import SafetyController
 from repro.core.novelty_signal import StateNoveltySignal
 from repro.core.thresholding import ConsecutiveTrigger
+from repro.domains import SessionSpec, get_domain, run_session
 from repro.errors import ConfigError
 from repro.mdp.interfaces import Policy
 from repro.novelty.ocsvm import OneClassSVM
@@ -64,6 +64,7 @@ def nd_parameter_sweep(
         raise ConfigError("need traces on both sides of the sweep")
     if not nus or not ls:
         raise ConfigError("empty sweep grid")
+    factory = get_domain("abr").session_factory(manifest=manifest)
     points = []
     for nu in nus:
         detector = OneClassSVM(nu=nu).fit(training_samples)
@@ -80,11 +81,11 @@ def nd_parameter_sweep(
                 trigger=ConsecutiveTrigger(l=l),
             )
             in_sessions = [
-                run_session(controller, manifest, trace, seed=seed)
+                run_session(factory, SessionSpec(trace=trace, seed=seed), controller)
                 for trace in in_distribution_traces
             ]
             ood_sessions = [
-                run_session(controller, manifest, trace, seed=seed)
+                run_session(factory, SessionSpec(trace=trace, seed=seed), controller)
                 for trace in ood_traces
             ]
             points.append(

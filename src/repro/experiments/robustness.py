@@ -16,8 +16,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.abr.session import run_monitored_session, run_session
 from repro.core.monitor import SafetyMonitor
+from repro.domains import (
+    SessionSpec,
+    get_domain,
+    run_monitored_session,
+    run_session,
+)
 from repro.errors import ConfigError
 from repro.mdp.interfaces import Policy
 from repro.traces.trace import Trace
@@ -100,25 +105,37 @@ def graded_shift_curve(
         raise ConfigError("no base traces supplied")
     if not magnitudes:
         raise ConfigError("no shift magnitudes supplied")
+    factory = get_domain("abr").session_factory(manifest=manifest)
     points = []
     for magnitude in magnitudes:
         shifted = [shift(trace, float(magnitude)) for trace in base_traces]
         learned_qoe = np.mean(
-            [run_session(learned, manifest, t, seed=seed).qoe for t in shifted]
+            [
+                run_session(factory, SessionSpec(trace=t, seed=seed), learned).qoe
+                for t in shifted
+            ]
         )
         default_qoe = np.mean(
-            [run_session(default, manifest, t, seed=seed).qoe for t in shifted]
+            [
+                run_session(factory, SessionSpec(trace=t, seed=seed), default).qoe
+                for t in shifted
+            ]
         )
         if isinstance(controller, SafetyMonitor):
             controlled = [
                 run_monitored_session(
-                    learned, default, controller, manifest, t, seed=seed
+                    factory,
+                    SessionSpec(trace=t, seed=seed),
+                    learned,
+                    default,
+                    controller,
                 )
                 for t in shifted
             ]
         else:
             controlled = [
-                run_session(controller, manifest, t, seed=seed) for t in shifted
+                run_session(factory, SessionSpec(trace=t, seed=seed), controller)
+                for t in shifted
             ]
         points.append(
             RobustnessPoint(

@@ -14,8 +14,8 @@ import time
 
 import numpy as np
 
-from repro.abr.session import run_session
 from repro.abr.suite import collect_training_throughputs
+from repro.domains import SessionSpec, get_domain, run_session
 from repro.config import ExperimentConfig
 from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSignal
 from repro.core.monitor import SafetyMonitor
@@ -106,10 +106,9 @@ def measure_runtimes(
     ocsvm_fit_s = time.perf_counter() - start
     # Online phase: stream one session's observations through each signal.
     session = run_session(
+        get_domain("abr").session_factory(manifest=manifest),
+        SessionSpec(trace=split.test[0], seed=config.eval_seed),
         BufferBasedPolicy(manifest.bitrates_kbps),
-        manifest,
-        split.test[0],
-        seed=config.eval_seed,
     )
     observations = session.observations
     safety = config.safety

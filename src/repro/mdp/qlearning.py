@@ -95,8 +95,17 @@ def train_q_learning(
     epsilon_end: float = 0.05,
     max_steps: int = 500,
     seed: int | np.random.Generator | None = 0,
+    initial_q: np.ndarray | None = None,
 ) -> QLearningAgent:
-    """Standard epsilon-greedy Q-learning; returns the greedy agent."""
+    """Standard epsilon-greedy Q-learning; returns the greedy agent.
+
+    ``initial_q`` seeds the Q-table (default zeros).  A distinct random
+    prior per ensemble member turns the table into a visit-count
+    novelty detector: training pulls well-visited entries toward the
+    common fixed point while rarely-visited entries keep their member-
+    specific prior, so ensemble disagreement concentrates exactly where
+    training data was scarce (randomized-prior bootstrapping).
+    """
     if episodes < 1:
         raise TrainingError(f"episodes must be >= 1, got {episodes}")
     if not 0.0 < learning_rate <= 1.0:
@@ -109,7 +118,15 @@ def train_q_learning(
             f"({epsilon_start}, {epsilon_end})"
         )
     rng = rng_from_seed(seed)
-    q_table = np.zeros((num_states, environment.num_actions))
+    if initial_q is None:
+        q_table = np.zeros((num_states, environment.num_actions))
+    else:
+        q_table = np.asarray(initial_q, dtype=float).copy()
+        if q_table.shape != (num_states, environment.num_actions):
+            raise TrainingError(
+                f"initial_q shape {q_table.shape} does not match "
+                f"({num_states}, {environment.num_actions})"
+            )
     for episode in range(episodes):
         fraction = episode / max(episodes - 1, 1)
         epsilon = epsilon_start + fraction * (epsilon_end - epsilon_start)

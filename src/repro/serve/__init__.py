@@ -1,24 +1,27 @@
-"""Multi-session serving: many monitored ABR sessions through one engine.
+"""Multi-session serving: many monitored sessions through one engine.
 
 The paper's runtime story is per-decision — one agent, one safety
 monitor, one stream.  A deployment serves *many* streams at once, and
-the expensive part of every decision is the same 5-member ensemble
+the expensive part of every decision is the same batched ensemble
 forward.  The :class:`~repro.serve.engine.ServeEngine` multiplexes N
 concurrent monitored sessions over a structure-of-arrays slot table
 (:class:`~repro.serve.table.SessionTable`), answers all measuring
 sessions' uncertainty signals with **one** batched ensemble forward per
-step wave (:mod:`repro.pensieve.stacked`), and folds the wave of
-monitor decisions through vectorized trigger banks
+step wave (:meth:`UncertaintySignal.measure_batch`), and folds the wave
+of monitor decisions through vectorized trigger banks
 (:class:`~repro.core.monitor.MonitorTable`).  Sessions whose monitor
 settled on the sticky default (``will_measure() == False``) drop out of
 the batch entirely; finished sessions free their slot for the next
 queued spec mid-wave (continuous batching), so ``max_slots`` bounds
 memory without draining the batch.
 
-Layering: this package sits above :mod:`repro.core` (monitors),
-:mod:`repro.abr` (environments), and :mod:`repro.pensieve` (ensembles),
-and below :mod:`repro.experiments` — enforced by
-``tools/check_layers.py``.  Sharding across worker processes reuses
+Layering: this package sits above :mod:`repro.core` (monitors) and the
+:mod:`repro.domains` registry (which supplies the
+:class:`~repro.domains.SessionFactory` an engine serves), and below
+:mod:`repro.experiments` — enforced by ``tools/check_layers.py``, which
+also pins this package to the registry root: no workload module
+(``repro.abr``, ``repro.pensieve``, …) is imported here directly.
+Sharding across worker processes reuses
 :mod:`repro.parallel`, publishing the serving context zero-copy through
 :mod:`repro.parallel.shm`; per-engine metrics flow through
 :mod:`repro.obs` (``serve.sessions``, ``serve.steps``,

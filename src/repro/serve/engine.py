@@ -19,15 +19,21 @@ and its slot is recycled immediately; stateful signals (``U_S``) opt
 out of batching entirely and are served to completion one session at a
 time for the same reason.
 
+The workload enters only through the
+:class:`~repro.domains.SessionFactory` the engine is constructed with:
+it builds environments, sizes sessions, and produces per-step records.
+The engine itself is domain-agnostic — ABR video sessions and
+congestion-control sessions run through the same kernel.
+
 Numerics: policy actions are always computed per session through the
 exact single-observation path, so a session's *trajectory* matches the
-serial :func:`repro.abr.session.run_monitored_session` bitwise as long
-as its monitor decisions match.  Batched signal values can differ from
-the per-session path in the last ulp (BLAS accumulation order depends
-on the batch shape), which could in principle flip a trigger comparison
-exactly at the threshold; ``batch_signals=False`` disables batching and
-makes the engine bitwise-exact unconditionally.  The vectorized trigger
-banks themselves are bitwise-exact
+serial :func:`repro.domains.runner.run_monitored_session` bitwise as
+long as its monitor decisions match.  Batched signal values can differ
+from the per-session path in the last ulp (BLAS accumulation order
+depends on the batch shape), which could in principle flip a trigger
+comparison exactly at the threshold; ``batch_signals=False`` disables
+batching and makes the engine bitwise-exact unconditionally.  The
+vectorized trigger banks themselves are bitwise-exact
 (:mod:`repro.core.thresholding`); a trigger without a vectorized table
 falls back to the object-per-session wave loop.
 
@@ -47,11 +53,10 @@ import time
 import numpy as np
 
 from repro import obs
-from repro.abr.env import ABREnv
-from repro.abr.session import ChunkRecord, SessionResult
 from repro.core.monitor import MonitorTable, SafetyController, SafetyMonitor
 from repro.core.signals import UncertaintySignal
 from repro.core.thresholding import DefaultTrigger
+from repro.domains import MonitoredSessionResult, SessionFactory
 from repro.errors import SafetyError
 from repro.mdp.interfaces import Policy
 from repro.parallel import in_worker, parallel_map, resolve_max_workers
@@ -60,8 +65,6 @@ from repro.perf import fast_paths_enabled
 from repro.serve.session import ServeSession, SessionSpec
 from repro.serve.table import SessionTable
 from repro.util.rng import rng_from_seed
-from repro.video.manifest import VideoManifest
-from repro.video.qoe import QoEMetric
 
 __all__ = ["ServeEngine", "serve_sessions"]
 
@@ -69,11 +72,14 @@ __all__ = ["ServeEngine", "serve_sessions"]
 class ServeEngine:
     """Serve many monitored sessions from one set of trained artifacts.
 
-    *signal* is shared across all sessions when it is stateless (the
-    ensemble signals — one stacked forward answers everyone); a stateful
-    signal (``U_S``) is deep-copied per session so each keeps its own
-    rolling windows.  *trigger* is a prototype: the continuous kernel
-    expands it into a vectorized row bank
+    *factory* is the domain's :class:`~repro.domains.SessionFactory`: it
+    builds an environment per spec, fixes the number of decision steps,
+    and turns env steps into per-step records.  *signal* is shared
+    across all sessions when it is stateless (the ensemble signals — one
+    stacked forward answers everyone); a stateful signal (``U_S``) is
+    deep-copied per session so each keeps its own rolling windows.
+    *trigger* is a prototype: the continuous kernel expands it into a
+    vectorized row bank
     (:meth:`~repro.core.thresholding.DefaultTrigger.make_table`), and the
     fallback paths copy it per session.  ``max_slots`` caps how many
     sessions are live at once (``None`` — all of them); finished
@@ -82,14 +88,13 @@ class ServeEngine:
 
     def __init__(
         self,
-        manifest: VideoManifest,
+        factory: SessionFactory,
         learned: Policy,
         default: Policy,
         signal: UncertaintySignal,
         trigger: DefaultTrigger,
         allow_revert: bool = False,
         name: str = "serve",
-        qoe_metric: QoEMetric | None = None,
         batch_signals: bool = True,
         max_slots: int | None = None,
     ) -> None:
@@ -97,14 +102,13 @@ class ServeEngine:
             raise SafetyError("learned and default policies must be distinct")
         if max_slots is not None and max_slots < 1:
             raise SafetyError(f"max_slots must be >= 1, got {max_slots}")
-        self.manifest = manifest
+        self.factory = factory
         self.learned = learned
         self.default = default
         self.signal = signal
         self.trigger = trigger
         self.allow_revert = allow_revert
         self.name = name
-        self.qoe_metric = qoe_metric
         self.batch_signals = batch_signals
         self.max_slots = max_slots
 
@@ -112,21 +116,19 @@ class ServeEngine:
     def from_controller(
         cls,
         controller: SafetyController,
-        manifest: VideoManifest,
-        qoe_metric: QoEMetric | None = None,
+        factory: SessionFactory,
         batch_signals: bool = True,
         max_slots: int | None = None,
     ) -> "ServeEngine":
         """An engine that serves sessions under *controller*'s scheme."""
         return cls(
-            manifest=manifest,
+            factory=factory,
             learned=controller.learned,
             default=controller.default,
             signal=controller.signal,
             trigger=controller.trigger,
             allow_revert=controller.allow_revert,
             name=controller.name,
-            qoe_metric=qoe_metric,
             batch_signals=batch_signals,
             max_slots=max_slots,
         )
@@ -152,7 +154,7 @@ class ServeEngine:
         self,
         specs: list[SessionSpec],
         max_workers: int | None = None,
-    ) -> list[SessionResult]:
+    ) -> list[MonitoredSessionResult]:
         """Serve every session in *specs*; results come back in order.
 
         ``max_workers > 1`` shards the sessions into contiguous groups
@@ -175,14 +177,13 @@ class ServeEngine:
             if len(shard)
         ]
         context = dict(
-            manifest=self.manifest,
+            factory=self.factory,
             learned=self.learned,
             default=self.default,
             signal=self.signal,
             trigger=self.trigger,
             allow_revert=self.allow_revert,
             name=self.name,
-            qoe_metric=self.qoe_metric,
             batch_signals=self.batch_signals,
             max_slots=self.max_slots,
             specs=specs,
@@ -216,7 +217,9 @@ class ServeEngine:
                 shared.unlink()
         return [result for shard in shard_results for result in shard]
 
-    def run_inprocess(self, specs: list[SessionSpec]) -> list[SessionResult]:
+    def run_inprocess(
+        self, specs: list[SessionSpec]
+    ) -> list[MonitoredSessionResult]:
         """Serve *specs* in this process, batching signal measurements.
 
         Dispatches to the continuous-batching SoA kernel when signal
@@ -271,7 +274,7 @@ class ServeEngine:
         trigger_table,
         capacity: int,
         watching: bool,
-    ) -> tuple[list[SessionResult], int]:
+    ) -> tuple[list[MonitoredSessionResult], int]:
         """The continuous-batching step kernel over the SoA session table.
 
         Per wave: answer every live row's signal with one batched
@@ -283,12 +286,13 @@ class ServeEngine:
         release their slot and the next queued spec is admitted into it
         immediately.
         """
-        manifest = self.manifest
+        factory = self.factory
+        record = factory.record
         signal = self.signal
         learned = self.learned
         default = self.default
-        chunks_per_session = manifest.num_chunks - 1
-        results: list[SessionResult | None] = [None] * len(specs)
+        chunks_per_session = factory.steps_per_session()
+        results: list[MonitoredSessionResult | None] = [None] * len(specs)
         # The table is allocated lazily from the first admitted session's
         # observation shape (probing the shape up front would need a
         # throwaway env reset, which walks the trace).
@@ -298,29 +302,21 @@ class ServeEngine:
 
         def admit_one() -> None:
             """Admit the next queued spec into a free slot (specs whose
-            manifest leaves no agent-controlled chunks complete
+            factory leaves no agent-controlled steps complete
             immediately, exactly like the reference construction)."""
             nonlocal next_spec, table, monitors
             while next_spec < len(specs):
                 index = next_spec
                 next_spec += 1
                 spec = specs[index]
-                env = ABREnv(
-                    manifest=manifest,
-                    trace=spec.trace,
-                    qoe_metric=self.qoe_metric,
-                    start_offset_s=spec.start_offset_s,
-                )
+                env = factory.new_env(spec)
                 rng = rng_from_seed(spec.seed)
                 # The serial reference resets the (shared, stateless)
                 # signal once per session construction; a no-op for every
                 # batchable signal, mirrored for strictness.
                 signal.reset()
                 observation = env.reset()
-                result = SessionResult(
-                    trace_name=spec.trace.name,
-                    policy_name=spec.name or self.name,
-                )
+                result = factory.new_result(spec, spec.name or self.name)
                 if chunks_per_session <= 0:
                     results[index] = result
                     continue
@@ -428,25 +424,12 @@ class ServeEngine:
                 action = policy.act(observation, rngs[slot])
                 result = slot_results[slot]
                 # The env hands out a freshly copied observation array
-                # every step (StateBuilder copies out), so appending it
-                # directly is byte-identical to the reference's
+                # every step (the state builders copy out), so appending
+                # it directly is byte-identical to the reference's
                 # defensive copy — without the copy.
                 result.observation_list.append(observation)
                 step = envs[slot].step(action)
-                info = step.info
-                result.chunks.append(
-                    ChunkRecord(
-                        chunk_index=info["chunk_index"],
-                        bitrate_index=info["bitrate_index"],
-                        bitrate_mbps=info["bitrate_mbps"],
-                        rebuffer_s=info["rebuffer_s"],
-                        download_time_s=info["download_time_s"],
-                        throughput_mbps=info["throughput_mbps"],
-                        buffer_s=info["buffer_s"],
-                        reward=step.reward,
-                        defaulted=is_default,
-                    )
-                )
+                result.chunks.append(record(step, is_default))
                 remaining[slot] -= 1
                 finished = step.done or remaining[slot] == 0
                 if not finished and is_default and not allow_revert:
@@ -466,20 +449,7 @@ class ServeEngine:
                         action = default_act(observation, rng)
                         append_observation(observation)
                         step = env_step(action)
-                        info = step.info
-                        append_chunk(
-                            ChunkRecord(
-                                chunk_index=info["chunk_index"],
-                                bitrate_index=info["bitrate_index"],
-                                bitrate_mbps=info["bitrate_mbps"],
-                                rebuffer_s=info["rebuffer_s"],
-                                download_time_s=info["download_time_s"],
-                                throughput_mbps=info["throughput_mbps"],
-                                buffer_s=info["buffer_s"],
-                                reward=step.reward,
-                                defaulted=True,
-                            )
-                        )
+                        append_chunk(record(step, True))
                         drained += 1
                         left -= 1
                         if step.done or left == 0:
@@ -515,7 +485,7 @@ class ServeEngine:
 
     def _run_sequential(
         self, specs: list[SessionSpec], watching: bool
-    ) -> tuple[list[SessionResult], int]:
+    ) -> tuple[list[MonitoredSessionResult], int]:
         """Serve each spec to completion, one session at a time.
 
         The path for stateful signals and ``batch_signals=False``:
@@ -528,11 +498,10 @@ class ServeEngine:
         for spec in specs:
             session = ServeSession(
                 spec,
-                self.manifest,
+                self.factory,
                 self.learned,
                 self.default,
                 self.spawn_monitor(),
-                qoe_metric=self.qoe_metric,
             )
             stepped = not session.done
             while not session.done:
@@ -545,7 +514,7 @@ class ServeEngine:
 
     def _run_waves(
         self, specs: list[SessionSpec], watching: bool
-    ) -> tuple[list[SessionResult], int]:
+    ) -> tuple[list[MonitoredSessionResult], int]:
         """The object-per-session wave loop (legacy path).
 
         Kept for batchable signals whose trigger provides no vectorized
@@ -555,11 +524,10 @@ class ServeEngine:
         sessions = [
             ServeSession(
                 spec,
-                self.manifest,
+                self.factory,
                 self.learned,
                 self.default,
                 self.spawn_monitor(),
-                qoe_metric=self.qoe_metric,
             )
             for spec in specs
         ]
@@ -600,18 +568,16 @@ class ServeEngine:
 
 def serve_sessions(
     controller: SafetyController,
-    manifest: VideoManifest,
+    factory: SessionFactory,
     specs: list[SessionSpec],
-    qoe_metric: QoEMetric | None = None,
     max_workers: int | None = None,
     batch_signals: bool = True,
     max_slots: int | None = None,
-) -> list[SessionResult]:
+) -> list[MonitoredSessionResult]:
     """One-call serving: N sessions under *controller*'s scheme."""
     engine = ServeEngine.from_controller(
         controller,
-        manifest,
-        qoe_metric=qoe_metric,
+        factory,
         batch_signals=batch_signals,
         max_slots=max_slots,
     )

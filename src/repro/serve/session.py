@@ -1,93 +1,61 @@
 """One in-flight monitored session inside the serve engine.
 
-:class:`ServeSession` is :func:`repro.abr.session.run_monitored_session`
-unrolled into a step-at-a-time object: the engine owns the loop so it
-can interleave many sessions and batch their signal measurements.  A
-single step performs exactly the reference sequence — monitor decides,
-chosen policy acts, environment advances, chunk recorded — so a session
-driven to completion alone is bitwise identical to the one-call loop.
+:class:`ServeSession` is
+:func:`repro.domains.runner.run_monitored_session` unrolled into a
+step-at-a-time object: the engine owns the loop so it can interleave
+many sessions and batch their signal measurements.  A single step
+performs exactly the reference sequence — monitor decides, chosen policy
+acts, environment advances, record appended — so a session driven to
+completion alone is bitwise identical to the one-call loop.
+
+The domain enters only through the :class:`~repro.domains.SessionFactory`
+passed in: it builds the environment for the spec, says how many decision
+steps a session has, and produces the per-step record type.  Nothing
+here knows which workload it is serving.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.abr.env import ABREnv
-from repro.abr.session import ChunkRecord, SessionResult
 from repro.core.monitor import SafetyMonitor
+from repro.domains import SessionFactory, SessionSpec
 from repro.errors import SimulationError
 from repro.mdp.interfaces import Policy
-from repro.traces.trace import Trace
 from repro.util.rng import rng_from_seed
-from repro.video.manifest import VideoManifest
-from repro.video.qoe import QoEMetric
 
 __all__ = ["ServeSession", "SessionSpec"]
 
 
-class SessionSpec:
-    """What one monitored session streams: a trace, a seed, a name.
-
-    Pure data (picklable), so a spec can be shipped to a worker process
-    and produce the same floats there as in-process.
-    """
-
-    def __init__(
-        self,
-        trace: Trace,
-        seed: int = 0,
-        name: str | None = None,
-        start_offset_s: float = 0.0,
-    ) -> None:
-        self.trace = trace
-        self.seed = seed
-        self.name = name
-        self.start_offset_s = start_offset_s
-
-    def __repr__(self) -> str:
-        return (
-            f"SessionSpec(trace={self.trace.name!r}, seed={self.seed}, "
-            f"name={self.name!r})"
-        )
-
-
 class ServeSession:
-    """One monitored streaming session advanced one decision at a time.
+    """One monitored session advanced one decision at a time.
 
     The wrapped policies may be shared across concurrent sessions (the
     engine serves N sessions from one ensemble in memory), so they must
-    be stateless per decision — true of the Pensieve agent and every
-    baseline the paper defaults to.  All per-session state lives in the
-    monitor, the environment, and the RNG owned here.
+    be stateless per decision — true of every policy the registered
+    domains hand out.  All per-session state lives in the monitor, the
+    environment, and the RNG owned here.
     """
 
     def __init__(
         self,
         spec: SessionSpec,
-        manifest: VideoManifest,
+        factory: SessionFactory,
         learned: Policy,
         default: Policy,
         monitor: SafetyMonitor,
-        qoe_metric: QoEMetric | None = None,
     ) -> None:
         self.spec = spec
+        self.factory = factory
         self.monitor = monitor
         self.learned = learned
         self.default = default
-        self.env = ABREnv(
-            manifest=manifest,
-            trace=spec.trace,
-            qoe_metric=qoe_metric,
-            start_offset_s=spec.start_offset_s,
-        )
+        self.env = factory.new_env(spec)
         self.rng = rng_from_seed(spec.seed)
         monitor.reset()
         self.observation = self.env.reset()
-        self.result = SessionResult(
-            trace_name=spec.trace.name,
-            policy_name=spec.name or monitor.name,
-        )
-        self._remaining = manifest.num_chunks - 1
+        self.result = factory.new_result(spec, spec.name or monitor.name)
+        self._remaining = factory.steps_per_session()
         self.done = self._remaining <= 0
 
     def step(self, signal_value: float | None = None) -> bool:
@@ -111,17 +79,7 @@ class ServeSession:
         )
         step = self.env.step(action)
         self.result.chunks.append(
-            ChunkRecord(
-                chunk_index=step.info["chunk_index"],
-                bitrate_index=step.info["bitrate_index"],
-                bitrate_mbps=step.info["bitrate_mbps"],
-                rebuffer_s=step.info["rebuffer_s"],
-                download_time_s=step.info["download_time_s"],
-                throughput_mbps=step.info["throughput_mbps"],
-                buffer_s=step.info["buffer_s"],
-                reward=step.reward,
-                defaulted=decision.defaulted,
-            )
+            self.factory.record(step, decision.defaulted)
         )
         self.observation = step.observation
         self._remaining -= 1

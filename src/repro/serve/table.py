@@ -5,9 +5,10 @@ slot in preallocated arrays — one row per slot — so the engine's wave
 kernel can gather a full observation batch, fold a wave of monitor
 decisions, and test liveness with array operations instead of iterating
 Python session objects.  The inherently per-session Python state (the
-environment, the RNG, the growing :class:`~repro.abr.session.SessionResult`,
-and the env-owned current observation array) rides in parallel lists
-indexed by the same slot number.
+environment, the RNG, the growing result record — whatever the domain's
+:class:`~repro.domains.SessionFactory` produced — and the env-owned
+current observation array) rides in parallel lists indexed by the same
+slot number.
 
 Slots are recycled through a LIFO free-list: when a session finishes,
 its slot is released and the next queued

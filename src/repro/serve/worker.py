@@ -1,10 +1,10 @@
 """Module-level task functions for sharded serving.
 
 Follows the :mod:`repro.parallel.worker` pattern: the heavyweight
-serving context — manifest, policies, signal, the full spec list — ships
-once per worker through :func:`init_serve`; each task is a list of spec
-indices (one contiguous shard), served in-process by a worker-local
-:class:`~repro.serve.engine.ServeEngine`.
+serving context — the domain's session factory, policies, signal, the
+full spec list — ships once per worker through :func:`init_serve`; each
+task is a list of spec indices (one contiguous shard), served
+in-process by a worker-local :class:`~repro.serve.engine.ServeEngine`.
 
 The context arrives either as a plain mapping (pickled through the
 pool's ``initargs``) or as a
@@ -46,14 +46,13 @@ def serve_shard(indices: list[int]):
 
     state = _SERVE_STATE
     engine = ServeEngine(
-        manifest=state["manifest"],
+        factory=state["factory"],
         learned=state["learned"],
         default=state["default"],
         signal=state["signal"],
         trigger=state["trigger"],
         allow_revert=state["allow_revert"],
         name=state["name"],
-        qoe_metric=state["qoe_metric"],
         batch_signals=state["batch_signals"],
         max_slots=state["max_slots"],
     )

@@ -12,26 +12,22 @@ actions for the service's ``step`` handler.  Crucially a runtime holds
 (or resume) any session, which is what makes the service's compute tier
 stateless.
 
-:func:`build_demo_scheme` constructs a fully self-contained ``U_pi``
-demo scheme (seeded linear-softmax ensemble over the standard Envivio
-manifest, BBA default) so the CLI and CI can boot a service without any
-trained artifacts on disk.
+:func:`build_demo_scheme` asks a registered :class:`~repro.domains.Domain`
+for its self-contained demo scheme (seeded policies, calibrated trigger)
+and wraps it into a :class:`SchemeRuntime`, so the CLI and CI can boot a
+service for any domain without trained artifacts on disk.  This module
+reaches workloads only through the :mod:`repro.domains` registry —
+enforced by ``tools/check_layers.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.ensemble_signals import PolicyEnsembleSignal
 from repro.core.monitor import SafetyController, SafetyMonitor
-from repro.core.thresholding import VarianceTrigger
-from repro.errors import ServiceError
+from repro.domains import LinearSoftmaxPolicy, get_domain
 from repro.mdp.interfaces import Policy
-from repro.policies.buffer_based import BufferBasedPolicy
 from repro.serve.engine import ServeEngine
-from repro.video.envivio import envivio_dash3_manifest
 
 __all__ = [
     "DEMO_SCHEME",
@@ -42,35 +38,6 @@ __all__ = [
 
 #: Name under which :func:`build_demo_scheme` registers itself.
 DEMO_SCHEME = "demo"
-
-
-class LinearSoftmaxPolicy:
-    """A deterministic seeded linear-softmax policy over flat features.
-
-    The demo scheme's stand-in for a trained agent: logits are a fixed
-    random linear map of the flattened observation, the action is the
-    argmax, so trajectories are reproducible from the seed alone and
-    need no artifacts on disk.
-    """
-
-    def __init__(self, seed: int, num_actions: int, num_features: int) -> None:
-        self._weights = np.random.default_rng(seed).normal(
-            size=(num_actions, num_features)
-        )
-
-    def reset(self) -> None:
-        """No per-session state to reset."""
-
-    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
-        """Softmax over the linear logits of the flattened observation."""
-        logits = self._weights @ np.asarray(observation, dtype=float).reshape(-1)
-        logits -= logits.max()
-        exp = np.exp(logits)
-        return exp / exp.sum()
-
-    def act(self, observation: np.ndarray, rng: np.random.Generator) -> int:
-        """The argmax action (deterministic; *rng* is unused)."""
-        return int(np.argmax(self.action_probabilities(observation)))
 
 
 @dataclass(frozen=True)
@@ -123,36 +90,30 @@ class SchemeRuntime:
 
 
 def build_demo_scheme(
-    alpha: float = 0.12,
+    alpha: float | None = None,
     ensemble_size: int = 4,
     seed: int = 0,
     name: str = DEMO_SCHEME,
+    domain: str = "abr",
 ) -> SchemeRuntime:
-    """A self-contained ``U_pi`` scheme for demos, CI, and benchmarks.
+    """A self-contained demo scheme for demos, CI, and benchmarks.
 
-    Learned policy and ensemble members are seeded
-    :class:`LinearSoftmaxPolicy` instances over the standard Envivio
-    manifest's action set; the default is BBA; the trigger is the
-    paper's k-window variance rule with threshold *alpha*.  Everything
-    is derived from *seed*, so any two workers build bitwise-identical
-    runtimes.
+    Dispatches to the registered *domain*'s
+    :meth:`~repro.domains.Domain.demo_scheme` — seeded policies over the
+    domain's action set, its safe fallback, and its calibrated trigger
+    (``alpha=None`` picks the domain's default threshold) — and wraps
+    the result into a :class:`SchemeRuntime`.  Everything is derived
+    from *seed*, so any two workers build bitwise-identical runtimes.
+
+    Raises :class:`~repro.errors.ConfigError` naming the registered
+    domains when *domain* is unknown.
     """
-    if ensemble_size < 2:
-        raise ServiceError(
-            f"ensemble_size must be >= 2, got {ensemble_size}"
-        )
-    manifest = envivio_dash3_manifest(repeats=1)
-    num_actions = len(manifest.bitrates_kbps)
-    num_features = int(np.prod((6, 8)))
-    learned = LinearSoftmaxPolicy(seed + 1, num_actions, num_features)
-    default = BufferBasedPolicy(manifest.bitrates_kbps)
-    members = [
-        LinearSoftmaxPolicy(seed + 10 + index, num_actions, num_features)
-        for index in range(ensemble_size)
-    ]
-    signal = PolicyEnsembleSignal(members, trim=1)
-    trigger = VarianceTrigger(alpha=alpha, k=3, l=1)
-    prototype = SafetyMonitor(signal, trigger, name=name)
+    scheme = get_domain(domain).demo_scheme(
+        alpha=alpha, ensemble_size=ensemble_size, seed=seed, name=name
+    )
     return SchemeRuntime(
-        name=name, learned=learned, default=default, prototype=prototype
+        name=name,
+        learned=scheme.learned,
+        default=scheme.default,
+        prototype=scheme.monitor(),
     )

@@ -52,12 +52,89 @@ class TestCheckFile:
             {
                 "serve/engine.py": (
                     "from repro.core.monitor import SafetyMonitor\n"
-                    "from repro.abr.session import run_session\n"
+                    "from repro.domains import SessionFactory\n"
                 ),
+                "domains/abr.py": "from repro.abr.session import run_session\n",
                 "experiments/figures.py": "from repro.serve import ServeEngine\n",
             },
         )
         assert check_layers.check_tree(root) == []
+
+    def test_serve_must_not_import_substrate(self, check_layers, tmp_path):
+        # The engine is domain-agnostic: the substrate arrives wrapped in
+        # a SessionFactory, never by importing the domain's modules.
+        root = _package(
+            tmp_path,
+            {
+                "serve/engine.py": (
+                    "from repro.abr.session import ChunkRecord\n"
+                    "from repro.pensieve.stacked import stack\n"
+                ),
+            },
+        )
+        violations = check_layers.check_tree(root)
+        assert len(violations) == 2
+        assert "layer 'serve' must not import 'repro.abr'" in violations[0]
+        assert "layer 'serve' must not import 'repro.pensieve'" in violations[1]
+
+    @pytest.mark.parametrize("layer", ["serve", "service"])
+    def test_registry_root_import_allowed(self, check_layers, tmp_path, layer):
+        root = _package(
+            tmp_path,
+            {
+                f"{layer}/x.py": (
+                    "from repro.domains import SessionFactory, get_domain\n"
+                    "import repro.domains\n"
+                )
+            },
+        )
+        assert check_layers.check_tree(root) == []
+
+    @pytest.mark.parametrize("layer", ["serve", "service"])
+    def test_registry_submodule_import_flagged(
+        self, check_layers, tmp_path, layer
+    ):
+        # serve/service reach domains only through the registry root;
+        # naming a concrete domain module defeats the registry.
+        root = _package(
+            tmp_path,
+            {
+                f"{layer}/x.py": (
+                    "from repro.domains.abr import ABRDomain\n"
+                    "import repro.domains.cc\n"
+                )
+            },
+        )
+        violations = check_layers.check_tree(root)
+        assert len(violations) == 2
+        for line in violations:
+            assert (
+                f"layer '{layer}' must import 'repro.domains' "
+                "only through its registry root" in line
+            )
+        assert "repro.domains.abr" in violations[0]
+        assert "repro.domains.cc" in violations[1]
+
+    def test_domains_must_not_import_upper_layers(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path,
+            {"domains/cc.py": "from repro.serve.engine import ServeEngine\n"},
+        )
+        violations = check_layers.check_tree(root)
+        assert len(violations) == 1
+        assert "layer 'domains' must not import 'repro.serve'" in violations[0]
+
+    def test_mdp_is_a_leaf_substrate(self, check_layers, tmp_path):
+        root = _package(
+            tmp_path,
+            {
+                "mdp/qlearning.py": (
+                    "from repro.abr.env import ABREnv\n"
+                    "from repro.core.monitor import SafetyMonitor\n"
+                )
+            },
+        )
+        assert len(check_layers.check_tree(root)) == 2
 
     def test_type_checking_imports_exempt(self, check_layers, tmp_path):
         root = _package(

@@ -1,0 +1,213 @@
+"""Tests for repro.domains.cc: the congestion-control domain.
+
+The environment's determinism and the indexer's binning are unit-level;
+the end is the OSAP property the domain was calibrated for — the demo
+scheme keeps the learned policy in charge in-distribution and hands over
+to the conservative fallback shortly after an abrupt capacity shift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.domains import SessionSpec, apply_scenario, get_domain
+from repro.domains.cc import (
+    DEFAULT_HORIZON,
+    NUM_STATES,
+    RATE_LADDER_MBPS,
+    RATE_SCALE,
+    STEP_S,
+    CCEnv,
+    CCSessionFactory,
+    CCStateIndexer,
+    ConservativeRatePolicy,
+    TabularEnsembleSignal,
+)
+from repro.domains.runner import run_monitored_session
+from repro.errors import ConfigError, SimulationError
+from repro.mdp.qlearning import QLearningAgent
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return get_domain("cc")
+
+
+@pytest.fixture(scope="module")
+def split(domain):
+    return domain.load_split("logistic", num_traces=8, duration_s=96.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def scheme(domain):
+    return domain.demo_scheme()
+
+
+class TestCCEnv:
+    def test_deterministic_replay(self, split):
+        actions = [int(i) % 8 for i in range(40)]
+        runs = []
+        for _ in range(2):
+            env = CCEnv(split.test[0])
+            env.reset()
+            runs.append([env.step(action) for action in actions])
+        for first, second in zip(*runs):
+            np.testing.assert_array_equal(first.observation, second.observation)
+            assert first.reward == second.reward
+            assert first.info == second.info
+
+    def test_action_outside_ladder_rejected(self, split):
+        env = CCEnv(split.test[0])
+        env.reset()
+        for action in (-1, env.num_actions):
+            with pytest.raises(SimulationError, match="rate ladder"):
+                env.step(action)
+
+    def test_overdriving_the_link_queues_then_loses(self, split):
+        # A 0.2 Mbps link against the top rung must build queue delay
+        # and, once the bounded backlog fills, sustained loss.
+        trace = split.test[0].scaled(0.2 / split.test[0].bandwidths_mbps.mean())
+        env = CCEnv(trace)
+        env.reset()
+        infos = [env.step(env.num_actions - 1).info for _ in range(20)]
+        assert infos[0]["queue_delay_s"] > 0.0
+        assert infos[-1]["loss_fraction"] > 0.5
+        assert infos[-1]["throughput_mbps"] < 1.0
+
+    def test_provisioned_link_delivers_what_is_sent(self, split):
+        env = CCEnv(split.test[0])
+        env.reset()
+        info = env.step(2).info
+        assert info["throughput_mbps"] == pytest.approx(info["rate_mbps"])
+        assert info["loss_fraction"] == 0.0
+
+
+class TestFactoryAndIndexer:
+    def test_factory_defaults(self, domain):
+        factory = domain.session_factory()
+        assert isinstance(factory, CCSessionFactory)
+        assert factory.steps_per_session() == DEFAULT_HORIZON
+        with pytest.raises(ConfigError, match="horizon"):
+            domain.session_factory(horizon=0)
+
+    def test_record_round_trip(self, domain, split):
+        factory = domain.session_factory(horizon=4)
+        env = factory.new_env(SessionSpec(trace=split.test[0]))
+        env.reset()
+        step = env.step(3)
+        record = factory.record(step, defaulted=False)
+        assert record.rate_index == 3
+        assert record.reward == step.reward
+        assert not record.defaulted
+
+    def test_indexer_stays_in_range(self, split):
+        indexer = CCStateIndexer()
+        env = CCEnv(split.test[0])
+        observation = env.reset()
+        seen = set()
+        for action in range(8):
+            seen.add(indexer(observation))
+            observation = env.step(action).observation
+        assert all(0 <= state < NUM_STATES for state in seen)
+
+    def test_indexer_separates_congestion_regimes(self):
+        clear = np.zeros((4, 8))
+        clear[1, -1] = 2.4 / RATE_SCALE  # healthy delivery, no loss/queue
+        congested = np.zeros((4, 8))
+        congested[1, -1] = 0.2 / RATE_SCALE
+        congested[2, -1] = 0.6  # heavy loss
+        congested[3, -1] = 0.5  # persistent queue (1 s / DELAY_SCALE)
+        indexer = CCStateIndexer()
+        assert indexer(clear) != indexer(congested)
+
+
+class TestConservativeRatePolicy:
+    def test_cold_start_picks_the_lowest_rung(self):
+        policy = ConservativeRatePolicy()
+        action = policy.act(np.zeros((4, 8)), np.random.default_rng(0))
+        assert action == 0
+
+    def test_never_outruns_delivery(self):
+        policy = ConservativeRatePolicy()
+        rng = np.random.default_rng(0)
+        for delivered in (0.5, 1.5, 3.0, 5.0, 8.0):
+            observation = np.zeros((4, 8))
+            observation[1, -1] = delivered / RATE_SCALE
+            rate = RATE_LADDER_MBPS[policy.act(observation, rng)]
+            assert rate <= policy.safety_factor * delivered or rate == (
+                RATE_LADDER_MBPS[0]
+            )
+
+    def test_action_probabilities_are_one_hot(self):
+        observation = np.zeros((4, 8))
+        observation[1, -1] = 3.0 / RATE_SCALE
+        probabilities = ConservativeRatePolicy().action_probabilities(observation)
+        assert probabilities.sum() == 1.0
+        assert (probabilities == probabilities.max()).sum() == 1
+
+
+class TestTabularEnsembleSignal:
+    def _agents(self, temperature=0.5, size=3):
+        rng = np.random.default_rng(11)
+        indexer = CCStateIndexer()
+        return [
+            QLearningAgent(
+                rng.normal(size=(NUM_STATES, RATE_LADDER_MBPS.size)),
+                indexer,
+                temperature=temperature,
+            )
+            for _ in range(size)
+        ]
+
+    def test_batch_path_is_bitwise_equal_to_scalar(self, split):
+        signal = TabularEnsembleSignal(self._agents(), trim=1)
+        env = CCEnv(split.test[0])
+        observation = env.reset()
+        observations = []
+        for action in (0, 3, 5, 7, 2, 6):
+            observations.append(observation)
+            observation = env.step(action).observation
+        batch = signal.measure_batch(np.stack(observations))
+        scalar = np.array([signal.measure(o) for o in observations])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_validation(self):
+        agents = self._agents()
+        with pytest.raises(ConfigError, match="temperature"):
+            TabularEnsembleSignal(self._agents(temperature=0.0), trim=1)
+        mixed = agents[:2] + self._agents(temperature=0.9, size=1)
+        with pytest.raises(ConfigError, match="temperature"):
+            TabularEnsembleSignal(mixed, trim=1)
+
+
+class TestDemoSchemeOSAP:
+    """The calibrated safety behaviour the scenario matrix depends on."""
+
+    def _run(self, scheme, trace, seed=0):
+        return run_monitored_session(
+            scheme.factory,
+            SessionSpec(trace=trace, seed=seed),
+            scheme.learned,
+            scheme.default,
+            scheme.monitor(),
+        )
+
+    def test_in_distribution_never_defaults(self, scheme, split):
+        for trace in split.test[:3]:
+            result = self._run(scheme, trace)
+            assert result.default_fraction == 0.0, trace.name
+
+    def test_abrupt_shift_hands_over_after_onset(self, scheme, split):
+        shifted = apply_scenario("abrupt_shift", split.test[0], seed=1)
+        result = self._run(scheme, shifted.trace)
+        defaulted = [i for i, r in enumerate(result.chunks) if r.defaulted]
+        assert defaulted, "monitor never handed over after the shift"
+        first_s = defaulted[0] * STEP_S
+        assert first_s >= shifted.onset_s
+        assert first_s - shifted.onset_s < 30.0
+        # Sticky handoff: once defaulted, the session stays defaulted.
+        assert defaulted == list(range(defaulted[0], len(result.chunks)))
+
+    def test_scheme_build_is_cached(self, domain, scheme):
+        assert domain.demo_scheme().learned.q_table is scheme.learned.q_table

@@ -1,0 +1,107 @@
+"""Tests for repro.domains: the registry and the Domain contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import SafetyMonitor
+from repro.domains import (
+    DOMAINS,
+    SessionSpec,
+    domain_keys,
+    get_domain,
+    run_session,
+)
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_both_domains_registered(self):
+        assert domain_keys() == ("abr", "cc")
+
+    def test_get_domain_caches_instances(self):
+        assert get_domain("abr") is get_domain("abr")
+        assert get_domain("cc") is get_domain("cc")
+
+    def test_unknown_key_names_registered_domains(self):
+        with pytest.raises(ConfigError) as excinfo:
+            get_domain("dns")
+        message = str(excinfo.value)
+        assert "abr" in message and "cc" in message
+
+    def test_keys_match_instances(self):
+        for key in domain_keys():
+            assert get_domain(key).key == key
+
+    def test_registry_membership(self):
+        for key in domain_keys():
+            assert key in DOMAINS
+        assert "dns" not in DOMAINS
+
+
+class TestDomainContract:
+    """Every registered domain honours the Domain interface."""
+
+    @pytest.fixture(params=["abr", "cc"])
+    def domain(self, request):
+        return get_domain(request.param)
+
+    def test_dataset_names_nonempty(self, domain):
+        names = domain.dataset_names()
+        assert isinstance(names, tuple) and names
+
+    def test_load_split_is_deterministic(self, domain):
+        kwargs = dict(num_traces=4, duration_s=60.0, seed=3)
+        first = domain.load_split(domain.dataset_names()[0], **kwargs)
+        second = domain.load_split(domain.dataset_names()[0], **kwargs)
+        for a, b in zip(first.test, second.test):
+            np.testing.assert_array_equal(a.bandwidths_mbps, b.bandwidths_mbps)
+
+    def test_session_factory_reports_domain(self, domain):
+        factory = domain.session_factory()
+        assert factory.domain == domain.key
+        assert factory.steps_per_session() >= 1
+
+    def test_factory_runs_a_session(self, domain):
+        split = domain.load_split(
+            domain.dataset_names()[0], num_traces=4, duration_s=60.0, seed=3
+        )
+        factory = domain.session_factory()
+        env = factory.new_env(SessionSpec(trace=split.test[0], seed=0))
+        observation = env.reset()
+        assert domain.throughput_of(observation) >= 0.0
+        step = env.step(0)
+        assert np.isfinite(step.reward)
+        record = factory.record(step, defaulted=True)
+        assert record.defaulted and record.reward == step.reward
+
+
+class TestDemoScheme:
+    def test_ensemble_size_validated(self):
+        with pytest.raises(ConfigError, match="ensemble_size"):
+            get_domain("cc").demo_scheme(ensemble_size=1)
+
+    def test_monitor_prototype_carries_scheme_name(self):
+        scheme = get_domain("cc").demo_scheme(name="pilot")
+        monitor = scheme.monitor()
+        assert isinstance(monitor, SafetyMonitor)
+        assert monitor.name == "pilot"
+        assert scheme.factory.domain == "cc"
+
+    def test_rebuilt_scheme_is_bitwise_reproducible(self):
+        domain = get_domain("cc")
+        split = domain.load_split("logistic", num_traces=4, duration_s=60.0, seed=3)
+        spec = SessionSpec(trace=split.test[0], seed=0)
+        results = [
+            run_session(
+                domain.session_factory(),
+                spec,
+                domain.demo_scheme(seed=0).learned,
+            )
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(
+            results[0].observations, results[1].observations
+        )
+        assert results[0].qoe == results[1].qoe

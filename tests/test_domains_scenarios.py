@@ -1,0 +1,123 @@
+"""Property tests for repro.domains.scenarios: the shift generators.
+
+Determinism is the load-bearing contract — the scenario matrix compares
+detection latencies across schemes and domains, which is only meaningful
+if every cell perturbs the traces bitwise-identically on every run.
+Each property below runs for *every* registered generator over a grid of
+seeds, so a new scenario is covered the moment it registers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.domains import apply_scenario, scenario_keys
+from repro.errors import ConfigError
+from repro.traces.dataset import make_dataset
+
+SEEDS = range(5)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_dataset("logistic", num_traces=2, duration_s=96.0, seed=7).traces[0]
+
+
+class TestEveryGenerator:
+    def test_expected_scenarios_registered(self):
+        assert scenario_keys() == (
+            "abrupt_shift",
+            "burst_storm",
+            "cyclic_load",
+            "slow_drift",
+            "trace_splice",
+        )
+
+    @pytest.mark.parametrize("key", scenario_keys())
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_inputs_bitwise_identical(self, trace, key, seed):
+        first = apply_scenario(key, trace, seed=seed, severity=0.8)
+        second = apply_scenario(key, trace, seed=seed, severity=0.8)
+        np.testing.assert_array_equal(
+            first.trace.bandwidths_mbps, second.trace.bandwidths_mbps
+        )
+        np.testing.assert_array_equal(first.trace.times, second.trace.times)
+        assert first.onset_s == second.onset_s
+        assert first.trace.name == second.trace.name
+
+    @pytest.mark.parametrize("key", scenario_keys())
+    def test_different_seeds_diverge(self, trace, key):
+        outputs = [
+            apply_scenario(key, trace, seed=seed).trace.bandwidths_mbps
+            for seed in SEEDS
+        ]
+        distinct = {array.tobytes() for array in outputs}
+        assert len(distinct) == len(outputs), f"{key} ignores its seed"
+
+    @pytest.mark.parametrize("key", scenario_keys())
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_onset_inside_trace(self, trace, key, seed):
+        shifted = apply_scenario(key, trace, seed=seed)
+        assert trace.times[0] <= shifted.onset_s <= trace.times[-1]
+
+    @pytest.mark.parametrize("key", scenario_keys())
+    def test_bandwidth_floor_and_shape_preserved(self, trace, key):
+        shifted = apply_scenario(key, trace, seed=1)
+        assert shifted.trace.bandwidths_mbps.min() >= 0.01
+        assert shifted.trace.bandwidths_mbps.shape == trace.bandwidths_mbps.shape
+        np.testing.assert_array_equal(shifted.trace.times, trace.times)
+
+    @pytest.mark.parametrize("key", scenario_keys())
+    def test_input_trace_not_mutated(self, trace, key):
+        before = trace.bandwidths_mbps.copy()
+        apply_scenario(key, trace, seed=2)
+        np.testing.assert_array_equal(trace.bandwidths_mbps, before)
+
+    @pytest.mark.parametrize("key", scenario_keys())
+    def test_shift_actually_shifts(self, trace, key):
+        shifted = apply_scenario(key, trace, seed=3)
+        assert not np.array_equal(
+            shifted.trace.bandwidths_mbps, trace.bandwidths_mbps
+        )
+        # Capacity shifts in this corpus only remove capacity.
+        assert shifted.trace.bandwidths_mbps.mean() < trace.bandwidths_mbps.mean()
+
+    @pytest.mark.parametrize("key", scenario_keys())
+    @pytest.mark.parametrize("severity", (0.0, -0.5, 1.5))
+    def test_severity_validated(self, trace, key, severity):
+        with pytest.raises(ConfigError, match="severity"):
+            apply_scenario(key, trace, seed=0, severity=severity)
+
+    def test_unknown_scenario_names_registered_keys(self, trace):
+        with pytest.raises(ConfigError) as excinfo:
+            apply_scenario("meteor_strike", trace)
+        assert "abrupt_shift" in str(excinfo.value)
+
+
+class TestShiftShapes:
+    """Scenario-specific structure the matrix relies on."""
+
+    def test_abrupt_shift_is_flat_before_onset(self, trace):
+        shifted = apply_scenario("abrupt_shift", trace, seed=4)
+        before = trace.times < shifted.onset_s
+        np.testing.assert_array_equal(
+            shifted.trace.bandwidths_mbps[before], trace.bandwidths_mbps[before]
+        )
+        after = trace.times >= shifted.onset_s
+        assert (
+            shifted.trace.bandwidths_mbps[after] < trace.bandwidths_mbps[after]
+        ).all()
+
+    def test_slow_drift_is_monotone_in_ratio(self, trace):
+        shifted = apply_scenario("slow_drift", trace, seed=4)
+        ratio = shifted.trace.bandwidths_mbps / trace.bandwidths_mbps
+        assert (np.diff(ratio) <= 1e-12).all()
+        assert ratio[0] == 1.0 and ratio[-1] < 0.5
+
+    def test_severity_scales_abrupt_depth(self, trace):
+        mild = apply_scenario("abrupt_shift", trace, seed=5, severity=0.3)
+        harsh = apply_scenario("abrupt_shift", trace, seed=5, severity=1.0)
+        assert (
+            harsh.trace.bandwidths_mbps.mean() < mild.trace.bandwidths_mbps.mean()
+        )

@@ -252,6 +252,56 @@ class TestMonitorPathEquivalence:
             assert monitor.default_fraction == controller.default_fraction
 
 
+class TestDomainBoundaryEquivalence:
+    """The domain-generic runner vs. the ABR reference loop.
+
+    The tentpole refactor routes every serving and experiment path
+    through :mod:`repro.domains`; this class pins the boundary: driving
+    a session through the generic
+    :func:`repro.domains.runner.run_monitored_session` with the
+    registered ABR domain's :class:`~repro.domains.SessionFactory` must
+    be bitwise identical to the historical
+    :func:`repro.abr.session.run_monitored_session`, for all three
+    schemes, on in-distribution *and* shifted test traces.
+    """
+
+    @pytest.mark.parametrize("scheme", ["ND", "A-ensemble", "V-ensemble"])
+    @pytest.mark.parametrize("test_split", ["split", "second_split"])
+    def test_generic_runner_matches_abr_reference(
+        self, scheme, test_split, request, agents, value_functions, nd_detector, manifest
+    ):
+        from repro.domains import get_domain
+        from repro.domains import runner as domain_runner
+
+        factory = get_domain("abr").session_factory(manifest=manifest)
+        traces = request.getfixturevalue(test_split).test
+        default = BufferBasedPolicy(manifest.bitrates_kbps)
+        for trace in traces:
+            signal, trigger = _scheme_parts(
+                scheme, agents, value_functions, nd_detector, manifest
+            )
+            monitor = SafetyMonitor(signal, trigger, name=scheme)
+            reference = run_monitored_session(
+                agents[0], default, monitor, manifest, trace, seed=0
+            )
+            signal, trigger = _scheme_parts(
+                scheme, agents, value_functions, nd_detector, manifest
+            )
+            monitor = SafetyMonitor(signal, trigger, name=scheme)
+            from repro.domains import SessionSpec
+
+            generic = domain_runner.run_monitored_session(
+                factory,
+                SessionSpec(trace=trace, seed=0),
+                agents[0],
+                default,
+                monitor,
+            )
+            assert _session_fingerprint(generic) == _session_fingerprint(
+                reference
+            )
+
+
 @pytest.mark.parametrize("fast,workers,engine", COMBOS)
 def test_execution_mode_equivalence(
     fast, workers, engine, manifest, split, config, reference, monkeypatch

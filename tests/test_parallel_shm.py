@@ -151,14 +151,13 @@ class TestWorkerAttachment:
     def test_init_serve_accepts_handle(self, payload, manifest):
         engine = _engine(manifest, "U_pi")
         context = dict(
-            manifest=manifest,
+            factory=engine.factory,
             learned=engine.learned,
             default=engine.default,
             signal=engine.signal,
             trigger=engine.trigger,
             allow_revert=False,
             name="U_pi",
-            qoe_metric=None,
             batch_signals=True,
             max_slots=None,
             specs=[],

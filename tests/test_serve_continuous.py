@@ -23,6 +23,7 @@ from repro.abr.session import run_monitored_session
 from repro.core.monitor import SafetyMonitor
 from repro.core.strategies import CusumTrigger, EWMATrigger, HysteresisTrigger
 from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
+from repro.domains import get_domain
 from repro.errors import SafetyError
 from repro.policies.buffer_based import BufferBasedPolicy
 from repro.serve import ServeEngine, SessionSpec
@@ -73,7 +74,7 @@ def traces():
 
 def _engine(manifest, trigger, max_slots=None, allow_revert=False):
     return ServeEngine(
-        manifest=manifest,
+        factory=get_domain("abr").session_factory(manifest=manifest),
         learned=_ObsPolicy(1, len(manifest.bitrates_kbps)),
         default=BufferBasedPolicy(manifest.bitrates_kbps),
         signal=_RowwiseSignal(seed=5, scale=0.4),
@@ -95,7 +96,7 @@ def _solo_reference(engine, specs):
                 allow_revert=engine.allow_revert,
                 name=engine.name,
             ),
-            engine.manifest,
+            engine.factory.manifest,
             spec.trace,
             seed=spec.seed,
             policy_name=spec.name,

@@ -17,6 +17,7 @@ from repro.core.ensemble_signals import PolicyEnsembleSignal, ValueEnsembleSigna
 from repro.core.monitor import SafetyController
 from repro.core.novelty_signal import StateNoveltySignal, throughput_window_samples
 from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
+from repro.domains import get_domain
 from repro.errors import SafetyError, SimulationError
 from repro.novelty.ocsvm import OneClassSVM
 from repro.perf import fast_paths
@@ -96,7 +97,7 @@ def _engine(manifest, scheme: str, **kwargs) -> ServeEngine:
             )
         trigger = VarianceTrigger(alpha=1e-4, k=3, l=1)
     return ServeEngine(
-        manifest=manifest,
+        factory=get_domain("abr").session_factory(manifest=manifest),
         learned=learned,
         default=default,
         signal=signal,
@@ -134,7 +135,7 @@ def _serial_reference(engine, specs):
             engine.learned,
             engine.default,
             monitor,
-            engine.manifest,
+            engine.factory.manifest,
             spec.trace,
             seed=spec.seed,
             policy_name=spec.name,
@@ -193,7 +194,7 @@ class TestEngineContract:
         policy = BufferBasedPolicy(manifest.bitrates_kbps)
         with pytest.raises(SafetyError, match="distinct"):
             ServeEngine(
-                manifest=manifest,
+                factory=get_domain("abr").session_factory(manifest=manifest),
                 learned=policy,
                 default=policy,
                 signal=PolicyEnsembleSignal(
@@ -231,7 +232,7 @@ class TestEngineContract:
         direct = [_fingerprint(r) for r in engine.run_inprocess(specs)]
         via_helper = [
             _fingerprint(r)
-            for r in serve_sessions(controller, manifest, specs)
+            for r in serve_sessions(controller, engine.factory, specs)
         ]
         assert via_helper == direct
 
@@ -241,7 +242,7 @@ class TestServeSession:
         engine = _engine(manifest, "U_pi")
         session = ServeSession(
             SessionSpec(trace=traces[0], seed=0, name="one"),
-            manifest,
+            engine.factory,
             engine.learned,
             engine.default,
             engine.spawn_monitor(),
@@ -256,13 +257,21 @@ class TestServeSession:
         engine = _engine(manifest, scheme)
         spec = SessionSpec(trace=traces[1], seed=3, name="migrated")
         uninterrupted = ServeSession(
-            spec, manifest, engine.learned, engine.default, engine.spawn_monitor()
+            spec,
+            engine.factory,
+            engine.learned,
+            engine.default,
+            engine.spawn_monitor(),
         )
         while not uninterrupted.step():
             pass
 
         session = ServeSession(
-            spec, manifest, engine.learned, engine.default, engine.spawn_monitor()
+            spec,
+            engine.factory,
+            engine.learned,
+            engine.default,
+            engine.spawn_monitor(),
         )
         for _ in range(10):
             session.step()

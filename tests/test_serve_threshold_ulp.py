@@ -20,6 +20,7 @@ import pytest
 
 from repro.core.strategies import CusumTrigger, EWMATrigger, HysteresisTrigger
 from repro.core.thresholding import ConsecutiveTrigger, VarianceTrigger
+from repro.domains import get_domain
 from repro.policies.buffer_based import BufferBasedPolicy
 from repro.serve import ServeEngine, SessionSpec
 from repro.traces.dataset import make_dataset
@@ -63,7 +64,7 @@ def specs(traces):
 
 def _engine(manifest, signal, trigger, **kwargs):
     return ServeEngine(
-        manifest=manifest,
+        factory=get_domain("abr").session_factory(manifest=manifest),
         learned=_ObsPolicy(1, len(manifest.bitrates_kbps)),
         default=BufferBasedPolicy(manifest.bitrates_kbps),
         signal=signal,

@@ -5,8 +5,9 @@ Serves the same 16 concurrent monitored sessions four ways and demands
 chunk-for-chunk identical trajectories:
 
 * ``legacy``  — per-session evaluation with fast paths disabled
-  (:func:`repro.abr.session.run_monitored_session` over the reference
-  member-loop forwards — the pre-optimization deployment pattern),
+  (:func:`repro.domains.runner.run_monitored_session` over the
+  reference member-loop forwards — the pre-optimization deployment
+  pattern),
 * ``serial``  — the same per-session loop with fast paths enabled
   (isolates the already-committed vectorization),
 * ``batched`` — :meth:`ServeEngine.run_inprocess`, the
@@ -31,6 +32,12 @@ schemes; a slot-limited engine (``max_slots = sessions // 2``,
 exercising continuous admission through the slot free-list) must also
 match chunk for chunk.
 
+The ``cc-demo`` scheme runs the same gauntlet for the second registered
+domain — the congestion-control demo scheme (tabular Q ensemble, CUSUM
+trigger) through the identical engine paths — so the serving stack's
+domain-genericity is load-tested, not just unit-tested.  Its full-run
+gate is the base ``MIN_SPEEDUP`` (batched vs. legacy serial).
+
 Wall times are the minimum over ``--repeats`` runs of each variant, the
 standard defense against scheduler noise on shared machines.
 
@@ -54,9 +61,12 @@ import sys
 import time
 from pathlib import Path
 
-from repro.abr.session import run_monitored_session
+import dataclasses
+
 from repro.abr.suite import build_safety_suite
 from repro.core.osap import SafetyConfig
+from repro.domains import apply_scenario, get_domain
+from repro.domains.runner import run_monitored_session
 from repro.parallel import resolve_max_workers
 from repro.pensieve.training import TrainingConfig
 from repro.perf import fast_paths
@@ -133,23 +143,15 @@ def make_specs(split, count: int) -> list[SessionSpec]:
 
 
 def fingerprint(result) -> tuple:
-    """A session's trajectory as an exactly-comparable value."""
+    """A session's trajectory as an exactly-comparable value.
+
+    Per-step records are domain dataclasses (``ChunkRecord``,
+    ``CCStepRecord``), so ``astuple`` compares every field of whichever
+    record type the engine's factory produces.
+    """
     return (
         result.trace_name,
-        tuple(
-            (
-                chunk.chunk_index,
-                chunk.bitrate_index,
-                chunk.bitrate_mbps,
-                chunk.rebuffer_s,
-                chunk.download_time_s,
-                chunk.throughput_mbps,
-                chunk.buffer_s,
-                chunk.reward,
-                chunk.defaulted,
-            )
-            for chunk in result.chunks
-        ),
+        tuple(dataclasses.astuple(chunk) for chunk in result.chunks),
         result.observations.tobytes(),
     )
 
@@ -159,15 +161,12 @@ def run_serial(engine: ServeEngine, specs: list[SessionSpec]):
     monitor = engine.spawn_monitor()
     return [
         run_monitored_session(
+            engine.factory,
+            spec,
             engine.learned,
             engine.default,
             monitor,
-            engine.manifest,
-            spec.trace,
-            qoe_metric=engine.qoe_metric,
-            seed=spec.seed,
             policy_name=spec.name,
-            start_offset_s=spec.start_offset_s,
         )
         for spec in specs
     ]
@@ -216,14 +215,13 @@ def bench_scheme(
     # forces sessions to join mid-run, and must not change a single chunk.
     max_slots = max(1, len(specs) // 2)
     slotted_engine = ServeEngine(
-        manifest=engine.manifest,
+        factory=engine.factory,
         learned=engine.learned,
         default=engine.default,
         signal=engine.signal,
         trigger=engine.trigger,
         allow_revert=engine.allow_revert,
         name=engine.name,
-        qoe_metric=engine.qoe_metric,
         batch_signals=engine.batch_signals,
         max_slots=max_slots,
     )
@@ -324,14 +322,49 @@ def main(argv: list[str] | None = None) -> int:
 
     print("training bench suite ...")
     manifest, split, suite = build_bench_suite(args.smoke)
+    factory = get_domain("abr").session_factory(manifest=manifest)
     specs = make_specs(split, sessions)
 
     schemes = {}
     for scheme in ("ND", "A-ensemble", "V-ensemble"):
-        engine = ServeEngine.from_controller(suite.controllers()[scheme], manifest)
+        engine = ServeEngine.from_controller(suite.controllers()[scheme], factory)
         schemes[scheme] = bench_scheme(
             scheme, engine, specs, args.workers, repeats, args.smoke
         )
+
+    # Second domain through the identical gauntlet: the CC demo scheme
+    # (tabular Q ensemble + CUSUM) over its provisioned trace corpus,
+    # with a few shifted sessions so the default path is exercised too.
+    print("building cc demo scheme ...")
+    cc = get_domain("cc")
+    cc_scheme = cc.demo_scheme()
+    cc_split = cc.load_split(
+        "logistic", num_traces=16, duration_s=96.0, seed=3
+    )
+    cc_traces = list(cc_split.test)
+    cc_traces += [
+        apply_scenario("abrupt_shift", trace, seed=index).trace
+        for index, trace in enumerate(cc_traces[:2])
+    ]
+    cc_specs = [
+        SessionSpec(
+            trace=cc_traces[index % len(cc_traces)],
+            seed=index,
+            name=f"cc-session-{index:03d}",
+        )
+        for index in range(sessions)
+    ]
+    cc_engine = ServeEngine(
+        factory=cc_scheme.factory,
+        learned=cc_scheme.learned,
+        default=cc_scheme.default,
+        signal=cc_scheme.signal,
+        trigger=cc_scheme.trigger,
+        name=cc_scheme.name,
+    )
+    schemes["cc-demo"] = bench_scheme(
+        "cc-demo", cc_engine, cc_specs, args.workers, repeats, args.smoke
+    )
 
     if args.smoke:
         print("smoke run complete (no JSON written)")

@@ -3,14 +3,26 @@
 
 The package is layered: ``novelty`` and the other leaf utilities sit at
 the bottom, ``core`` (signals, monitor, triggers) builds on them,
-``abr``/``pensieve`` provide the application substrate, ``serve``
-multiplexes sessions on top of both, ``service`` exposes the monitor
-runtime over the network (it may use ``serve``/``core``/``obs`` but
-never the ABR substrate — clients own their environments), and
+``mdp`` is a self-contained substrate beside them, ``abr``/``pensieve``
+provide the video application substrate, ``domains`` wraps the
+substrates behind the :data:`repro.domains.DOMAINS` registry,
+``serve``/``service`` run monitored sessions on top of the registry
+*root only* (neither may name a concrete domain module), and
 ``experiments``/``cli`` sit at the rim.  Imports must point *down* the
 stack only — ``repro.core`` must never import from ``repro.abr``, the
 serving engine must never reach into ``repro.experiments``, and nothing
 imports the CLI.
+
+Two rule tables enforce this:
+
+* :data:`FORBIDDEN` — for each layer, the layers it must not import at
+  all.
+* :data:`REGISTRY_ONLY` — for each layer, the packages it may import
+  only through their root (``from repro.domains import get_domain`` is
+  fine; ``from repro.domains.abr import ABRDomain`` is a violation).
+  This is what keeps ``serve``/``service`` domain-agnostic: a new
+  domain registers itself and the upper layers pick it up by key,
+  never by module path.
 
 This tool walks every module's AST (so string greps cannot be fooled by
 comments) and fails with a file:line listing of each upward import.
@@ -35,32 +47,67 @@ from pathlib import Path
 # import from.  A layer absent from this table is unconstrained.
 FORBIDDEN: dict[str, frozenset[str]] = {
     "novelty": frozenset(
-        {"core", "abr", "pensieve", "serve", "service", "experiments", "cli"}
+        {
+            "core",
+            "mdp",
+            "abr",
+            "pensieve",
+            "domains",
+            "serve",
+            "service",
+            "experiments",
+            "cli",
+        }
     ),
-    "core": frozenset({"abr", "serve", "service", "experiments", "cli"}),
-    "abr": frozenset({"serve", "service", "experiments", "cli"}),
-    "pensieve": frozenset({"serve", "service", "experiments", "cli"}),
-    "serve": frozenset({"service", "experiments", "cli"}),
+    "mdp": frozenset(
+        {
+            "core",
+            "abr",
+            "pensieve",
+            "domains",
+            "serve",
+            "service",
+            "experiments",
+            "cli",
+        }
+    ),
+    "core": frozenset(
+        {"abr", "domains", "serve", "service", "experiments", "cli"}
+    ),
+    "abr": frozenset({"domains", "serve", "service", "experiments", "cli"}),
+    "pensieve": frozenset(
+        {"domains", "serve", "service", "experiments", "cli"}
+    ),
+    "domains": frozenset({"serve", "service", "experiments", "cli"}),
+    "serve": frozenset(
+        {"abr", "pensieve", "service", "experiments", "cli"}
+    ),
     "service": frozenset({"abr", "pensieve", "experiments", "cli"}),
     "experiments": frozenset({"cli"}),
+}
+
+# For each layer, the packages it may import only through their root
+# module — ``repro.domains`` is fine, ``repro.domains.cc`` is not.
+REGISTRY_ONLY: dict[str, frozenset[str]] = {
+    "serve": frozenset({"domains"}),
+    "service": frozenset({"domains"}),
 }
 
 PACKAGE = "repro"
 
 
-def _imported_packages(node: ast.AST) -> list[str]:
-    """First-level ``repro`` subpackages (or modules) *node* imports."""
+def _imported_targets(node: ast.AST) -> list[str]:
+    """Full dotted ``repro.*`` module paths *node* imports."""
     targets = []
     if isinstance(node, ast.Import):
         targets = [alias.name for alias in node.names]
     elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
         targets = [node.module]
-    packages = []
-    for target in targets:
-        parts = target.split(".")
-        if parts[0] == PACKAGE and len(parts) > 1:
-            packages.append(parts[1])
-    return packages
+    return [
+        target
+        for target in targets
+        if target.split(".")[0] == PACKAGE and "." in target
+    ]
 
 
 class _ImportVisitor(ast.NodeVisitor):
@@ -85,12 +132,12 @@ class _ImportVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Import(self, node: ast.Import) -> None:
-        for package in _imported_packages(node):
-            self.imports.append((node.lineno, package))
+        for target in _imported_targets(node):
+            self.imports.append((node.lineno, target))
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        for package in _imported_packages(node):
-            self.imports.append((node.lineno, package))
+        for target in _imported_targets(node):
+            self.imports.append((node.lineno, target))
 
 
 def module_layer(path: Path, root: Path) -> str:
@@ -104,16 +151,28 @@ def module_layer(path: Path, root: Path) -> str:
 def check_file(path: Path, root: Path) -> list[str]:
     """Layer violations in one module, as ``file:line`` messages."""
     layer = module_layer(path, root)
-    forbidden = FORBIDDEN.get(layer)
-    if not forbidden:
+    forbidden = FORBIDDEN.get(layer, frozenset())
+    registry_only = REGISTRY_ONLY.get(layer, frozenset())
+    if not forbidden and not registry_only:
         return []
     visitor = _ImportVisitor()
     visitor.visit(ast.parse(path.read_text(), filename=str(path)))
-    return [
-        f"{path}:{line}: layer '{layer}' must not import 'repro.{package}'"
-        for line, package in visitor.imports
-        if package in forbidden
-    ]
+    violations = []
+    for line, target in visitor.imports:
+        parts = target.split(".")
+        package = parts[1]
+        if package in forbidden:
+            violations.append(
+                f"{path}:{line}: layer '{layer}' must not import "
+                f"'repro.{package}'"
+            )
+        elif package in registry_only and len(parts) > 2:
+            violations.append(
+                f"{path}:{line}: layer '{layer}' must import "
+                f"'repro.{package}' only through its registry root "
+                f"(got '{target}')"
+            )
+    return violations
 
 
 def check_tree(root: Path) -> list[str]:

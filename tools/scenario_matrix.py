@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""The schemes x domains x scenarios distribution-shift matrix.
+
+For every registered domain, every registered shift scenario
+(:mod:`repro.domains.scenarios`), and a small set of scheme variants
+(the domain's calibrated demo scheme plus a wider-ensemble variant),
+this tool streams monitored sessions over perturbed held-out traces and
+reports, per cell:
+
+* ``detection_rate``      — sessions whose monitor defaulted at or
+  after the scenario's onset,
+* ``false_alarm_rate``    — sessions that defaulted *before* the onset
+  (the scheme fired on in-distribution data),
+* ``mean_detection_latency_s`` — trace time between onset and the first
+  post-onset default, averaged over detecting sessions,
+* ``qoe_delta``           — monitored minus learned-only session reward
+  on the shifted traces (what defaulting bought, in the domain's own
+  reward units),
+* ``mean_default_fraction``.
+
+A ``baseline`` pseudo-scenario runs the unperturbed traces so every
+cell's false-alarm behaviour has an in-distribution reference.
+
+Trace time per decision step is domain-specific (ABR chunks take
+``download + rebuffer`` seconds; CC steps are fixed length); the
+``_STEP_TIMES`` table maps each domain's records to timestamps, and a
+new domain must add its adapter before the matrix can score it.
+
+The hard gate — run nightly by CI — is the paper's core safety claim:
+**every scheme, in every domain, must default under an abrupt shift**.
+A cell of the ``abrupt_shift`` scenario with zero detections fails the
+run (exit 1).  Latency and QoE numbers are reported, not gated; they
+feed the per-cell artifact (``--output``).
+
+Usage::
+
+    PYTHONPATH=src python tools/scenario_matrix.py            # full matrix
+    PYTHONPATH=src python tools/scenario_matrix.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.domains import (
+    SessionSpec,
+    apply_scenario,
+    domain_keys,
+    get_domain,
+    run_monitored_session,
+    run_session,
+    scenario_keys,
+)
+from repro.domains.cc import STEP_S
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Scheme variants evaluated per domain, as demo_scheme() overrides.
+SCHEME_VARIANTS = {
+    "demo": {},
+    "demo-wide": {"ensemble_size": 6},
+}
+
+#: Held-out corpus the scenarios perturb (shared by both domains).
+DATASET = "logistic"
+TRACE_DURATION_S = 96.0
+DATASET_SEED = 3
+
+
+def _abr_step_times(chunks) -> list[float]:
+    """ABR decision timestamps: each chunk takes download + rebuffer."""
+    times, now = [], 0.0
+    for chunk in chunks:
+        times.append(now)
+        now += chunk.download_time_s + chunk.rebuffer_s
+    return times
+
+
+def _cc_step_times(chunks) -> list[float]:
+    return [index * STEP_S for index in range(len(chunks))]
+
+
+#: Per-domain record -> trace-time adapters.  A new domain must register
+#: here before the matrix can convert its defaults into latencies.
+_STEP_TIMES = {
+    "abr": _abr_step_times,
+    "cc": _cc_step_times,
+}
+
+
+def evaluate_cell(
+    scheme, domain_key: str, shifted_traces, seeds
+) -> dict:
+    """Run one (scheme, domain, scenario) cell over its trace set."""
+    step_times = _STEP_TIMES[domain_key]
+    detected = []
+    false_alarms = 0
+    latencies = []
+    qoe_deltas = []
+    default_fractions = []
+    for (shifted, onset), seed in zip(shifted_traces, seeds):
+        spec = SessionSpec(trace=shifted, seed=seed)
+        monitored = run_monitored_session(
+            scheme.factory, spec, scheme.learned, scheme.default, scheme.monitor()
+        )
+        learned_only = run_session(scheme.factory, spec, scheme.learned)
+        qoe_deltas.append(monitored.qoe - learned_only.qoe)
+        default_fractions.append(monitored.default_fraction)
+        times = step_times(monitored.chunks)
+        default_steps = [
+            index for index, record in enumerate(monitored.chunks)
+            if record.defaulted
+        ]
+        if onset is None:
+            # Baseline: any default at all is a false alarm.
+            false_alarms += bool(default_steps)
+            detected.append(False)
+            continue
+        if default_steps and times[default_steps[0]] < onset:
+            false_alarms += 1
+        post = [index for index in default_steps if times[index] >= onset]
+        detected.append(bool(post))
+        if post:
+            latencies.append(times[post[0]] - onset)
+    sessions = len(default_fractions)
+    return {
+        "sessions": sessions,
+        "detections": int(sum(detected)),
+        "detection_rate": sum(detected) / sessions,
+        "false_alarm_rate": false_alarms / sessions,
+        "mean_detection_latency_s": (
+            float(np.mean(latencies)) if latencies else None
+        ),
+        "qoe_delta": float(np.mean(qoe_deltas)),
+        "mean_default_fraction": float(np.mean(default_fractions)),
+    }
+
+
+def build_matrix(
+    num_traces: int, severity: float, schemes: list[str]
+) -> tuple[dict, list[str]]:
+    """Every cell, plus the list of hard-gate failures."""
+    scenarios = ("baseline",) + scenario_keys()
+    cells = {}
+    failures = []
+    for domain_key in domain_keys():
+        domain = get_domain(domain_key)
+        split = domain.load_split(
+            DATASET,
+            num_traces=16,
+            duration_s=TRACE_DURATION_S,
+            seed=DATASET_SEED,
+        )
+        traces = list(split.test)[:num_traces]
+        seeds = list(range(len(traces)))
+        for scheme_key in schemes:
+            scheme = domain.demo_scheme(**SCHEME_VARIANTS[scheme_key])
+            for scenario in scenarios:
+                if scenario == "baseline":
+                    shifted = [(trace, None) for trace in traces]
+                else:
+                    perturbed = [
+                        apply_scenario(scenario, trace, seed=seed, severity=severity)
+                        for trace, seed in zip(traces, seeds)
+                    ]
+                    shifted = [(s.trace, s.onset_s) for s in perturbed]
+                cell = evaluate_cell(scheme, domain_key, shifted, seeds)
+                cells[f"{scheme_key}/{domain_key}/{scenario}"] = cell
+                latency = cell["mean_detection_latency_s"]
+                print(
+                    f"{scheme_key:>10s} x {domain_key:>3s} x {scenario:<13s}"
+                    f"  detect {cell['detections']}/{cell['sessions']}"
+                    f"  false-alarm {cell['false_alarm_rate']:.2f}"
+                    f"  latency "
+                    + (f"{latency:6.1f}s" if latency is not None else "   -  ")
+                    + f"  qoe-delta {cell['qoe_delta']:+8.2f}"
+                )
+                if scenario == "abrupt_shift" and cell["detections"] == 0:
+                    failures.append(
+                        f"{scheme_key}/{domain_key}: monitor never defaulted "
+                        "under abrupt_shift"
+                    )
+    return cells, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: calibrated scheme only, fewer traces",
+    )
+    parser.add_argument(
+        "--traces",
+        type=int,
+        default=None,
+        help="eval traces per cell (default: 4, smoke: 2)",
+    )
+    parser.add_argument(
+        "--severity", type=float, default=1.0, help="scenario severity in (0, 1]"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the per-cell JSON report (default: stdout only)",
+    )
+    args = parser.parse_args(argv)
+    num_traces = args.traces if args.traces is not None else (2 if args.smoke else 4)
+    schemes = ["demo"] if args.smoke else list(SCHEME_VARIANTS)
+
+    cells, failures = build_matrix(num_traces, args.severity, schemes)
+
+    payload = {
+        "matrix": "schemes x domains x scenarios",
+        "dataset": DATASET,
+        "trace_duration_s": TRACE_DURATION_S,
+        "severity": args.severity,
+        "traces_per_cell": num_traces,
+        "schemes": schemes,
+        "domains": list(domain_keys()),
+        "scenarios": ["baseline", *scenario_keys()],
+        "cells": cells,
+        "failures": failures,
+    }
+    if args.output is not None:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"scenario matrix clean: {len(cells)} cells, "
+        "every monitor defaulted under abrupt_shift"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
